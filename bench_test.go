@@ -1,0 +1,228 @@
+package soteria_test
+
+// The benchmark harness: one testing.B benchmark per paper table and
+// figure (run with `go test -bench=. -benchmem`). All experiment
+// benches share one trained environment (built once); each iteration
+// re-runs the experiment's computation — AE analysis, classification,
+// PCA, threshold sweeps — against it.
+//
+// Substrate micro-benchmarks (disassembly, labeling, walks, GEA merge,
+// detector and classifier inference) quantify the pipeline stages the
+// paper's Fig. 3 describes.
+
+import (
+	"sync"
+	"testing"
+
+	"soteria/internal/disasm"
+	"soteria/internal/dynamic"
+	"soteria/internal/experiments"
+	"soteria/internal/features"
+	"soteria/internal/gea"
+	"soteria/internal/labeling"
+	"soteria/internal/malgen"
+	"soteria/internal/walk"
+
+	mrand "math/rand"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.Setup(experiments.QuickConfig())
+	})
+	if benchErr != nil {
+		b.Fatalf("setup: %v", benchErr)
+	}
+	return benchEnv
+}
+
+func benchExperiment(b *testing.B, id string) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table --------------------------------------
+
+func BenchmarkTable2Dataset(b *testing.B)       { benchExperiment(b, "tab2") }
+func BenchmarkTable3GEATargets(b *testing.B)    { benchExperiment(b, "tab3") }
+func BenchmarkTable4DetectorAEs(b *testing.B)   { benchExperiment(b, "tab4") }
+func BenchmarkTable5Features(b *testing.B)      { benchExperiment(b, "tab5") }
+func BenchmarkTable6DetectorClean(b *testing.B) { benchExperiment(b, "tab6") }
+func BenchmarkTable7Classifiers(b *testing.B)   { benchExperiment(b, "tab7") }
+func BenchmarkTable8Evaders(b *testing.B)       { benchExperiment(b, "tab8") }
+
+// --- One benchmark per paper figure --------------------------------------
+
+func BenchmarkFig8PCABaseline(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9PCADBL(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFig10PCALBL(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkFig11PCACombined(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12REDistribution(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13AlphaSweep(b *testing.B)     { benchExperiment(b, "fig13") }
+
+// --- Pipeline-stage micro-benchmarks --------------------------------------
+
+func benchSample(b *testing.B, nodes int) *malgen.Sample {
+	b.Helper()
+	gen := malgen.NewGenerator(malgen.Config{Seed: 42})
+	s, err := gen.SampleSized(malgen.Gafgyt, nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkDisassemble64(b *testing.B) {
+	s := benchSample(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := disasm.Disassemble(s.Binary); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLabelingDBL64(b *testing.B) {
+	s := benchSample(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labeling.DensityBased(s.CFG.G, s.CFG.EntryNode())
+	}
+}
+
+func BenchmarkLabelingLBL64(b *testing.B) {
+	s := benchSample(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labeling.LevelBased(s.CFG.G, s.CFG.EntryNode())
+	}
+}
+
+func BenchmarkRandomWalks64(b *testing.B) {
+	s := benchSample(b, 64)
+	perm := labeling.DensityBased(s.CFG.G, s.CFG.EntryNode()).Perm
+	rng := mrand.New(mrand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		walk.Walks(s.CFG.G, s.CFG.EntryNode(), perm, walk.DefaultCount, walk.DefaultLengthFactor, rng)
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	env := benchEnvironment(b)
+	s := env.TestSamples()[0]
+	ext := env.Pipeline.Extractor
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ext.Extract(s.CFG, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGEAMerge(b *testing.B) {
+	gen := malgen.NewGenerator(malgen.Config{Seed: 7})
+	victim, err := gen.SampleSized(malgen.Mirai, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := gen.SampleSized(malgen.Benign, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gea.MergeToCFG(victim.Program, target.Program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectorInference(b *testing.B) {
+	env := benchEnvironment(b)
+	s := env.TestSamples()[0]
+	v, err := env.Pipeline.Extractor.Extract(s.CFG, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := env.Pipeline.Detector
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.ReconstructionError(v.Combined)
+	}
+}
+
+func BenchmarkEnsembleVote(b *testing.B) {
+	env := benchEnvironment(b)
+	s := env.TestSamples()[0]
+	v, err := env.Pipeline.Extractor.Extract(s.CFG, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ens := env.Pipeline.Ensemble
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ens.Vote(v.DBL, v.LBL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndAnalyze(b *testing.B) {
+	env := benchEnvironment(b)
+	s := env.TestSamples()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Pipeline.Analyze(s.CFG, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicVsStatic quantifies the paper's scalability argument
+// for static analysis: extracting behavioural features requires a full
+// sandboxed execution, while CFG recovery is a linear disassembly pass.
+func BenchmarkDynamicTraceExtraction(b *testing.B) {
+	s := benchSample(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dynamic.Trace(s.Binary, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStaticCFGExtraction(b *testing.B) {
+	s := benchSample(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := disasm.Disassemble(s.Binary); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	gen := malgen.NewGenerator(malgen.Config{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Sample(malgen.Gafgyt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// featuresConfigForBench keeps the name referenced in docs stable.
+var _ = features.DefaultConfig

@@ -1,0 +1,64 @@
+// Command cfgdump disassembles an SOTB binary and prints its control
+// flow graph — the inspection companion to gendataset and geattack.
+//
+// Usage:
+//
+//	cfgdump -format text|dot|json file.sotb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soteria/internal/disasm"
+	"soteria/internal/isa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cfgdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("cfgdump", flag.ContinueOnError)
+	format := fs.String("format", "text", "output format: text, dot, or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cfgdump [-format text|dot|json] file.sotb")
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	bin, err := isa.DecodeBinary(raw)
+	if err != nil {
+		return err
+	}
+	cfg, err := disasm.Disassemble(bin)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "text":
+		fmt.Fprintf(out, "%d blocks, %d edges, entry 0x%x\n\n",
+			cfg.NumNodes(), cfg.G.NumEdges(), cfg.Entry)
+		fmt.Fprint(out, cfg.Text())
+	case "dot":
+		fmt.Fprint(out, cfg.DOT(fs.Arg(0)))
+	case "json":
+		data, err := cfg.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		out.Write(data)
+		fmt.Fprintln(out)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}

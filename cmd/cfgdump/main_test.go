@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soteria/internal/malgen"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	g := malgen.NewGenerator(malgen.Config{Seed: 2})
+	s, err := g.SampleSized(malgen.Tsunami, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.Binary.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "s.sotb")
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunFormats(t *testing.T) {
+	p := writeSample(t)
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	for _, format := range []string{"text", "dot", "json"} {
+		if err := run([]string{"-format", format, p}, null); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer null.Close()
+	if err := run(nil, null); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if err := run([]string{"/nonexistent.sotb"}, null); err == nil {
+		t.Fatal("unreadable file should error")
+	}
+	p := writeSample(t)
+	if err := run([]string{"-format", "xml", p}, null); err == nil {
+		t.Fatal("bad format should error")
+	}
+}

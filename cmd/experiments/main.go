@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run tab4,fig13|all] [-scale quick|default|paper] [-seed N]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"soteria/internal/core"
+	"soteria/internal/experiments"
+	"soteria/internal/malgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiment IDs ("+strings.Join(experiments.IDs, ",")+
+		"), ablations ("+strings.Join(experiments.Ablations, ",")+"), 'all', or 'ablations'")
+	scale := fs.String("scale", "default", "experiment scale: quick, default, or paper")
+	seed := fs.Int64("seed", 1, "corpus and training seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "default":
+		cfg = experiments.DefaultConfig()
+	case "paper":
+		cfg = experiments.DefaultConfig()
+		cfg.Counts = map[malgen.Class]int{
+			malgen.Benign:  malgen.PaperCounts[malgen.Benign],
+			malgen.Gafgyt:  malgen.PaperCounts[malgen.Gafgyt],
+			malgen.Mirai:   malgen.PaperCounts[malgen.Mirai],
+			malgen.Tsunami: malgen.PaperCounts[malgen.Tsunami],
+		}
+		cfg.Opts = core.PaperOptions()
+		cfg.PCAPerClass = 200
+		fmt.Fprintln(os.Stderr, "warning: paper scale trains for hours in pure Go")
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+
+	ids := experiments.IDs
+	switch *runList {
+	case "all":
+	case "ablations":
+		ids = experiments.Ablations
+	default:
+		ids = strings.Split(*runList, ",")
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "setting up environment (scale=%s, seed=%d)...\n", *scale, *seed)
+	env, err := experiments.Setup(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "setup done in %v\n", time.Since(start).Round(time.Second))
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		var rep *experiments.Report
+		if strings.HasPrefix(id, "abl-") {
+			rep, err = experiments.RunAblation(id, env)
+		} else {
+			rep, err = experiments.Run(id, env)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.String())
+	}
+	return nil
+}

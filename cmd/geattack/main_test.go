@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soteria/internal/disasm"
+	"soteria/internal/isa"
+)
+
+func TestRunGEAMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ae.sotb")
+	err := run([]string{"-mode", "gea", "-victim-class", "mirai", "-target-class", "benign",
+		"-victim-nodes", "20", "-target-nodes", "15", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := isa.DecodeBinary(raw)
+	if err != nil {
+		t.Fatalf("output is not a valid SOTB binary: %v", err)
+	}
+	cfg, err := disasm.Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumNodes() != 20+15+2 {
+		t.Fatalf("AE CFG nodes = %d, want 37", cfg.NumNodes())
+	}
+}
+
+func TestRunBytesMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ae.sotb")
+	err := run([]string{"-mode", "bytes", "-victim-nodes", "20", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := isa.DecodeBinary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := disasm.Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumNodes() != 20 {
+		t.Fatalf("bytes-mode CFG nodes = %d, want unchanged 20", cfg.NumNodes())
+	}
+}
+
+func TestRunSplitMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ae.sotb")
+	err := run([]string{"-mode", "split", "-victim-nodes", "25", "-splits", "3", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := isa.DecodeBinary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := disasm.Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumNodes() != 28 {
+		t.Fatalf("split CFG nodes = %d, want 28", cfg.NumNodes())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-mode", "gea"}); err == nil {
+		t.Fatal("missing -out should error")
+	}
+	if err := run([]string{"-mode", "nope", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("bad mode should error")
+	}
+	if err := run([]string{"-victim-class", "zombie", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("bad class should error")
+	}
+}

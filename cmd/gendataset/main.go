@@ -1,0 +1,89 @@
+// Command gendataset generates a synthetic IoT corpus as SOTB binaries
+// on disk, one file per sample plus a labels.csv manifest — the
+// stand-in for downloading the paper's CyberIOC + GitHub collection.
+//
+// Usage:
+//
+//	gendataset -out dir [-benign N -gafgyt N -mirai N -tsunami N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"soteria/internal/malgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gendataset:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gendataset", flag.ContinueOnError)
+	out := fs.String("out", "", "output directory (required)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	dedup := fs.Bool("dedup", false, "drop samples whose CFG is structurally identical (WL hash) to an earlier one")
+	nBenign := fs.Int("benign", 60, "number of benign samples")
+	nGafgyt := fs.Int("gafgyt", 110, "number of Gafgyt samples")
+	nMirai := fs.Int("mirai", 50, "number of Mirai samples")
+	nTsunami := fs.Int("tsunami", 25, "number of Tsunami samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	gen := malgen.NewGenerator(malgen.Config{Seed: *seed})
+	corpus, err := gen.Corpus(map[malgen.Class]int{
+		malgen.Benign:  *nBenign,
+		malgen.Gafgyt:  *nGafgyt,
+		malgen.Mirai:   *nMirai,
+		malgen.Tsunami: *nTsunami,
+	})
+	if err != nil {
+		return err
+	}
+
+	var manifest strings.Builder
+	manifest.WriteString("file,class,nodes\n")
+	seen := make(map[[32]byte]bool)
+	written, dropped := 0, 0
+	for _, s := range corpus {
+		if *dedup {
+			h := s.CFG.G.WLHash(3)
+			if seen[h] {
+				dropped++
+				continue
+			}
+			seen[h] = true
+		}
+		raw, err := s.Binary.Encode()
+		if err != nil {
+			return fmt.Errorf("encode %s: %w", s.ID, err)
+		}
+		name := s.ID + ".sotb"
+		if err := os.WriteFile(filepath.Join(*out, name), raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(&manifest, "%s,%s,%d\n", name, s.Class, s.Nodes())
+		written++
+	}
+	if err := os.WriteFile(filepath.Join(*out, "labels.csv"), []byte(manifest.String()), 0o644); err != nil {
+		return err
+	}
+	if dropped > 0 {
+		fmt.Printf("dropped %d structural duplicates\n", dropped)
+	}
+	fmt.Printf("wrote %d samples and labels.csv to %s\n", written, *out)
+	return nil
+}

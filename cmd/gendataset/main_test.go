@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-benign", "2", "-gafgyt", "2", "-mirai", "1", "-tsunami", "1", "-seed", "3"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 samples + labels.csv.
+	if len(entries) != 7 {
+		t.Fatalf("wrote %d files, want 7", len(entries))
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(manifest)), "\n")
+	if len(lines) != 7 || lines[0] != "file,class,nodes" {
+		t.Fatalf("manifest = %q", string(manifest))
+	}
+}
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -out should error")
+	}
+}

@@ -1,0 +1,55 @@
+// Command sotasm assembles SOT-32 assembly text into an SOTB binary —
+// the hand-authoring path of the toolchain (gendataset generates,
+// sotasm assembles, cfgdump inspects, soteria analyzes).
+//
+// Usage:
+//
+//	sotasm -out prog.sotb prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soteria/internal/isa"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sotasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sotasm", flag.ContinueOnError)
+	out := fs.String("out", "", "output .sotb path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: sotasm -out prog.sotb prog.s")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := isa.ParseAsm(string(src))
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+	bin, _, err := isa.Assemble(prog, isa.AsmOptions{})
+	if err != nil {
+		return err
+	}
+	raw, err := bin.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("assembled %d blocks -> %s (%d bytes)\n", prog.NumBlocks(), *out, len(raw))
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soteria/internal/disasm"
+	"soteria/internal/isa"
+)
+
+func TestRunAssembles(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.s")
+	out := filepath.Join(dir, "p.sotb")
+	asm := ".func main\nentry:\n movi r0, 7\n sys 1\n halt\n"
+	if err := os.WriteFile(src, []byte(asm), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", out, src}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := isa.DecodeBinary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disasm.Disassemble(bin); err != nil {
+		t.Fatal(err)
+	}
+	vm := isa.NewVM(bin)
+	if err := vm.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Syscalls) != 1 || vm.Syscalls[0][1] != 7 {
+		t.Fatalf("syscalls = %v", vm.Syscalls)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing args should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.s")
+	os.WriteFile(bad, []byte(".func m\nentry:\n explode\n halt\n"), 0o644)
+	if err := run([]string{"-out", filepath.Join(dir, "x.sotb"), bad}); err == nil {
+		t.Fatal("parse error should propagate")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soteria/internal/malgen"
+)
+
+func TestRunTrainSaveLoadAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.json")
+	sample := filepath.Join(dir, "sample.sotb")
+
+	// A binary to analyze.
+	gen := malgen.NewGenerator(malgen.Config{Seed: 5})
+	s, err := gen.SampleSized(malgen.Mirai, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.Binary.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sample, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Train tiny, save, analyze.
+	if err := run([]string{"-train-per-class", "6", "-save", model, sample}); err != nil {
+		t.Fatalf("train+save run: %v", err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	// Load and analyze without training.
+	if err := run([]string{"-load", model, sample}); err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+}
+
+func TestRunNoFiles(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no files should error")
+	}
+}

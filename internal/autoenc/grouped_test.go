@@ -1,0 +1,114 @@
+package autoenc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soteria/internal/nn"
+)
+
+// walkVectors builds per-walk rows: each sample contributes `walks`
+// noisy variants of its prototype.
+func walkVectors(rng *rand.Rand, samples, walks, dim int) (*nn.Matrix, []int) {
+	x := nn.NewMatrix(samples*walks, dim)
+	groups := make([]int, samples*walks)
+	for s := 0; s < samples; s++ {
+		proto := s % 2
+		for w := 0; w < walks; w++ {
+			r := s*walks + w
+			groups[r] = s
+			row := x.Row(r)
+			for j := 0; j < dim; j++ {
+				v := 0.02 * rng.Float64()
+				if (proto == 0 && j < dim/3) || (proto == 1 && j >= 2*dim/3) {
+					v = 0.5 + 0.1*rng.NormFloat64()
+				}
+				row[j] = math.Max(v, 0)
+			}
+		}
+	}
+	return x, groups
+}
+
+func TestTrainGroupedBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dim := 18
+	x, groups := walkVectors(rng, 40, 4, dim)
+	cfg := testConfig(dim)
+	cfg.Epochs = 30
+	d, err := TrainGrouped(x, groups, cfg)
+	if err != nil {
+		t.Fatalf("TrainGrouped: %v", err)
+	}
+	if d.Sigma() < 0 || math.IsNaN(d.Mu()) {
+		t.Fatalf("calibration invalid: mu=%v sigma=%v", d.Mu(), d.Sigma())
+	}
+
+	// Sample-level statistic: mean of per-walk REs.
+	testX, _ := walkVectors(rng, 1, 4, dim)
+	walks := make([][]float64, 4)
+	for w := range walks {
+		walks[w] = testX.Row(w)
+	}
+	got := d.SampleError(walks)
+	res := d.ReconstructionErrors(testX)
+	want := (res[0] + res[1] + res[2] + res[3]) / 4
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SampleError = %v, want %v", got, want)
+	}
+	if d.IsAdversarialSample(walks) != (got > d.Threshold()) {
+		t.Fatal("IsAdversarialSample inconsistent with threshold")
+	}
+}
+
+func TestTrainGroupedSeparatesShiftedSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dim := 18
+	x, groups := walkVectors(rng, 60, 4, dim)
+	cfg := testConfig(dim)
+	cfg.Epochs = 50
+	cfg.NoiseStd = -1 // walk variety replaces synthetic noise
+	d, err := TrainGrouped(x, groups, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifted samples (mass in the untouched middle third).
+	flagged := 0
+	for s := 0; s < 10; s++ {
+		walks := make([][]float64, 4)
+		for w := range walks {
+			vec := make([]float64, dim)
+			for j := dim / 3; j < 2*dim/3; j++ {
+				vec[j] = 0.6 + 0.1*rng.NormFloat64()
+			}
+			walks[w] = vec
+		}
+		if d.IsAdversarialSample(walks) {
+			flagged++
+		}
+	}
+	if flagged < 8 {
+		t.Fatalf("flagged %d/10 shifted samples, want >= 8", flagged)
+	}
+}
+
+func TestTrainGroupedErrors(t *testing.T) {
+	if _, err := TrainGrouped(nn.NewMatrix(4, 8), []int{0, 1}, DefaultConfig(8)); err == nil {
+		t.Fatal("group count mismatch should error")
+	}
+}
+
+func TestSampleErrorEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dim := 12
+	cfg := testConfig(dim)
+	cfg.Epochs = 5
+	d, err := Train(cleanVectors(rng, 10, dim), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SampleError(nil); got != 0 {
+		t.Fatalf("SampleError(nil) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,183 @@
+// Package avclass simulates the paper's family-labeling pipeline:
+// samples are scanned by multiple antivirus engines (VirusTotal) and the
+// per-engine labels are resolved to a single family name by plurality
+// voting with alias normalization (AVClass).
+//
+// Real engines disagree: they use vendor-specific aliases (Gafgyt is
+// also "bashlite" and "qbot"), emit generic labels ("trojan.generic"),
+// and sometimes misattribute the family. The simulation reproduces all
+// three behaviours with a seeded RNG so corpus labeling is deterministic.
+package avclass
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"soteria/internal/malgen"
+)
+
+// aliases maps every vendor alias to its canonical family name,
+// mirroring AVClass's alias table.
+var aliases = map[string]string{
+	"gafgyt":   "gafgyt",
+	"bashlite": "gafgyt",
+	"qbot":     "gafgyt",
+	"lizkebab": "gafgyt",
+	"mirai":    "mirai",
+	"sora":     "mirai",
+	"owari":    "mirai",
+	"tsunami":  "tsunami",
+	"kaiten":   "tsunami",
+	"amnesia":  "tsunami",
+}
+
+// vendor alias pools per true family.
+var vendorLabels = map[malgen.Class][]string{
+	malgen.Gafgyt:  {"gafgyt", "bashlite", "qbot", "lizkebab"},
+	malgen.Mirai:   {"mirai", "sora", "owari"},
+	malgen.Tsunami: {"tsunami", "kaiten", "amnesia"},
+}
+
+var genericLabels = []string{"trojan.generic", "linux.agent", "malware", "elf.heur"}
+
+// ScanResult is one engine's verdict for one sample.
+type ScanResult struct {
+	Engine string
+	Label  string // "" means the engine found nothing
+}
+
+// Scanner simulates a VirusTotal multi-engine scan.
+type Scanner struct {
+	rng     *rand.Rand
+	engines []string
+	// GenericRate is the probability an engine emits a generic label.
+	GenericRate float64
+	// ConfuseRate is the probability an engine names a wrong family.
+	ConfuseRate float64
+	// MissRate is the probability an engine detects nothing.
+	MissRate float64
+}
+
+// NewScanner returns a scanner with n engines and default noise rates.
+func NewScanner(seed int64, n int) *Scanner {
+	engines := make([]string, n)
+	for i := range engines {
+		engines[i] = "engine" + string(rune('A'+i%26))
+	}
+	return &Scanner{
+		rng:         rand.New(rand.NewSource(seed)),
+		engines:     engines,
+		GenericRate: 0.25,
+		ConfuseRate: 0.05,
+		MissRate:    0.10,
+	}
+}
+
+// Scan produces per-engine verdicts for a sample of the given true
+// class. Benign samples receive empty verdicts from every engine.
+func (s *Scanner) Scan(trueClass malgen.Class) []ScanResult {
+	out := make([]ScanResult, 0, len(s.engines))
+	for _, eng := range s.engines {
+		out = append(out, ScanResult{Engine: eng, Label: s.verdict(trueClass)})
+	}
+	return out
+}
+
+func (s *Scanner) verdict(trueClass malgen.Class) string {
+	if trueClass == malgen.Benign {
+		return ""
+	}
+	r := s.rng.Float64()
+	switch {
+	case r < s.MissRate:
+		return ""
+	case r < s.MissRate+s.GenericRate:
+		return genericLabels[s.rng.Intn(len(genericLabels))]
+	case r < s.MissRate+s.GenericRate+s.ConfuseRate:
+		// Wrong family.
+		others := make([]malgen.Class, 0, 2)
+		for _, c := range []malgen.Class{malgen.Gafgyt, malgen.Mirai, malgen.Tsunami} {
+			if c != trueClass {
+				others = append(others, c)
+			}
+		}
+		pool := vendorLabels[others[s.rng.Intn(len(others))]]
+		return pool[s.rng.Intn(len(pool))]
+	default:
+		pool := vendorLabels[trueClass]
+		return pool[s.rng.Intn(len(pool))]
+	}
+}
+
+// Resolve implements AVClass's plurality vote: normalize every verdict
+// through the alias table, drop generic labels, and return the family
+// with the most votes. Ties break lexicographically (deterministic).
+// Samples with fewer than MinVotes family votes are singletons and
+// return ok=false — the paper excludes those from the labeled corpus.
+func Resolve(results []ScanResult, minVotes int) (family string, ok bool) {
+	votes := make(map[string]int)
+	for _, r := range results {
+		token := strings.ToLower(strings.TrimSpace(r.Label))
+		if fam, known := aliases[token]; known {
+			votes[fam]++
+		}
+	}
+	best, bestN := "", 0
+	fams := make([]string, 0, len(votes))
+	for f := range votes {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		if votes[f] > bestN {
+			best, bestN = f, votes[f]
+		}
+	}
+	if bestN < minVotes {
+		return "", false
+	}
+	return best, true
+}
+
+// FamilyClass maps a resolved family name back to the corpus class.
+func FamilyClass(family string) (malgen.Class, bool) {
+	switch family {
+	case "gafgyt":
+		return malgen.Gafgyt, true
+	case "mirai":
+		return malgen.Mirai, true
+	case "tsunami":
+		return malgen.Tsunami, true
+	}
+	return 0, false
+}
+
+// LabelCorpus runs the full VirusTotal + AVClass pipeline over true
+// classes: it returns the resolved class for each sample and whether it
+// could be labeled. Benign samples (no detections) resolve as Benign.
+func (s *Scanner) LabelCorpus(trueClasses []malgen.Class, minVotes int) ([]malgen.Class, []bool) {
+	classes := make([]malgen.Class, len(trueClasses))
+	labeled := make([]bool, len(trueClasses))
+	for i, tc := range trueClasses {
+		results := s.Scan(tc)
+		detections := 0
+		for _, r := range results {
+			if r.Label != "" {
+				detections++
+			}
+		}
+		if detections == 0 {
+			classes[i], labeled[i] = malgen.Benign, true
+			continue
+		}
+		fam, ok := Resolve(results, minVotes)
+		if !ok {
+			labeled[i] = false
+			continue
+		}
+		c, ok := FamilyClass(fam)
+		classes[i], labeled[i] = c, ok
+	}
+	return classes, labeled
+}

@@ -1,0 +1,155 @@
+package avclass
+
+import (
+	"testing"
+
+	"soteria/internal/malgen"
+)
+
+func TestResolvePluralityWithAliases(t *testing.T) {
+	results := []ScanResult{
+		{Engine: "a", Label: "gafgyt"},
+		{Engine: "b", Label: "bashlite"}, // alias of gafgyt
+		{Engine: "c", Label: "mirai"},
+		{Engine: "d", Label: "trojan.generic"}, // ignored
+		{Engine: "e", Label: ""},               // ignored
+	}
+	fam, ok := Resolve(results, 2)
+	if !ok || fam != "gafgyt" {
+		t.Fatalf("Resolve = %q, %v; want gafgyt, true", fam, ok)
+	}
+}
+
+func TestResolveSingleton(t *testing.T) {
+	results := []ScanResult{
+		{Engine: "a", Label: "mirai"},
+		{Engine: "b", Label: "trojan.generic"},
+	}
+	if _, ok := Resolve(results, 2); ok {
+		t.Fatal("one family vote should be a singleton with minVotes=2")
+	}
+}
+
+func TestResolveTieDeterministic(t *testing.T) {
+	results := []ScanResult{
+		{Engine: "a", Label: "mirai"},
+		{Engine: "b", Label: "gafgyt"},
+	}
+	fam, ok := Resolve(results, 1)
+	if !ok || fam != "gafgyt" {
+		t.Fatalf("tie should break lexicographically to gafgyt, got %q", fam)
+	}
+}
+
+func TestResolveCaseInsensitive(t *testing.T) {
+	results := []ScanResult{
+		{Engine: "a", Label: "  Mirai "},
+		{Engine: "b", Label: "SORA"},
+	}
+	fam, ok := Resolve(results, 2)
+	if !ok || fam != "mirai" {
+		t.Fatalf("Resolve = %q, %v; want mirai, true", fam, ok)
+	}
+}
+
+func TestFamilyClass(t *testing.T) {
+	tests := []struct {
+		fam  string
+		want malgen.Class
+		ok   bool
+	}{
+		{"gafgyt", malgen.Gafgyt, true},
+		{"mirai", malgen.Mirai, true},
+		{"tsunami", malgen.Tsunami, true},
+		{"unknown", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := FamilyClass(tt.fam)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("FamilyClass(%q) = %v, %v", tt.fam, got, ok)
+		}
+	}
+}
+
+func TestScanBenignAllClean(t *testing.T) {
+	s := NewScanner(1, 10)
+	for _, r := range s.Scan(malgen.Benign) {
+		if r.Label != "" {
+			t.Fatalf("benign scan produced verdict %q", r.Label)
+		}
+	}
+}
+
+func TestScanMalwareMostlyCorrect(t *testing.T) {
+	s := NewScanner(2, 20)
+	results := s.Scan(malgen.Mirai)
+	if len(results) != 20 {
+		t.Fatalf("results = %d, want 20", len(results))
+	}
+	fam, ok := Resolve(results, 2)
+	if !ok || fam != "mirai" {
+		t.Fatalf("20-engine scan of Mirai resolved to %q, %v", fam, ok)
+	}
+}
+
+func TestLabelCorpusAccuracy(t *testing.T) {
+	s := NewScanner(3, 15)
+	trueClasses := make([]malgen.Class, 0, 400)
+	for i := 0; i < 100; i++ {
+		trueClasses = append(trueClasses, malgen.Benign, malgen.Gafgyt, malgen.Mirai, malgen.Tsunami)
+	}
+	got, labeled := s.LabelCorpus(trueClasses, 2)
+	correct, total := 0, 0
+	for i := range trueClasses {
+		if !labeled[i] {
+			continue
+		}
+		total++
+		if got[i] == trueClasses[i] {
+			correct++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no samples labeled")
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("labeling accuracy = %.2f, want >= 0.95", acc)
+	}
+}
+
+func TestLabelCorpusProducesSomeSingletons(t *testing.T) {
+	// With very few engines, singletons must occur at realistic rates.
+	s := NewScanner(4, 3)
+	trueClasses := make([]malgen.Class, 500)
+	for i := range trueClasses {
+		trueClasses[i] = malgen.Gafgyt
+	}
+	_, labeled := s.LabelCorpus(trueClasses, 2)
+	singletons := 0
+	for _, ok := range labeled {
+		if !ok {
+			singletons++
+		}
+	}
+	if singletons == 0 {
+		t.Fatal("expected some singleton (unlabelable) samples with 3 engines")
+	}
+	if singletons > 250 {
+		t.Fatalf("too many singletons: %d/500", singletons)
+	}
+}
+
+func TestLabelCorpusDeterministic(t *testing.T) {
+	mk := func() ([]malgen.Class, []bool) {
+		s := NewScanner(7, 10)
+		tc := []malgen.Class{malgen.Gafgyt, malgen.Mirai, malgen.Tsunami, malgen.Benign}
+		return s.LabelCorpus(tc, 2)
+	}
+	c1, l1 := mk()
+	c2, l2 := mk()
+	for i := range c1 {
+		if c1[i] != c2[i] || l1[i] != l2[i] {
+			t.Fatal("LabelCorpus not deterministic for fixed seed")
+		}
+	}
+}

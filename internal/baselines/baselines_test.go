@@ -1,0 +1,212 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"soteria/internal/gea"
+	"soteria/internal/malgen"
+	"soteria/internal/nn"
+)
+
+func corpus(t *testing.T, seed int64, perClass int) ([]*malgen.Sample, []int) {
+	t.Helper()
+	g := malgen.NewGenerator(malgen.Config{Seed: seed})
+	var samples []*malgen.Sample
+	var labels []int
+	for ci, c := range malgen.Classes {
+		for i := 0; i < perClass; i++ {
+			s, err := g.Sample(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples = append(samples, s)
+			labels = append(labels, ci)
+		}
+	}
+	return samples, labels
+}
+
+func TestGraphFeaturesShapeAndSanity(t *testing.T) {
+	samples, _ := corpus(t, 1, 1)
+	for _, s := range samples {
+		f := GraphFeatures(s.CFG)
+		if len(f) != GraphFeatureDim {
+			t.Fatalf("feature dim = %d, want %d", len(f), GraphFeatureDim)
+		}
+		if f[0] != float64(s.Nodes()) {
+			t.Fatalf("node count feature = %v, want %d", f[0], s.Nodes())
+		}
+		if f[1] != float64(s.CFG.G.NumEdges()) {
+			t.Fatalf("edge count feature = %v", f[1])
+		}
+		for i, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("feature %d invalid: %v", i, v)
+			}
+		}
+	}
+}
+
+func TestGraphFeaturesEmptyCFG(t *testing.T) {
+	g := malgen.NewGenerator(malgen.Config{Seed: 2})
+	s, err := g.SampleSized(malgen.Benign, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := GraphFeatures(s.CFG)
+	if f[0] != 5 {
+		t.Fatalf("node count = %v", f[0])
+	}
+}
+
+func TestTrainGraphClassifier(t *testing.T) {
+	samples, labels := corpus(t, 3, 25)
+	rows := make([][]float64, len(samples))
+	for i, s := range samples {
+		rows[i] = GraphFeatures(s.CFG)
+	}
+	x := nn.FromRows(rows)
+	cfg := GraphConfig{Classes: 4, Epochs: 120, Seed: 1}
+	gc, err := TrainGraph(x, labels, cfg)
+	if err != nil {
+		t.Fatalf("TrainGraph: %v", err)
+	}
+	testSamples, testLabels := corpus(t, 4, 10)
+	testRows := make([][]float64, len(testSamples))
+	for i, s := range testSamples {
+		testRows[i] = GraphFeatures(s.CFG)
+	}
+	pred := gc.Predict(nn.FromRows(testRows))
+	correct := 0
+	for i := range pred {
+		if pred[i] == testLabels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(pred)); acc < 0.6 {
+		t.Fatalf("graph baseline accuracy = %.2f, want >= 0.6", acc)
+	}
+	if one := gc.PredictOne(testRows[0]); one != pred[0] {
+		t.Fatal("PredictOne disagrees with batch")
+	}
+}
+
+func TestTrainGraphErrors(t *testing.T) {
+	if _, err := TrainGraph(nn.NewMatrix(0, 16), nil, GraphConfig{Classes: 4}); err != ErrNoTrainingData {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := TrainGraph(nn.NewMatrix(2, 16), []int{0}, GraphConfig{Classes: 4}); err == nil {
+		t.Fatal("label mismatch should error")
+	}
+	if _, err := TrainGraph(nn.NewMatrix(2, 16), []int{0, 1}, GraphConfig{Classes: 1}); err == nil {
+		t.Fatal("single class should error")
+	}
+}
+
+func TestBytesImageDownsample(t *testing.T) {
+	raw := make([]byte, 1000)
+	for i := range raw {
+		raw[i] = byte(i % 256)
+	}
+	img := BytesImage(raw, 8)
+	if len(img) != 64 {
+		t.Fatalf("image length = %d, want 64", len(img))
+	}
+	for i, p := range img {
+		if p < 0 || p > 1 {
+			t.Fatalf("pixel %d = %v outside [0,1]", i, p)
+		}
+	}
+}
+
+func TestBytesImageShortStream(t *testing.T) {
+	img := BytesImage([]byte{255}, 4)
+	for _, p := range img {
+		if p != 1.0 {
+			t.Fatalf("expected all pixels 1.0, got %v", img)
+		}
+	}
+	empty := BytesImage(nil, 4)
+	for _, p := range empty {
+		if p != 0 {
+			t.Fatal("empty stream should give zero image")
+		}
+	}
+}
+
+func TestBinaryImageSensitiveToAppendedBytes(t *testing.T) {
+	// The contrast with CFG features: appending bytes changes the image.
+	g := malgen.NewGenerator(malgen.Config{Seed: 5})
+	s, err := g.SampleSized(malgen.Gafgyt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor, err := g.SampleSized(malgen.Benign, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BinaryImage(s.Binary, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := BinaryImage(gea.AppendBytesAE(s.Binary, donor.Binary), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range base {
+		diff += math.Abs(base[i] - perturbed[i])
+	}
+	if diff < 1e-6 {
+		t.Fatal("appended bytes did not change the image")
+	}
+}
+
+func TestTrainImageClassifier(t *testing.T) {
+	samples, labels := corpus(t, 6, 15)
+	size := 16
+	rows := make([][]float64, len(samples))
+	for i, s := range samples {
+		img, err := BinaryImage(s.Binary, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[i] = img
+	}
+	cfg := ImageConfig{Size: size, Classes: 4, Epochs: 40, Seed: 1}
+	ic, err := TrainImage(nn.FromRows(rows), labels, cfg)
+	if err != nil {
+		t.Fatalf("TrainImage: %v", err)
+	}
+	pred := ic.Predict(nn.FromRows(rows))
+	correct := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	// Training accuracy only: the image baseline just has to learn
+	// something beyond chance on its own training data.
+	if acc := float64(correct) / float64(len(pred)); acc < 0.5 {
+		t.Fatalf("image baseline train accuracy = %.2f, want >= 0.5", acc)
+	}
+	if one := ic.PredictOne(rows[0]); one != pred[0] {
+		t.Fatal("PredictOne disagrees with batch")
+	}
+}
+
+func TestTrainImageErrors(t *testing.T) {
+	if _, err := TrainImage(nn.NewMatrix(0, 256), nil, ImageConfig{Size: 16, Classes: 4}); err != ErrNoTrainingData {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := TrainImage(nn.NewMatrix(2, 100), []int{0, 1}, ImageConfig{Size: 16, Classes: 4}); err == nil {
+		t.Fatal("pixel count mismatch should error")
+	}
+	if _, err := TrainImage(nn.NewMatrix(2, 16), []int{0, 1}, ImageConfig{Size: 4, Classes: 4}); err == nil {
+		t.Fatal("too-small image should error")
+	}
+	if _, err := BinaryImage(nil, 0); err == nil {
+		t.Fatal("zero size should error")
+	}
+}

@@ -1,0 +1,146 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"soteria/internal/isa"
+	"soteria/internal/nn"
+)
+
+// BinaryImage renders a binary's encoded bytes as a size x size
+// grayscale image in [0, 1], Cui-et-al. style: the byte stream is
+// divided into size*size equal buckets and each pixel is the bucket's
+// mean byte value. Appended bytes and new sections change the image —
+// the byte-level sensitivity that makes image classifiers vulnerable to
+// the manipulations CFG features ignore.
+func BinaryImage(bin *isa.Binary, size int) ([]float64, error) {
+	if size <= 0 {
+		return nil, errors.New("baselines: image size must be positive")
+	}
+	raw, err := bin.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("baselines: encode binary: %w", err)
+	}
+	return BytesImage(raw, size), nil
+}
+
+// BytesImage converts a raw byte stream into a size x size grayscale
+// image by bucket-mean downsampling (or nearest-neighbor upsampling for
+// streams shorter than the pixel count).
+func BytesImage(raw []byte, size int) []float64 {
+	pixels := size * size
+	out := make([]float64, pixels)
+	if len(raw) == 0 {
+		return out
+	}
+	for p := 0; p < pixels; p++ {
+		lo := p * len(raw) / pixels
+		hi := (p + 1) * len(raw) / pixels
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+		var sum float64
+		for _, b := range raw[lo:hi] {
+			sum += float64(b)
+		}
+		out[p] = sum / float64(hi-lo) / 255.0
+	}
+	return out
+}
+
+// ImageConfig parameterizes the image-based classifier.
+type ImageConfig struct {
+	// Size is the square image edge (the paper evaluates 24, 48, 96,
+	// and 192; 96 and 192 performed poorly and were dropped).
+	Size    int
+	Classes int
+	// Filters in the two conv blocks (defaults 8 and 16).
+	Filters1, Filters2 int
+	Epochs             int
+	BatchSize          int
+	LR                 float64
+	Seed               int64
+}
+
+func (c *ImageConfig) fill() error {
+	if c.Size < 12 {
+		return fmt.Errorf("baselines: image size %d too small", c.Size)
+	}
+	if c.Classes <= 1 {
+		return fmt.Errorf("baselines: invalid class count %d", c.Classes)
+	}
+	if c.Filters1 <= 0 {
+		c.Filters1 = 8
+	}
+	if c.Filters2 <= 0 {
+		c.Filters2 = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LR <= 0 {
+		c.LR = 1e-3
+	}
+	return nil
+}
+
+// ImageClassifier is the trained Cui-style baseline.
+type ImageClassifier struct {
+	cfg ImageConfig
+	net *nn.Network
+}
+
+// TrainImage fits the image CNN on rows of flattened size x size
+// images.
+func TrainImage(x *nn.Matrix, labels []int, cfg ImageConfig) (*ImageClassifier, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if x.Rows == 0 {
+		return nil, ErrNoTrainingData
+	}
+	if x.Rows != len(labels) {
+		return nil, fmt.Errorf("baselines: %d rows but %d labels", x.Rows, len(labels))
+	}
+	if x.Cols != cfg.Size*cfg.Size {
+		return nil, fmt.Errorf("baselines: rows have %d pixels, config wants %d", x.Cols, cfg.Size*cfg.Size)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	conv1 := nn.NewConv2D(cfg.Size, cfg.Size, 1, cfg.Filters1, 3, 1, rng)
+	pool1 := nn.NewMaxPool2D(conv1.OutH(), conv1.OutW(), cfg.Filters1, 2, 2)
+	conv2 := nn.NewConv2D(pool1.OutH(), pool1.OutW(), cfg.Filters1, cfg.Filters2, 3, 1, rng)
+	pool2 := nn.NewMaxPool2D(conv2.OutH(), conv2.OutW(), cfg.Filters2, 2, 2)
+	flat := pool2.OutH() * pool2.OutW() * cfg.Filters2
+	net := nn.NewNetwork(
+		conv1, nn.NewReLU(), pool1,
+		conv2, nn.NewReLU(), pool2,
+		nn.NewDense(flat, 64, rng), nn.NewReLU(),
+		nn.NewDropout(0.5, rng),
+		nn.NewDense(64, cfg.Classes, rng),
+	)
+	tr := nn.Trainer{Net: net, Loss: nn.SoftmaxCrossEntropy{}, Opt: nn.NewAdam(cfg.LR)}
+	if _, err := tr.Fit(x, nn.OneHot(labels, cfg.Classes), nn.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, Seed: cfg.Seed,
+	}); err != nil {
+		return nil, fmt.Errorf("baselines: train image: %w", err)
+	}
+	return &ImageClassifier{cfg: cfg, net: net}, nil
+}
+
+// Predict classifies rows of flattened images.
+func (ic *ImageClassifier) Predict(x *nn.Matrix) []int {
+	return nn.Argmax(ic.net.Predict(x))
+}
+
+// PredictOne classifies one flattened image.
+func (ic *ImageClassifier) PredictOne(img []float64) int {
+	return ic.Predict(nn.FromRows([][]float64{img}))[0]
+}

@@ -1,0 +1,78 @@
+package cnn
+
+import (
+	"errors"
+
+	"soteria/internal/nn"
+)
+
+// Ensemble is the paper's voting classifier (Fig. 6: "the majority
+// vote of the CNN classifiers output probabilities over the feature
+// vectors"): one CNN consumes the ten density-based walk vectors of a
+// sample, a second consumes the ten level-based vectors, and the
+// sample's class maximizes the summed softmax probability over all 20
+// per-walk predictions (soft voting, which lets a confident model
+// outvote an uncertain one vector-for-vector).
+type Ensemble struct {
+	DBL *Classifier
+	LBL *Classifier
+}
+
+// ErrEmptyEnsemble is returned when an ensemble member is missing.
+var ErrEmptyEnsemble = errors.New("cnn: ensemble requires both DBL and LBL classifiers")
+
+// TrainEnsemble fits the two CNNs. dblX and lblX hold one row per walk
+// (so a sample with ten walks contributes ten rows), with walkLabels
+// giving each row's sample class.
+func TrainEnsemble(dblX, lblX *nn.Matrix, walkLabels []int, cfg Config) (*Ensemble, error) {
+	dbl, err := Train(dblX, walkLabels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	lblCfg := cfg
+	lblCfg.Seed = cfg.Seed + 1 // independent init for the second model
+	lbl, err := Train(lblX, walkLabels, lblCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Ensemble{DBL: dbl, LBL: lbl}, nil
+}
+
+// Vote soft-votes over both models' per-walk class probabilities: the
+// winning class maximizes total probability mass across all walk
+// vectors, with hard-vote count as the tiebreak.
+func (e *Ensemble) Vote(dblWalks, lblWalks [][]float64) (int, error) {
+	if e.DBL == nil || e.LBL == nil {
+		return 0, ErrEmptyEnsemble
+	}
+	classes := e.DBL.cfg.Classes
+	votes := make([]int, classes)
+	mass := make([]float64, classes)
+	tally := func(m *Classifier, walks [][]float64) {
+		if len(walks) == 0 {
+			return
+		}
+		probs := m.Probs(nn.FromRows(walks))
+		for i := 0; i < probs.Rows; i++ {
+			row := probs.Row(i)
+			best := 0
+			for j, p := range row {
+				mass[j] += p
+				if p > row[best] {
+					best = j
+				}
+			}
+			votes[best]++
+		}
+	}
+	tally(e.DBL, dblWalks)
+	tally(e.LBL, lblWalks)
+
+	best := 0
+	for c := 1; c < classes; c++ {
+		if mass[c] > mass[best] || (mass[c] == mass[best] && votes[c] > votes[best]) {
+			best = c
+		}
+	}
+	return best, nil
+}

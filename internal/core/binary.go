@@ -1,0 +1,15 @@
+package core
+
+import (
+	"fmt"
+
+	"soteria/internal/isa"
+)
+
+func parseBinary(raw []byte) (*isa.Binary, error) {
+	bin, err := isa.DecodeBinary(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse binary: %w", err)
+	}
+	return bin, nil
+}

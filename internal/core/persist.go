@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"soteria/internal/autoenc"
+	"soteria/internal/cnn"
+	"soteria/internal/features"
+	"soteria/internal/ngram"
+)
+
+// persisted is the on-disk form of a trained pipeline: extractor
+// vocabularies, detector state, and classifier weights, with enough
+// configuration to rebuild identical networks.
+type persisted struct {
+	Version  int             `json:"version"`
+	Options  Options         `json:"options"`
+	Features features.Config `json:"features"`
+
+	DBLVocab vocabState `json:"dblVocab"`
+	LBLVocab vocabState `json:"lblVocab"`
+
+	DetectorConfig autoenc.Config `json:"detectorConfig"`
+	DetectorState  autoenc.State  `json:"detectorState"`
+
+	CNNConfig  cnn.Config `json:"cnnConfig"`
+	DBLWeights []float64  `json:"dblWeights"`
+	LBLWeights []float64  `json:"lblWeights"`
+}
+
+type vocabState struct {
+	Vocab []string  `json:"vocab"`
+	IDF   []float64 `json:"idf"`
+	Dim   int       `json:"dim"`
+	L2    bool      `json:"l2"`
+}
+
+func vocabOf(v *ngram.Vectorizer) vocabState {
+	return vocabState{Vocab: v.Vocab, IDF: v.IDF, Dim: v.Dim, L2: v.L2}
+}
+
+func (vs vocabState) restore() *ngram.Vectorizer {
+	return ngram.Restore(vs.Vocab, vs.IDF, vs.Dim, vs.L2)
+}
+
+const persistVersion = 1
+
+// Save serializes the trained pipeline as JSON.
+func (p *Pipeline) Save(w io.Writer) error {
+	dblV, lblV := p.Extractor.Vectorizers()
+	detCfg := p.Detector.Config()
+	out := persisted{
+		Version:        persistVersion,
+		Options:        p.opts,
+		Features:       p.Extractor.Config(),
+		DBLVocab:       vocabOf(dblV),
+		LBLVocab:       vocabOf(lblV),
+		DetectorConfig: detCfg,
+		DetectorState:  p.Detector.State(),
+		CNNConfig:      p.Ensemble.DBL.Config(),
+		DBLWeights:     p.Ensemble.DBL.Network().SaveWeights(),
+		LBLWeights:     p.Ensemble.LBL.Network().SaveWeights(),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load rebuilds a trained pipeline from Save output.
+func Load(r io.Reader) (*Pipeline, error) {
+	var in persisted
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if in.Version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", in.Version)
+	}
+	ext := features.NewExtractor(in.Features)
+	ext.FitVectorizers(in.DBLVocab.restore(), in.LBLVocab.restore())
+
+	det, err := autoenc.Restore(in.DetectorConfig, in.DetectorState)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore detector: %w", err)
+	}
+	dbl, err := cnn.Restore(in.CNNConfig, in.DBLWeights)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore DBL classifier: %w", err)
+	}
+	lblCfg := in.CNNConfig
+	lblCfg.Seed = in.CNNConfig.Seed + 1
+	lbl, err := cnn.Restore(lblCfg, in.LBLWeights)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore LBL classifier: %w", err)
+	}
+	return &Pipeline{
+		Extractor: ext,
+		Detector:  det,
+		Ensemble:  &cnn.Ensemble{DBL: dbl, LBL: lbl},
+		opts:      in.Options,
+	}, nil
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	samples := trainCorpus(t, 5)
+	opts := testOptions()
+	opts.DetectorEpochs = 8
+	opts.ClassifierEpochs = 5
+	p, err := Train(samples, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for i, s := range samples[:4] {
+		a, err := p.Analyze(s.CFG, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Analyze(s.CFG, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.RE != b.RE || a.Class != b.Class || a.Adversarial != b.Adversarial {
+			t.Fatalf("sample %d: loaded pipeline disagrees: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("junk should error")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("unknown version should error")
+	}
+}

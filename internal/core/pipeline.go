@@ -1,0 +1,292 @@
+// Package core wires Soteria's three components — the feature
+// extractor, the autoencoder adversarial-example detector, and the
+// majority-voting CNN classifier — into the end-to-end pipeline of the
+// paper's Fig. 2: a sample's CFG is turned into walk features, the
+// detector filters adversarial examples, and clean samples are
+// classified into Benign / Gafgyt / Mirai / Tsunami.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"soteria/internal/autoenc"
+	"soteria/internal/cnn"
+	"soteria/internal/disasm"
+	"soteria/internal/features"
+	"soteria/internal/malgen"
+	"soteria/internal/nn"
+)
+
+// Options configures pipeline training. Zero values default to reduced
+// CI-scale parameters; use PaperOptions for the paper's exact scale.
+type Options struct {
+	// Features configures extraction (walks, n-grams, vocabulary).
+	Features features.Config `json:"features"`
+	// DetectorEpochs, ClassifierEpochs and shared batch size/learning
+	// rate for the two models.
+	DetectorEpochs   int     `json:"detectorEpochs"`
+	ClassifierEpochs int     `json:"classifierEpochs"`
+	BatchSize        int     `json:"batchSize"`
+	LR               float64 `json:"lr"`
+	// Alpha is the detector threshold multiplier (default 1.0).
+	Alpha float64 `json:"alpha"`
+	// Filters and DenseUnits size the CNN (defaults 46 / 512 per paper,
+	// which CI-scale configs shrink).
+	Filters    int `json:"filters"`
+	DenseUnits int `json:"denseUnits"`
+	// PerWalkDetector feeds the detector one combined vector per walk
+	// (detection statistic = mean RE over walks) instead of the default
+	// single walk-aggregated vector per sample. Measured in
+	// EXPERIMENTS.md: aggregation wins decisively — a single walk
+	// commits to one half of a GEA merge and looks clean, while the
+	// aggregate exposes the two-population mixture — so this exists for
+	// the ablation record.
+	PerWalkDetector bool `json:"perWalkDetector"`
+	// Seed drives all model randomness.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultOptions returns a CI-scale configuration that trains in tens of
+// seconds: reduced vocabulary, fewer walks, smaller CNN.
+func DefaultOptions() Options {
+	f := features.DefaultConfig()
+	f.TopK = 128
+	f.WalkCount = 6
+	f.LengthFactor = 5
+	return Options{
+		Features:         f,
+		DetectorEpochs:   40,
+		ClassifierEpochs: 30,
+		BatchSize:        64,
+		LR:               1e-3,
+		Alpha:            1.0,
+		Filters:          12,
+		DenseUnits:       64,
+		Seed:             1,
+	}
+}
+
+// PaperOptions returns the paper's full-scale parameters (1000-feature
+// detector, 46-filter CNNs, 100 epochs). Training at this scale takes
+// hours in pure Go; use for faithful runs only.
+func PaperOptions() Options {
+	return Options{
+		Features:         features.DefaultConfig(),
+		DetectorEpochs:   100,
+		ClassifierEpochs: 100,
+		BatchSize:        128,
+		LR:               1e-3,
+		Alpha:            1.0,
+		Filters:          46,
+		DenseUnits:       512,
+		Seed:             1,
+	}
+}
+
+// Pipeline is a trained Soteria instance.
+type Pipeline struct {
+	Extractor *features.Extractor
+	Detector  *autoenc.Detector
+	Ensemble  *cnn.Ensemble
+
+	opts Options
+}
+
+// Decision is the pipeline's verdict on one sample.
+type Decision struct {
+	// Adversarial is the detector verdict; adversarial samples are not
+	// forwarded to the classifier in the paper's deployment (Class is
+	// still populated for analysis, e.g. Table VIII).
+	Adversarial bool
+	// RE is the autoencoder reconstruction error.
+	RE float64
+	// Class is the majority-vote classification.
+	Class malgen.Class
+}
+
+// ErrNoSamples is returned when Train receives no samples.
+var ErrNoSamples = errors.New("core: no training samples")
+
+// Train fits the full pipeline on labeled clean samples. Per the
+// paper's operation mode, neither the detector nor the classifier ever
+// sees adversarial data.
+func Train(samples []*malgen.Sample, opts Options) (*Pipeline, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	if opts.Features.TopK == 0 {
+		opts = fillFrom(opts, DefaultOptions())
+	}
+	opts.Features.Seed = opts.Seed
+
+	ext := features.NewExtractor(opts.Features)
+	cfgs := make([]*disasm.CFG, len(samples))
+	salts := make([]int64, len(samples))
+	for i, s := range samples {
+		cfgs[i] = s.CFG
+		salts[i] = int64(i)
+	}
+	ext.Fit(cfgs)
+
+	// Extract every representation once (parallel across samples).
+	vecs, err := ext.ExtractBatch(cfgs, salts)
+	if err != nil {
+		return nil, fmt.Errorf("core: extract: %w", err)
+	}
+	combined := nn.NewMatrix(len(samples), ext.Dim())
+	walkRows := make([][]float64, 0, len(samples)*opts.Features.WalkCount)
+	lblRows := make([][]float64, 0, len(samples)*opts.Features.WalkCount)
+	walkLabels := make([]int, 0, len(samples)*opts.Features.WalkCount)
+	detRows := make([][]float64, 0, len(samples)*opts.Features.WalkCount)
+	detGroups := make([]int, 0, len(samples)*opts.Features.WalkCount)
+	for i, s := range samples {
+		v := vecs[i]
+		copy(combined.Row(i), v.Combined)
+		for w := range v.DBL {
+			walkRows = append(walkRows, v.DBL[w])
+			lblRows = append(lblRows, v.LBL[w])
+			walkLabels = append(walkLabels, int(s.Class))
+		}
+		for _, cw := range v.CombinedWalks {
+			detRows = append(detRows, cw)
+			detGroups = append(detGroups, i)
+		}
+	}
+
+	detCfg := autoenc.DefaultConfig(ext.Dim())
+	detCfg.Epochs = opts.DetectorEpochs
+	detCfg.BatchSize = opts.BatchSize
+	detCfg.LR = opts.LR
+	detCfg.Alpha = opts.Alpha
+	detCfg.Seed = opts.Seed
+	// L2-normalized pattern features with a light denoising prior and no
+	// z-scoring won the detector study (see EXPERIMENTS.md): GEA merges
+	// shift the gram *pattern*, and standardization drowns that signal
+	// in rescaled sparse-feature noise.
+	detCfg.NoStandardize = true
+	detCfg.NoiseStd = 0.02
+	var det *autoenc.Detector
+	if opts.PerWalkDetector {
+		// Per-walk rows already carry walk-randomness variety; skip the
+		// synthetic denoising replicas.
+		detCfg.NoiseStd = -1
+		det, err = autoenc.TrainGrouped(nn.FromRows(detRows), detGroups, detCfg)
+	} else {
+		det, err = autoenc.Train(combined, detCfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: detector: %w", err)
+	}
+
+	clsCfg := cnn.DefaultConfig(ext.WalkDim(), malgen.NumClasses)
+	clsCfg.Filters = opts.Filters
+	clsCfg.DenseUnits = opts.DenseUnits
+	clsCfg.Epochs = opts.ClassifierEpochs
+	clsCfg.BatchSize = opts.BatchSize
+	clsCfg.LR = opts.LR
+	clsCfg.Seed = opts.Seed
+	ens, err := cnn.TrainEnsemble(nn.FromRows(walkRows), nn.FromRows(lblRows), walkLabels, clsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: classifier: %w", err)
+	}
+
+	return &Pipeline{Extractor: ext, Detector: det, Ensemble: ens, opts: opts}, nil
+}
+
+// Analyze runs the full pipeline on one CFG. salt individualizes the
+// walk randomness (use a stable per-sample value for reproducibility).
+func (p *Pipeline) Analyze(c *disasm.CFG, salt int64) (*Decision, error) {
+	v, err := p.Extractor.Extract(c, salt)
+	if err != nil {
+		return nil, err
+	}
+	var re float64
+	if p.opts.PerWalkDetector {
+		re = p.Detector.SampleError(v.CombinedWalks)
+	} else {
+		re = p.Detector.ReconstructionError(v.Combined)
+	}
+	cls, err := p.Ensemble.Vote(v.DBL, v.LBL)
+	if err != nil {
+		return nil, err
+	}
+	return &Decision{
+		Adversarial: re > p.Detector.Threshold(),
+		RE:          re,
+		Class:       malgen.Class(cls),
+	}, nil
+}
+
+// AnalyzeBatch analyzes many CFGs, parallelizing the feature-extraction
+// stage (the dominant cost). Results equal per-sample Analyze calls
+// with the same salts.
+func (p *Pipeline) AnalyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision, error) {
+	vecs, err := p.Extractor.ExtractBatch(cfgs, salts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Decision, len(vecs))
+	for i, v := range vecs {
+		var re float64
+		if p.opts.PerWalkDetector {
+			re = p.Detector.SampleError(v.CombinedWalks)
+		} else {
+			re = p.Detector.ReconstructionError(v.Combined)
+		}
+		cls, err := p.Ensemble.Vote(v.DBL, v.LBL)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = &Decision{
+			Adversarial: re > p.Detector.Threshold(),
+			RE:          re,
+			Class:       malgen.Class(cls),
+		}
+	}
+	return out, nil
+}
+
+// AnalyzeBinary disassembles and analyzes a raw SOTB binary.
+func (p *Pipeline) AnalyzeBinary(bin []byte, salt int64) (*Decision, error) {
+	parsed, err := parseBinary(bin)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := disasm.Disassemble(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("core: disassemble: %w", err)
+	}
+	return p.Analyze(cfg, salt)
+}
+
+// Options returns the training options.
+func (p *Pipeline) Options() Options { return p.opts }
+
+func fillFrom(opts, def Options) Options {
+	if opts.Features.TopK == 0 {
+		opts.Features = def.Features
+	}
+	if opts.DetectorEpochs == 0 {
+		opts.DetectorEpochs = def.DetectorEpochs
+	}
+	if opts.ClassifierEpochs == 0 {
+		opts.ClassifierEpochs = def.ClassifierEpochs
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = def.BatchSize
+	}
+	if opts.LR == 0 {
+		opts.LR = def.LR
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = def.Alpha
+	}
+	if opts.Filters == 0 {
+		opts.Filters = def.Filters
+	}
+	if opts.DenseUnits == 0 {
+		opts.DenseUnits = def.DenseUnits
+	}
+	return opts
+}

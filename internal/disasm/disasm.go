@@ -1,0 +1,206 @@
+// Package disasm recovers control flow graphs from SOTB binaries. It is
+// this repository's stand-in for radare2 in the paper's pipeline: a
+// recursive-traversal disassembler that decodes only instructions
+// reachable from the entry point, splits them into basic blocks at
+// leaders, and wires the block-level CFG.
+//
+// Because traversal starts at the entry point and follows control flow,
+// bytes appended to the binary, extra sections, and any other unreachable
+// code never appear in the CFG — the property Soteria's feature extractor
+// relies on to ignore impractical (byte-injection) adversarial examples.
+package disasm
+
+import (
+	"fmt"
+	"sort"
+
+	"soteria/internal/graph"
+	"soteria/internal/isa"
+)
+
+// BasicBlock is a maximal straight-line run of reachable instructions.
+type BasicBlock struct {
+	Addr  uint32     // virtual address of the first instruction
+	Insts []isa.Inst // decoded instructions, terminator last
+	Succs []uint32   // successor block addresses, ascending
+	ID    int        // dense node ID in the CFG graph
+}
+
+// CFG is a recovered control flow graph. Node IDs are dense and assigned
+// in ascending block-address order, so they are deterministic for a
+// given binary.
+type CFG struct {
+	Entry  uint32                 // entry block address
+	Blocks map[uint32]*BasicBlock // by block address
+	G      *graph.Graph           // block-level graph over dense IDs
+	Addrs  []uint32               // node ID -> block address, ascending
+}
+
+// EntryNode returns the graph node ID of the entry block.
+func (c *CFG) EntryNode() int { return c.Blocks[c.Entry].ID }
+
+// NumNodes returns the number of basic blocks.
+func (c *CFG) NumNodes() int { return len(c.Addrs) }
+
+// Block returns the basic block with the given node ID.
+func (c *CFG) Block(id int) *BasicBlock { return c.Blocks[c.Addrs[id]] }
+
+// Disassemble recovers the CFG of a binary by recursive traversal from
+// its entry point. It fails only when the entry point itself does not
+// decode; unreachable or malformed code elsewhere is simply ignored.
+func Disassemble(bin *isa.Binary) (*CFG, error) {
+	fetch := func(addr uint32) (isa.Inst, bool) {
+		sec := bin.SectionAt(addr)
+		if sec == nil || !sec.Executable() {
+			return isa.Inst{}, false
+		}
+		in, err := isa.Decode(sec.Data[addr-sec.Addr:])
+		if err != nil {
+			return isa.Inst{}, false
+		}
+		return in, true
+	}
+
+	if _, ok := fetch(bin.Entry); !ok {
+		return nil, fmt.Errorf("disasm: entry point 0x%x does not decode", bin.Entry)
+	}
+
+	// Pass 1: recursive traversal. Decode every reachable instruction and
+	// collect leaders (entry, branch/call targets, post-terminator
+	// fallthroughs).
+	insts := make(map[uint32]isa.Inst)
+	leaders := map[uint32]bool{bin.Entry: true}
+	work := []uint32{bin.Entry}
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		if _, seen := insts[addr]; seen {
+			continue
+		}
+		in, ok := fetch(addr)
+		if !ok {
+			continue
+		}
+		insts[addr] = in
+		for _, s := range instSuccs(in, addr) {
+			if _, ok := fetch(s); !ok {
+				continue // target outside executable code: no edge
+			}
+			if in.Op.Terminates() {
+				leaders[s] = true
+			}
+			work = append(work, s)
+		}
+	}
+
+	// Any reachable jump/call target is a leader even when also reached
+	// by straight-line flow.
+	for _, in := range insts {
+		switch in.Op {
+		case isa.OpJmp, isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge, isa.OpCall:
+			t := uint32(in.Imm)
+			if _, ok := insts[t]; ok {
+				leaders[t] = true
+			}
+		}
+	}
+
+	// Pass 2: build blocks from each leader up to the next terminator or
+	// leader.
+	blocks := make(map[uint32]*BasicBlock, len(leaders))
+	for start := range leaders {
+		if _, ok := insts[start]; !ok {
+			continue
+		}
+		b := &BasicBlock{Addr: start}
+		addr := start
+		for {
+			in, ok := insts[addr]
+			if !ok {
+				break // decoded region ended mid-block
+			}
+			b.Insts = append(b.Insts, in)
+			next := addr + isa.InstSize
+			if in.Op.Terminates() {
+				for _, s := range instSuccs(in, addr) {
+					if _, ok := insts[s]; ok {
+						b.Succs = append(b.Succs, s)
+					}
+				}
+				break
+			}
+			if leaders[next] {
+				b.Succs = append(b.Succs, next)
+				break
+			}
+			if _, ok := insts[next]; !ok {
+				break
+			}
+			addr = next
+		}
+		sort.Slice(b.Succs, func(i, j int) bool { return b.Succs[i] < b.Succs[j] })
+		b.Succs = dedupU32(b.Succs)
+		blocks[start] = b
+	}
+
+	// Pass 3: dense deterministic node IDs and the graph.
+	addrs := make([]uint32, 0, len(blocks))
+	for a := range blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	idOf := make(map[uint32]int, len(addrs))
+	for i, a := range addrs {
+		blocks[a].ID = i
+		idOf[a] = i
+	}
+	g := graph.New(len(addrs))
+	for _, a := range addrs {
+		for _, s := range blocks[a].Succs {
+			if sid, ok := idOf[s]; ok {
+				g.MustAddEdge(idOf[a], sid)
+			}
+		}
+	}
+
+	return &CFG{Entry: bin.Entry, Blocks: blocks, G: g, Addrs: addrs}, nil
+}
+
+// ProgramCFG assembles a program and disassembles the result — the full
+// compile-then-recover path used by the corpus generator and tests.
+func ProgramCFG(p *isa.Program) (*CFG, error) {
+	bin, _, err := isa.Assemble(p, isa.AsmOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("disasm: assemble: %w", err)
+	}
+	return Disassemble(bin)
+}
+
+// instSuccs returns the control-flow successor addresses of the
+// instruction at addr.
+func instSuccs(in isa.Inst, addr uint32) []uint32 {
+	next := addr + isa.InstSize
+	switch in.Op {
+	case isa.OpJmp:
+		return []uint32{uint32(in.Imm)}
+	case isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge:
+		return []uint32{uint32(in.Imm), next}
+	case isa.OpCall:
+		// Call edge plus the post-return fallthrough.
+		return []uint32{uint32(in.Imm), next}
+	case isa.OpRet, isa.OpHalt:
+		return nil
+	default:
+		return []uint32{next}
+	}
+}
+
+func dedupU32(s []uint32) []uint32 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

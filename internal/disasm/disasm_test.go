@@ -1,0 +1,202 @@
+package disasm
+
+import (
+	"testing"
+
+	"soteria/internal/isa"
+)
+
+// loopProgram: entry -> loop <-> loop (self via cond) -> exit.
+func loopProgram() *isa.Program {
+	return &isa.Program{Funcs: []*isa.Function{{
+		Name: "main",
+		Blocks: []*isa.Block{
+			{
+				Label: "entry",
+				Body:  []isa.Inst{{Op: isa.OpMovI, R1: 0, Imm: 0}},
+				Term:  isa.TermJump{To: "loop"},
+			},
+			{
+				Label: "loop",
+				Body:  []isa.Inst{{Op: isa.OpAdd, R1: 0, R2: 1}, {Op: isa.OpCmp, R1: 0, R2: 1}},
+				Term:  isa.TermCond{Op: isa.OpJlt, To: "loop", Else: "exit"},
+			},
+			{Label: "exit", Term: isa.TermHalt{}},
+		},
+	}}}
+}
+
+func TestDisassembleBlockStructure(t *testing.T) {
+	cfg, err := ProgramCFG(loopProgram())
+	if err != nil {
+		t.Fatalf("ProgramCFG: %v", err)
+	}
+	if got := cfg.NumNodes(); got != 3 {
+		t.Fatalf("NumNodes = %d, want 3", got)
+	}
+	if cfg.EntryNode() != 0 {
+		t.Fatalf("EntryNode = %d, want 0 (lowest address)", cfg.EntryNode())
+	}
+	// entry -> loop; loop -> loop, exit; exit -> nothing.
+	g := cfg.G
+	if !g.HasEdge(0, 1) {
+		t.Error("missing edge entry->loop")
+	}
+	if !g.HasEdge(1, 1) {
+		t.Error("missing self loop loop->loop")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Error("missing edge loop->exit")
+	}
+	if g.OutDegree(2) != 0 {
+		t.Error("exit should have no successors")
+	}
+}
+
+func TestDisassembleIgnoresAppendedSection(t *testing.T) {
+	p := loopProgram()
+	bin, _, err := isa.Assemble(p, isa.AsmOptions{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	base, err := Disassemble(bin)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+
+	// Binary-level AE: append a whole executable section of valid code
+	// that nothing jumps to. The CFG must be identical.
+	junk := isa.Inst{Op: isa.OpNop}.Encode(nil)
+	junk = isa.Inst{Op: isa.OpHalt}.Encode(junk)
+	bin.AppendSection(".evil", isa.SecExec, junk)
+	perturbed, err := Disassemble(bin)
+	if err != nil {
+		t.Fatalf("Disassemble perturbed: %v", err)
+	}
+	if perturbed.NumNodes() != base.NumNodes() || perturbed.G.NumEdges() != base.G.NumEdges() {
+		t.Fatalf("appended section changed CFG: %d/%d nodes, %d/%d edges",
+			perturbed.NumNodes(), base.NumNodes(), perturbed.G.NumEdges(), base.G.NumEdges())
+	}
+}
+
+func TestDisassembleIgnoresAppendedBytes(t *testing.T) {
+	bin, _, err := isa.Assemble(loopProgram(), isa.AsmOptions{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	base, _ := Disassemble(bin)
+
+	// Append raw bytes to the text section itself (end-of-file padding);
+	// they sit after the final HALT and are never reached.
+	text := bin.Section(".text")
+	text.Data = append(text.Data, isa.Inst{Op: isa.OpSys, Imm: 666}.Encode(nil)...)
+	perturbed, err := Disassemble(bin)
+	if err != nil {
+		t.Fatalf("Disassemble perturbed: %v", err)
+	}
+	if perturbed.NumNodes() != base.NumNodes() {
+		t.Fatalf("appended bytes changed CFG: %d vs %d nodes", perturbed.NumNodes(), base.NumNodes())
+	}
+}
+
+func TestDisassembleCallEdges(t *testing.T) {
+	p := &isa.Program{Funcs: []*isa.Function{
+		{
+			Name: "main",
+			Blocks: []*isa.Block{
+				{Label: "entry", Term: isa.TermCall{Target: "fn", Ret: "after"}},
+				{Label: "after", Term: isa.TermHalt{}},
+			},
+		},
+		{
+			Name: "helper",
+			Blocks: []*isa.Block{
+				{Label: "fn", Body: []isa.Inst{{Op: isa.OpNop}}, Term: isa.TermRet{}},
+			},
+		},
+	}}
+	cfg, err := ProgramCFG(p)
+	if err != nil {
+		t.Fatalf("ProgramCFG: %v", err)
+	}
+	if cfg.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", cfg.NumNodes())
+	}
+	// entry(0) -> after(1) fallthrough edge and entry(0) -> fn(2) call edge.
+	if !cfg.G.HasEdge(0, 1) || !cfg.G.HasEdge(0, 2) {
+		t.Fatalf("call edges wrong: %v", cfg.G.Edges())
+	}
+}
+
+func TestDisassembleBadEntry(t *testing.T) {
+	bin := &isa.Binary{Entry: 0x9999, Sections: []isa.Section{
+		{Name: ".text", Addr: 0x1000, Flags: isa.SecExec, Data: isa.Inst{Op: isa.OpHalt}.Encode(nil)},
+	}}
+	if _, err := Disassemble(bin); err == nil {
+		t.Fatal("expected error for undecodable entry")
+	}
+}
+
+func TestDisassembleJumpOutsideTextIgnored(t *testing.T) {
+	// Hand-craft: entry block conditionally jumps to a non-executable
+	// address; the CFG keeps only the fallthrough edge.
+	text := isa.Inst{Op: isa.OpJz, Imm: 0x8000}.Encode(nil) // bogus target
+	text = isa.Inst{Op: isa.OpHalt}.Encode(text)
+	bin := &isa.Binary{Entry: 0x1000, Sections: []isa.Section{
+		{Name: ".text", Addr: 0x1000, Flags: isa.SecExec, Data: text},
+	}}
+	cfg, err := Disassemble(bin)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	if cfg.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", cfg.NumNodes())
+	}
+	if cfg.G.OutDegree(0) != 1 || !cfg.G.HasEdge(0, 1) {
+		t.Fatalf("expected single fallthrough edge, got %v", cfg.G.Edges())
+	}
+}
+
+func TestDisassembleTruncatedTailStopsCleanly(t *testing.T) {
+	// A conditional branch whose fallthrough runs off the end of the
+	// section: the path just ends, no error.
+	text := isa.Inst{Op: isa.OpJz, Imm: 0x1000}.Encode(nil)
+	text = append(text, 0x01, 0x02) // garbage tail, not a full instruction
+	bin := &isa.Binary{Entry: 0x1000, Sections: []isa.Section{
+		{Name: ".text", Addr: 0x1000, Flags: isa.SecExec, Data: text},
+	}}
+	cfg, err := Disassemble(bin)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	if cfg.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", cfg.NumNodes())
+	}
+}
+
+func TestProgramBlocksMapOneToOne(t *testing.T) {
+	// Program blocks whose terminators are all explicit map 1:1 onto CFG
+	// nodes (the invariant the corpus generator relies on).
+	p := loopProgram()
+	cfg, err := ProgramCFG(p)
+	if err != nil {
+		t.Fatalf("ProgramCFG: %v", err)
+	}
+	if got, want := cfg.NumNodes(), p.NumBlocks(); got != want {
+		t.Fatalf("CFG nodes = %d, program blocks = %d", got, want)
+	}
+}
+
+func TestBlockAccessors(t *testing.T) {
+	cfg, err := ProgramCFG(loopProgram())
+	if err != nil {
+		t.Fatalf("ProgramCFG: %v", err)
+	}
+	b := cfg.Block(0)
+	if b == nil || b.Addr != cfg.Entry || b.ID != 0 {
+		t.Fatalf("Block(0) = %+v", b)
+	}
+	if len(b.Insts) == 0 || !b.Insts[len(b.Insts)-1].Op.Terminates() {
+		t.Fatalf("entry block should end with terminator: %v", b.Insts)
+	}
+}

@@ -1,0 +1,88 @@
+package disasm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// jsonCFG is the serialization shape of a CFG.
+type jsonCFG struct {
+	Entry  uint32      `json:"entry"`
+	Blocks []jsonBlock `json:"blocks"`
+}
+
+type jsonBlock struct {
+	ID    int      `json:"id"`
+	Addr  uint32   `json:"addr"`
+	Insts []string `json:"insts"`
+	Succs []int    `json:"succs"`
+}
+
+// MarshalJSON serializes the CFG with blocks in node-ID order,
+// instructions rendered as assembly text, and successors as node IDs.
+func (c *CFG) MarshalJSON() ([]byte, error) {
+	out := jsonCFG{Entry: c.Entry, Blocks: make([]jsonBlock, 0, c.NumNodes())}
+	idOf := make(map[uint32]int, len(c.Addrs))
+	for id, addr := range c.Addrs {
+		idOf[addr] = id
+	}
+	for id := range c.Addrs {
+		b := c.Block(id)
+		jb := jsonBlock{ID: id, Addr: b.Addr, Succs: []int{}}
+		for _, in := range b.Insts {
+			jb.Insts = append(jb.Insts, in.String())
+		}
+		for _, s := range b.Succs {
+			if sid, ok := idOf[s]; ok {
+				jb.Succs = append(jb.Succs, sid)
+			}
+		}
+		out.Blocks = append(out.Blocks, jb)
+	}
+	return json.Marshal(out)
+}
+
+// DOT renders the CFG in Graphviz syntax with block addresses and
+// instruction counts as labels.
+func (c *CFG) DOT(name string) string {
+	labels := make([]string, c.NumNodes())
+	for id := range c.Addrs {
+		b := c.Block(id)
+		labels[id] = fmt.Sprintf("0x%x (%d insts)", b.Addr, len(b.Insts))
+	}
+	return c.G.DOT(name, labels)
+}
+
+// Text renders a human-readable disassembly listing, blocks in address
+// order.
+func (c *CFG) Text() string {
+	var sb strings.Builder
+	idOf := make(map[uint32]int, len(c.Addrs))
+	for id, addr := range c.Addrs {
+		idOf[addr] = id
+	}
+	for id := range c.Addrs {
+		b := c.Block(id)
+		marker := ""
+		if b.Addr == c.Entry {
+			marker = "  <entry>"
+		}
+		fmt.Fprintf(&sb, "block %d @ 0x%x%s\n", id, b.Addr, marker)
+		addr := b.Addr
+		for _, in := range b.Insts {
+			fmt.Fprintf(&sb, "  0x%04x  %s\n", addr, in)
+			addr += 8
+		}
+		if len(b.Succs) > 0 {
+			ids := make([]string, 0, len(b.Succs))
+			for _, s := range b.Succs {
+				if sid, ok := idOf[s]; ok {
+					ids = append(ids, fmt.Sprint(sid))
+				}
+			}
+			fmt.Fprintf(&sb, "  -> %s\n", strings.Join(ids, ", "))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,75 @@
+package disasm
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMarshalJSON(t *testing.T) {
+	cfg, err := ProgramCFG(loopProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	var decoded struct {
+		Entry  uint32 `json:"entry"`
+		Blocks []struct {
+			ID    int      `json:"id"`
+			Addr  uint32   `json:"addr"`
+			Insts []string `json:"insts"`
+			Succs []int    `json:"succs"`
+		} `json:"blocks"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if decoded.Entry != cfg.Entry || len(decoded.Blocks) != cfg.NumNodes() {
+		t.Fatalf("structure mismatch: %+v", decoded)
+	}
+	for i, b := range decoded.Blocks {
+		if b.ID != i {
+			t.Fatalf("blocks not in ID order: %d at %d", b.ID, i)
+		}
+		if len(b.Insts) == 0 {
+			t.Fatalf("block %d has no instructions", i)
+		}
+	}
+	// loop block (id 1) has a self successor and exit.
+	if len(decoded.Blocks[1].Succs) != 2 {
+		t.Fatalf("loop block succs = %v", decoded.Blocks[1].Succs)
+	}
+}
+
+func TestCFGDOT(t *testing.T) {
+	cfg, err := ProgramCFG(loopProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := cfg.DOT("sample")
+	for _, want := range []string{"digraph", "insts", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestCFGText(t *testing.T) {
+	cfg, err := ProgramCFG(loopProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := cfg.Text()
+	if !strings.Contains(text, "<entry>") {
+		t.Fatalf("Text missing entry marker:\n%s", text)
+	}
+	if !strings.Contains(text, "jmp") || !strings.Contains(text, "halt") {
+		t.Fatalf("Text missing instructions:\n%s", text)
+	}
+	if !strings.Contains(text, "->") {
+		t.Fatalf("Text missing successors:\n%s", text)
+	}
+}

@@ -1,0 +1,51 @@
+package disasm
+
+import (
+	"testing"
+
+	"soteria/internal/isa"
+)
+
+// FuzzDisassemble feeds arbitrary bytes to the disassembler as a text
+// section: it must recover a CFG or error, never panic or loop forever,
+// and every recovered block must end with a terminator or a block/
+// region boundary.
+func FuzzDisassemble(f *testing.F) {
+	bin, _, err := isa.Assemble(loopProgram(), isa.AsmOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Section(".text").Data)
+	f.Add(isa.Inst{Op: isa.OpHalt}.Encode(nil))
+	f.Add(isa.Inst{Op: isa.OpJmp, Imm: 0x1000}.Encode(nil)) // self loop
+	f.Add([]byte{0xff, 0xfe, 0xfd})
+
+	f.Fuzz(func(t *testing.T, text []byte) {
+		b := &isa.Binary{Entry: 0x1000, Sections: []isa.Section{
+			{Name: ".text", Addr: 0x1000, Flags: isa.SecExec, Data: text},
+		}}
+		cfg, err := Disassemble(b)
+		if err != nil {
+			return
+		}
+		if cfg.NumNodes() == 0 {
+			t.Fatal("successful disassembly produced empty CFG")
+		}
+		// Structural invariants.
+		if cfg.G.NumNodes() != len(cfg.Addrs) {
+			t.Fatal("graph size disagrees with address table")
+		}
+		for id, addr := range cfg.Addrs {
+			blk := cfg.Blocks[addr]
+			if blk == nil || blk.ID != id {
+				t.Fatalf("block table inconsistent at %d", id)
+			}
+			if len(blk.Insts) == 0 {
+				t.Fatalf("empty block at 0x%x", addr)
+			}
+		}
+		for _, r := range cfg.G.Reachable(cfg.EntryNode()) {
+			_ = r // reachability must terminate without panicking
+		}
+	})
+}

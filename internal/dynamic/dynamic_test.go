@@ -1,0 +1,166 @@
+package dynamic
+
+import (
+	"testing"
+
+	"soteria/internal/gea"
+	"soteria/internal/isa"
+	"soteria/internal/malgen"
+)
+
+func corpus(t *testing.T, seed int64, perClass int) ([]*isa.Binary, []int) {
+	t.Helper()
+	g := malgen.NewGenerator(malgen.Config{Seed: seed})
+	var bins []*isa.Binary
+	var labels []int
+	for ci, c := range malgen.Classes {
+		for i := 0; i < perClass; i++ {
+			s, err := g.Sample(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bins = append(bins, s.Binary)
+			labels = append(labels, ci)
+		}
+	}
+	return bins, labels
+}
+
+func TestTraceProducesSyscalls(t *testing.T) {
+	bins, _ := corpus(t, 1, 2)
+	traced := 0
+	for _, b := range bins {
+		tr, err := Trace(b, 0)
+		if err != nil {
+			t.Fatalf("Trace: %v", err)
+		}
+		if len(tr) > 0 {
+			traced++
+		}
+	}
+	if traced == 0 {
+		t.Fatal("no sample produced a syscall trace")
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	bins, _ := corpus(t, 2, 1)
+	a, err := Trace(bins[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Trace(bins[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("trace not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestExtractorFitAndDim(t *testing.T) {
+	bins, _ := corpus(t, 3, 3)
+	e := NewExtractor(Config{TopK: 32})
+	if _, err := e.Extract(bins[0]); err != ErrNotFitted {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+	if err := e.Fit(bins); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	vec, err := e.Extract(bins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 32 || e.Dim() != 32 {
+		t.Fatalf("dim = %d/%d, want 32", len(vec), e.Dim())
+	}
+}
+
+func TestBehaviouralClassifier(t *testing.T) {
+	bins, labels := corpus(t, 4, 15)
+	e := NewExtractor(Config{TopK: 64})
+	if err := e.Fit(bins); err != nil {
+		t.Fatal(err)
+	}
+	c, err := TrainClassifier(e, bins, labels, ClassifierConfig{
+		Classes: malgen.NumClasses, Epochs: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("TrainClassifier: %v", err)
+	}
+	testBins, testLabels := corpus(t, 5, 6)
+	pred, err := c.Predict(testBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == testLabels[i] {
+			correct++
+		}
+	}
+	// The syscall-profile signal is real but noisy; beat chance solidly.
+	if acc := float64(correct) / float64(len(pred)); acc < 0.5 {
+		t.Fatalf("behavioural accuracy = %.2f, want >= 0.5", acc)
+	}
+}
+
+func TestDynamicBlindToDeadCode(t *testing.T) {
+	// The flip side of dynamic analysis: a GEA merge's grafted code
+	// never executes, so the behavioural trace is unchanged — dynamic
+	// features cannot see the graft that static CFG features flag.
+	g := malgen.NewGenerator(malgen.Config{Seed: 6})
+	victim, err := g.SampleSized(malgen.Mirai, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor, err := g.SampleSized(malgen.Benign, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aeBin, _, err := gea.MergeToCFG(victim.Program, donor.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origTrace, err := Trace(victim.Binary, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aeTrace, err := Trace(aeBin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origTrace) != len(aeTrace) {
+		t.Fatalf("GEA changed dynamic trace: %d vs %d syscalls", len(origTrace), len(aeTrace))
+	}
+	for i := range origTrace {
+		if origTrace[i] != aeTrace[i] {
+			t.Fatal("GEA changed dynamic trace contents")
+		}
+	}
+}
+
+func TestClassifierErrors(t *testing.T) {
+	bins, labels := corpus(t, 7, 1)
+	e := NewExtractor(Config{TopK: 16})
+	if _, err := TrainClassifier(e, bins, labels, ClassifierConfig{Classes: 4}); err != ErrNotFitted {
+		t.Fatalf("unfitted err = %v", err)
+	}
+	if err := e.Fit(bins); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainClassifier(e, nil, nil, ClassifierConfig{Classes: 4}); err == nil {
+		t.Fatal("empty corpus should error")
+	}
+	if _, err := TrainClassifier(e, bins, labels[:1], ClassifierConfig{Classes: 4}); err == nil {
+		t.Fatal("label mismatch should error")
+	}
+	if _, err := TrainClassifier(e, bins, labels, ClassifierConfig{Classes: 1}); err == nil {
+		t.Fatal("single class should error")
+	}
+}

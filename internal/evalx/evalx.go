@@ -1,0 +1,206 @@
+// Package evalx provides the evaluation scaffolding the paper's tables
+// rely on: accuracy metrics, confusion matrices, per-class breakdowns,
+// stratified train/test splitting, and detection-error curves.
+package evalx
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Accuracy returns the fraction of predictions matching the reference
+// labels. It returns 0 for empty input.
+func Accuracy(pred, want []int) float64 {
+	if len(pred) != len(want) {
+		panic(fmt.Sprintf("evalx: %d predictions vs %d labels", len(pred), len(want)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == want[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// ConfusionMatrix returns counts[want][pred].
+func ConfusionMatrix(pred, want []int, classes int) [][]int {
+	if len(pred) != len(want) {
+		panic(fmt.Sprintf("evalx: %d predictions vs %d labels", len(pred), len(want)))
+	}
+	m := make([][]int, classes)
+	for i := range m {
+		m[i] = make([]int, classes)
+	}
+	for i := range pred {
+		if want[i] >= 0 && want[i] < classes && pred[i] >= 0 && pred[i] < classes {
+			m[want[i]][pred[i]]++
+		}
+	}
+	return m
+}
+
+// PerClassAccuracy returns, per class, the fraction of that class's
+// samples classified correctly (recall). Classes without samples get -1.
+func PerClassAccuracy(pred, want []int, classes int) []float64 {
+	cm := ConfusionMatrix(pred, want, classes)
+	out := make([]float64, classes)
+	for c := 0; c < classes; c++ {
+		total := 0
+		for _, n := range cm[c] {
+			total += n
+		}
+		if total == 0 {
+			out[c] = -1
+			continue
+		}
+		out[c] = float64(cm[c][c]) / float64(total)
+	}
+	return out
+}
+
+// PRF holds per-class precision, recall, and F1.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// PrecisionRecallF1 computes per-class precision/recall/F1 from
+// predictions. Classes with no predicted and no actual samples get
+// zeros.
+func PrecisionRecallF1(pred, want []int, classes int) []PRF {
+	cm := ConfusionMatrix(pred, want, classes)
+	out := make([]PRF, classes)
+	for c := 0; c < classes; c++ {
+		tp := cm[c][c]
+		fp, fn := 0, 0
+		for o := 0; o < classes; o++ {
+			if o != c {
+				fp += cm[o][c]
+				fn += cm[c][o]
+			}
+		}
+		if tp+fp > 0 {
+			out[c].Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			out[c].Recall = float64(tp) / float64(tp+fn)
+		}
+		if out[c].Precision+out[c].Recall > 0 {
+			out[c].F1 = 2 * out[c].Precision * out[c].Recall / (out[c].Precision + out[c].Recall)
+		}
+	}
+	return out
+}
+
+// MacroF1 averages F1 over classes that appear in the reference labels.
+func MacroF1(pred, want []int, classes int) float64 {
+	prf := PrecisionRecallF1(pred, want, classes)
+	present := make([]bool, classes)
+	for _, w := range want {
+		if w >= 0 && w < classes {
+			present[w] = true
+		}
+	}
+	sum, n := 0.0, 0
+	for c, p := range prf {
+		if present[c] {
+			sum += p.F1
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Rate returns the fraction of true flags.
+func Rate(flags []bool) float64 {
+	if len(flags) == 0 {
+		return 0
+	}
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return float64(n) / float64(len(flags))
+}
+
+// Split holds index sets for training and testing.
+type Split struct {
+	Train []int
+	Test  []int
+}
+
+// StratifiedSplit partitions sample indices so each label keeps
+// approximately testFrac of its samples in the test set (the paper's
+// 80/20 protocol with per-class balance). Deterministic per seed.
+func StratifiedSplit(labels []int, testFrac float64, seed int64) Split {
+	rng := rand.New(rand.NewSource(seed))
+	byLabel := make(map[int][]int)
+	var order []int
+	for i, l := range labels {
+		if _, ok := byLabel[l]; !ok {
+			order = append(order, l)
+		}
+		byLabel[l] = append(byLabel[l], i)
+	}
+	var sp Split
+	for _, l := range order {
+		idx := byLabel[l]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		nTest := int(float64(len(idx)) * testFrac)
+		if nTest == 0 && len(idx) > 1 && testFrac > 0 {
+			nTest = 1
+		}
+		sp.Test = append(sp.Test, idx[:nTest]...)
+		sp.Train = append(sp.Train, idx[nTest:]...)
+	}
+	return sp
+}
+
+// ErrorCurvePoint is one point of the paper's Fig. 13 alpha sweep.
+type ErrorCurvePoint struct {
+	Alpha float64
+	// CleanError is the fraction of clean samples wrongly flagged.
+	CleanError float64
+	// AdvError is the fraction of adversarial samples missed.
+	AdvError float64
+}
+
+// DetectionErrorCurve sweeps alpha over [lo, hi] in the given number of
+// steps, calling detect(alpha) to obtain (clean flags, adversarial
+// flags) at each point.
+func DetectionErrorCurve(lo, hi float64, steps int, detect func(alpha float64) (cleanFlags, advFlags []bool)) []ErrorCurvePoint {
+	if steps < 2 {
+		steps = 2
+	}
+	out := make([]ErrorCurvePoint, 0, steps)
+	for i := 0; i < steps; i++ {
+		alpha := lo + (hi-lo)*float64(i)/float64(steps-1)
+		cleanFlags, advFlags := detect(alpha)
+		missed := 0
+		for _, f := range advFlags {
+			if !f {
+				missed++
+			}
+		}
+		advErr := 0.0
+		if len(advFlags) > 0 {
+			advErr = float64(missed) / float64(len(advFlags))
+		}
+		out = append(out, ErrorCurvePoint{
+			Alpha:      alpha,
+			CleanError: Rate(cleanFlags),
+			AdvError:   advErr,
+		})
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package evalx
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := Accuracy(nil, nil); got != 0 {
+		t.Fatalf("empty Accuracy = %v", got)
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	pred := []int{0, 1, 1, 2}
+	want := []int{0, 1, 2, 2}
+	cm := ConfusionMatrix(pred, want, 3)
+	expect := [][]int{{1, 0, 0}, {0, 1, 0}, {0, 1, 1}}
+	if !reflect.DeepEqual(cm, expect) {
+		t.Fatalf("ConfusionMatrix = %v, want %v", cm, expect)
+	}
+}
+
+func TestConfusionMatrixIgnoresOutOfRange(t *testing.T) {
+	cm := ConfusionMatrix([]int{5}, []int{0}, 2)
+	for _, row := range cm {
+		for _, n := range row {
+			if n != 0 {
+				t.Fatal("out-of-range prediction should be ignored")
+			}
+		}
+	}
+}
+
+func TestPerClassAccuracy(t *testing.T) {
+	pred := []int{0, 0, 1, 1}
+	want := []int{0, 1, 1, 1}
+	got := PerClassAccuracy(pred, want, 3)
+	if got[0] != 1.0 {
+		t.Fatalf("class 0 accuracy = %v", got[0])
+	}
+	if math.Abs(got[1]-2.0/3.0) > 1e-12 {
+		t.Fatalf("class 1 accuracy = %v", got[1])
+	}
+	if got[2] != -1 {
+		t.Fatalf("empty class accuracy = %v, want -1", got[2])
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	// Class 0: tp=2 fp=1 fn=0 -> P=2/3 R=1 F1=0.8.
+	pred := []int{0, 0, 0, 1}
+	want := []int{0, 0, 1, 1}
+	prf := PrecisionRecallF1(pred, want, 3)
+	if math.Abs(prf[0].Precision-2.0/3.0) > 1e-12 || prf[0].Recall != 1.0 {
+		t.Fatalf("class 0 PRF = %+v", prf[0])
+	}
+	if math.Abs(prf[0].F1-0.8) > 1e-12 {
+		t.Fatalf("class 0 F1 = %v", prf[0].F1)
+	}
+	// Class 1: tp=1 fp=0 fn=1 -> P=1 R=0.5 F1=2/3.
+	if prf[1].Precision != 1.0 || prf[1].Recall != 0.5 {
+		t.Fatalf("class 1 PRF = %+v", prf[1])
+	}
+	// Class 2 absent everywhere: all zeros.
+	if prf[2].Precision != 0 || prf[2].Recall != 0 || prf[2].F1 != 0 {
+		t.Fatalf("class 2 PRF = %+v", prf[2])
+	}
+}
+
+func TestMacroF1IgnoresAbsentClasses(t *testing.T) {
+	pred := []int{0, 1}
+	want := []int{0, 1}
+	// Class 2 never appears in want; macro F1 over classes 0 and 1 = 1.
+	if got := MacroF1(pred, want, 3); got != 1.0 {
+		t.Fatalf("MacroF1 = %v, want 1", got)
+	}
+	if got := MacroF1(nil, nil, 3); got != 0 {
+		t.Fatalf("MacroF1 empty = %v", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate([]bool{true, false, true, true}); got != 0.75 {
+		t.Fatalf("Rate = %v", got)
+	}
+	if got := Rate(nil); got != 0 {
+		t.Fatalf("Rate(nil) = %v", got)
+	}
+}
+
+func TestStratifiedSplitProportions(t *testing.T) {
+	labels := make([]int, 100)
+	for i := 60; i < 90; i++ {
+		labels[i] = 1
+	}
+	for i := 90; i < 100; i++ {
+		labels[i] = 2
+	}
+	sp := StratifiedSplit(labels, 0.2, 1)
+	if len(sp.Train)+len(sp.Test) != 100 {
+		t.Fatalf("split sizes %d + %d != 100", len(sp.Train), len(sp.Test))
+	}
+	countTest := map[int]int{}
+	for _, i := range sp.Test {
+		countTest[labels[i]]++
+	}
+	if countTest[0] != 12 || countTest[1] != 6 || countTest[2] != 2 {
+		t.Fatalf("per-class test counts = %v", countTest)
+	}
+	// No overlap.
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, sp.Train...), sp.Test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestStratifiedSplitSmallClassGetsOneTest(t *testing.T) {
+	labels := []int{0, 0, 0, 1, 1}
+	sp := StratifiedSplit(labels, 0.2, 2)
+	hasClass1 := false
+	for _, i := range sp.Test {
+		if labels[i] == 1 {
+			hasClass1 = true
+		}
+	}
+	if !hasClass1 {
+		t.Fatal("small class should contribute at least one test sample")
+	}
+}
+
+func TestStratifiedSplitDeterministic(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	a := StratifiedSplit(labels, 0.25, 7)
+	b := StratifiedSplit(labels, 0.25, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("split not deterministic")
+	}
+	c := StratifiedSplit(labels, 0.25, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Log("different seeds produced same split (possible but unlikely)")
+	}
+}
+
+func TestDetectionErrorCurve(t *testing.T) {
+	// Synthetic detector: clean errors fall with alpha, adversarial
+	// misses rise.
+	curve := DetectionErrorCurve(0, 2, 5, func(alpha float64) ([]bool, []bool) {
+		clean := make([]bool, 10)
+		adv := make([]bool, 10)
+		for i := range clean {
+			clean[i] = float64(i)/10 > alpha/2 // fewer flags as alpha rises
+			adv[i] = float64(i)/10 >= alpha/4  // fewer detections as alpha rises
+		}
+		return clean, adv
+	})
+	if len(curve) != 5 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	if curve[0].Alpha != 0 || curve[4].Alpha != 2 {
+		t.Fatalf("alpha endpoints = %v, %v", curve[0].Alpha, curve[4].Alpha)
+	}
+	if curve[0].CleanError < curve[4].CleanError {
+		t.Fatal("clean error should fall with alpha")
+	}
+	if curve[0].AdvError > curve[4].AdvError {
+		t.Fatal("adversarial miss rate should rise with alpha")
+	}
+}

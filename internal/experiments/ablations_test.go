@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations retrain detectors")
+	}
+	env := quickEnv(t)
+	for _, id := range Ablations {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := RunAblation(id, env)
+			if err != nil {
+				t.Fatalf("RunAblation(%s): %v", id, err)
+			}
+			if len(rep.Lines) < 2 {
+				t.Fatalf("ablation %s produced %d lines", id, len(rep.Lines))
+			}
+			for _, l := range rep.Lines {
+				if strings.Contains(l, "NaN") {
+					t.Fatalf("NaN in ablation output: %q", l)
+				}
+			}
+		})
+	}
+}
+
+func TestRunAblationUnknown(t *testing.T) {
+	if _, err := RunAblation("abl-nope", nil); err == nil {
+		t.Fatal("unknown ablation should error")
+	}
+}

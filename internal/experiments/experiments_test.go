@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedEnv builds one QuickConfig environment for the whole test
+// package (setup trains models; reuse keeps the suite fast).
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment environment trains models")
+	}
+	envOnce.Do(func() {
+		envVal, envErr = Setup(QuickConfig())
+	})
+	if envErr != nil {
+		t.Fatalf("Setup: %v", envErr)
+	}
+	return envVal
+}
+
+func TestSetupShapes(t *testing.T) {
+	env := quickEnv(t)
+	if len(env.Samples) != 18+30+15+10 {
+		t.Fatalf("corpus size = %d", len(env.Samples))
+	}
+	if len(env.Split.Train)+len(env.Split.Test) != len(env.Samples) {
+		t.Fatal("split does not partition corpus")
+	}
+	if len(env.Targets) != 12 {
+		t.Fatalf("targets = %d, want 12", len(env.Targets))
+	}
+	if len(env.AEs) != 12 {
+		t.Fatalf("AE groups = %d", len(env.AEs))
+	}
+	for i, aes := range env.AEs {
+		if len(aes) == 0 {
+			t.Fatalf("target %d generated no AEs", i)
+		}
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	env := quickEnv(t)
+	for _, id := range IDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, env)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if rep.ID != id {
+				t.Fatalf("report ID = %q", rep.ID)
+			}
+			if len(rep.Lines) == 0 {
+				t.Fatal("empty report")
+			}
+			if !strings.Contains(rep.String(), rep.Title) {
+				t.Fatal("String() missing title")
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("tab99", nil); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestTable4DetectsMostAEs(t *testing.T) {
+	env := quickEnv(t)
+	rep := Table4(env)
+	last := rep.Lines[len(rep.Lines)-1]
+	if !strings.Contains(last, "Overall") {
+		t.Fatalf("missing overall row: %q", last)
+	}
+	// Parse the overall percentage out of the formatted row.
+	var total, det int
+	var pct float64
+	if _, err := parseOverall(last, &total, &det, &pct); err != nil {
+		t.Fatalf("parse %q: %v", last, err)
+	}
+	// Detection quality scales with corpus size (82% at default scale,
+	// 97.79% in the paper); the quick corpus only guards the wiring.
+	if pct < 40 {
+		t.Fatalf("overall AE detection = %.2f%%, want >= 40%% at quick scale", pct)
+	}
+}
+
+func TestTable6CleanFPBounded(t *testing.T) {
+	env := quickEnv(t)
+	rep := Table6(env)
+	last := rep.Lines[len(rep.Lines)-1]
+	var total, det int
+	var pct float64
+	if _, err := parseOverall(last, &total, &det, &pct); err != nil {
+		t.Fatalf("parse %q: %v", last, err)
+	}
+	// The FP rate falls with corpus size (26% at 2x quick scale, lower
+	// at the default experiment scale); this only guards against the
+	// detector flagging everything.
+	if pct > 50 {
+		t.Fatalf("clean FP rate = %.2f%%, want <= 50%% at quick scale", pct)
+	}
+}
+
+func TestFig13Monotone(t *testing.T) {
+	env := quickEnv(t)
+	rep := Fig13(env)
+	// Clean error must be non-increasing in alpha; adv error
+	// non-decreasing. Extract the numeric rows.
+	var prevClean, prevAdv float64
+	first := true
+	for _, line := range rep.Lines {
+		var alpha, clean, adv float64
+		if n, _ := sscanfRow(line, &alpha, &clean, &adv); n != 3 {
+			continue
+		}
+		if !first {
+			if clean > prevClean+1e-9 {
+				t.Fatalf("clean error rose at alpha %.2f", alpha)
+			}
+			if adv < prevAdv-1e-9 {
+				t.Fatalf("adv error fell at alpha %.2f", alpha)
+			}
+		}
+		prevClean, prevAdv = clean, adv
+		first = false
+	}
+	if first {
+		t.Fatal("no numeric rows in fig13")
+	}
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"soteria/internal/baselines"
+	"soteria/internal/disasm"
+	"soteria/internal/evalx"
+	"soteria/internal/malgen"
+	"soteria/internal/nn"
+	"soteria/internal/pca"
+)
+
+// pcaSummary projects groups of vectors to two components and reports
+// the series the paper's scatter plots show: per-group centroids,
+// intra-group spread, and the separation ratio (min inter-centroid
+// distance over mean intra-group spread). Higher separation means the
+// scatter groups are visually distinct, which is the claim Figs. 8-11
+// make.
+func pcaSummary(r *Report, groups map[string][][]float64, order []string) error {
+	var all [][]float64
+	for _, name := range order {
+		all = append(all, groups[name]...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("experiments: no vectors for PCA")
+	}
+	p, err := pca.Fit(nn.FromRows(all), 2)
+	if err != nil {
+		return err
+	}
+	type stat struct {
+		cx, cy, spread float64
+		n              int
+	}
+	stats := make(map[string]stat, len(groups))
+	for _, name := range order {
+		vecs := groups[name]
+		if len(vecs) == 0 {
+			continue
+		}
+		proj := p.Transform(nn.FromRows(vecs))
+		var cx, cy float64
+		for i := 0; i < proj.Rows; i++ {
+			cx += proj.At(i, 0)
+			cy += proj.At(i, 1)
+		}
+		cx /= float64(proj.Rows)
+		cy /= float64(proj.Rows)
+		var spread float64
+		for i := 0; i < proj.Rows; i++ {
+			dx, dy := proj.At(i, 0)-cx, proj.At(i, 1)-cy
+			spread += math.Sqrt(dx*dx + dy*dy)
+		}
+		spread /= float64(proj.Rows)
+		stats[name] = stat{cx: cx, cy: cy, spread: spread, n: proj.Rows}
+	}
+	r.addf("%-16s %4s %10s %10s %10s", "Group", "n", "PC1", "PC2", "Spread")
+	for _, name := range order {
+		s, ok := stats[name]
+		if !ok {
+			continue
+		}
+		r.addf("%-16s %4d %10.4f %10.4f %10.4f", name, s.n, s.cx, s.cy, s.spread)
+	}
+	// Separation: min inter-centroid distance / mean spread.
+	minInter := math.Inf(1)
+	var meanSpread float64
+	cnt := 0
+	for i, a := range order {
+		sa, ok := stats[a]
+		if !ok {
+			continue
+		}
+		meanSpread += sa.spread
+		cnt++
+		for _, b := range order[i+1:] {
+			sb, ok := stats[b]
+			if !ok {
+				continue
+			}
+			d := math.Hypot(sa.cx-sb.cx, sa.cy-sb.cy)
+			if d < minInter {
+				minInter = d
+			}
+		}
+	}
+	if cnt > 0 {
+		meanSpread /= float64(cnt)
+	}
+	if meanSpread > 0 && !math.IsInf(minInter, 1) {
+		r.addf("separation ratio (min inter-centroid / mean spread) = %.3f", minInter/meanSpread)
+	}
+	return nil
+}
+
+// Fig8 reproduces the PCA of the baseline's graph-theoretic features
+// (paper Fig. 8): classes overlap far more than with Soteria's
+// features, motivating the walk representation.
+func Fig8(env *Env) (*Report, error) {
+	r := &Report{ID: "fig8", Title: "PCA of graph-theoretic baseline features [3]"}
+	groups := make(map[string][][]float64)
+	var order []string
+	for _, c := range malgen.Classes {
+		order = append(order, c.String())
+	}
+	for i, s := range pcaPool(env) {
+		groups[s.Class.String()] = append(groups[s.Class.String()], baselines.GraphFeatures(s.CFG))
+		_ = i
+	}
+	if err := pcaSummary(r, groups, order); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// FigPCA reproduces Figs. 9-11: PCA of the DBL, LBL, or combined
+// feature vectors, (a) across classes and (b) clean vs GEA adversarial.
+func FigPCA(env *Env, id, which string) (*Report, error) {
+	r := &Report{ID: id, Title: fmt.Sprintf("PCA of %s feature vectors", which)}
+	half := env.extractor().Dim() / 2
+	slice := func(combined []float64) []float64 {
+		switch which {
+		case "DBL":
+			return combined[:half]
+		case "LBL":
+			return combined[half:]
+		default:
+			return combined
+		}
+	}
+
+	// (a) Classes.
+	r.addf("(a) benign vs malware families")
+	groups := make(map[string][][]float64)
+	var order []string
+	for _, c := range malgen.Classes {
+		order = append(order, c.String())
+	}
+	pool := pcaPool(env)
+	poolCFGs := make([]*disasm.CFG, len(pool))
+	salts := make([]int64, len(pool))
+	for i, s := range pool {
+		poolCFGs[i] = s.CFG
+		salts[i] = saltFor(5, i)
+	}
+	vecs, err := env.extractor().ExtractBatch(poolCFGs, salts)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range pool {
+		groups[s.Class.String()] = append(groups[s.Class.String()], slice(vecs[i].Combined))
+	}
+	if err := pcaSummary(r, groups, order); err != nil {
+		return nil, err
+	}
+
+	// (b) Clean vs adversarial.
+	r.addf("(b) normal vs GEA adversarial samples")
+	groups2 := map[string][][]float64{}
+	for i := range pool {
+		salts[i] = saltFor(6, i)
+	}
+	vecs, err = env.extractor().ExtractBatch(poolCFGs, salts)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vecs {
+		groups2["Clean"] = append(groups2["Clean"], slice(v.Combined))
+	}
+	var aeCFGs []*disasm.CFG
+	var aeSalts []int64
+	for i := range env.Targets {
+		for j, ae := range env.AEs[i] {
+			if len(aeCFGs) >= len(pool) { // balance group sizes
+				break
+			}
+			aeCFGs = append(aeCFGs, ae.CFG)
+			aeSalts = append(aeSalts, saltFor(7, i*1000+j))
+		}
+	}
+	aeVecs, err := env.extractor().ExtractBatch(aeCFGs, aeSalts)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range aeVecs {
+		groups2["Adversarial"] = append(groups2["Adversarial"], slice(v.Combined))
+	}
+	if err := pcaSummary(r, groups2, []string{"Clean", "Adversarial"}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// pcaPool returns up to PCAPerClass samples per class from the corpus
+// (the paper uses 200 random samples per class).
+func pcaPool(env *Env) []*malgen.Sample {
+	counts := make(map[malgen.Class]int)
+	var out []*malgen.Sample
+	for _, s := range env.Samples {
+		if counts[s.Class] < env.Cfg.PCAPerClass {
+			counts[s.Class]++
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig12 reproduces the reconstruction-error view behind the threshold
+// choice (the paper's detector trade-off curve): RE histograms of clean
+// test samples and adversarial examples with the calibrated threshold.
+func Fig12(env *Env) *Report {
+	r := &Report{ID: "fig12", Title: "Reconstruction error distribution and threshold"}
+	var clean, adv []float64
+	testDecs, err := env.TestDecisions()
+	if err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+	for _, dec := range testDecs {
+		clean = append(clean, dec.RE)
+	}
+	aeDecs, err := env.AEDecisions()
+	if err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+	for i := range aeDecs {
+		for _, dec := range aeDecs[i] {
+			adv = append(adv, dec.RE)
+		}
+	}
+	th := env.Pipeline.Detector.Threshold()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range append(append([]float64{}, clean...), adv...) {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if !(hi > lo) {
+		r.addf("insufficient data")
+		return r
+	}
+	const bins = 12
+	hist := func(xs []float64) []int {
+		h := make([]int, bins)
+		for _, v := range xs {
+			b := int(float64(bins) * (v - lo) / (hi - lo) * 0.999999)
+			h[b]++
+		}
+		return h
+	}
+	hClean, hAdv := hist(clean), hist(adv)
+	r.addf("threshold T = %.6f (mu=%.6f sigma=%.6f alpha=%.2f)",
+		th, env.Pipeline.Detector.Mu(), env.Pipeline.Detector.Sigma(), env.Pipeline.Detector.Alpha())
+	r.addf("%-22s %8s %8s", "RE bin", "# clean", "# adv")
+	for b := 0; b < bins; b++ {
+		left := lo + (hi-lo)*float64(b)/bins
+		right := lo + (hi-lo)*float64(b+1)/bins
+		marker := " "
+		if th >= left && th < right {
+			marker = "<- T"
+		}
+		r.addf("[%.4f, %.4f) %8d %8d %s", left, right, hClean[b], hAdv[b], marker)
+	}
+	return r
+}
+
+// Fig13 reproduces the threshold sensitivity sweep (paper Fig. 13):
+// detection error on clean and adversarial samples as alpha varies from
+// 0 to 2, with the crossover near the chosen alpha.
+func Fig13(env *Env) *Report {
+	r := &Report{ID: "fig13", Title: "Detection error vs alpha (clean up, adversarial down)"}
+	det := env.Pipeline.Detector
+	origAlpha := det.Alpha()
+	defer det.SetAlpha(origAlpha)
+
+	var cleanRE, advRE []float64
+	testDecs, err := env.TestDecisions()
+	if err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+	for _, dec := range testDecs {
+		cleanRE = append(cleanRE, dec.RE)
+	}
+	aeDecs, err := env.AEDecisions()
+	if err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+	for i := range aeDecs {
+		for _, dec := range aeDecs[i] {
+			advRE = append(advRE, dec.RE)
+		}
+	}
+	curve := evalx.DetectionErrorCurve(0, 2, 21, func(alpha float64) ([]bool, []bool) {
+		th := det.ThresholdAt(alpha)
+		cf := make([]bool, len(cleanRE))
+		for i, v := range cleanRE {
+			cf[i] = v > th
+		}
+		af := make([]bool, len(advRE))
+		for i, v := range advRE {
+			af[i] = v > th
+		}
+		return cf, af
+	})
+	r.addf("%6s %12s %12s", "alpha", "clean error", "adv error")
+	crossover := -1.0
+	for i, pt := range curve {
+		r.addf("%6.2f %11.2f%% %11.2f%%", pt.Alpha, 100*pt.CleanError, 100*pt.AdvError)
+		if crossover < 0 && i > 0 && pt.AdvError >= pt.CleanError {
+			crossover = pt.Alpha
+		}
+	}
+	if crossover >= 0 {
+		r.addf("crossover near alpha = %.2f (Soteria uses alpha = %.2f)", crossover, origAlpha)
+	}
+	return r
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parseOverall extracts "# total", "# detected", "pct%" from an Overall
+// table row of the form "Overall  <total> <det> <pct>%...".
+func parseOverall(line string, total, det *int, pct *float64) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return 0, fmt.Errorf("short row")
+	}
+	// fields[0] == "Overall"; the numeric columns follow.
+	n := 0
+	if _, err := fmt.Sscanf(fields[1], "%d", total); err == nil {
+		n++
+	}
+	if _, err := fmt.Sscanf(fields[2], "%d", det); err == nil {
+		n++
+	}
+	if _, err := fmt.Sscanf(strings.TrimSuffix(fields[3], "%"), "%f", pct); err == nil {
+		n++
+	}
+	if n != 3 {
+		return n, fmt.Errorf("parsed %d of 3 fields", n)
+	}
+	return n, nil
+}
+
+// sscanfRow parses "alpha clean% adv%" rows from fig13.
+func sscanfRow(line string, alpha, clean, adv *float64) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return 0, fmt.Errorf("not a numeric row")
+	}
+	n := 0
+	if _, err := fmt.Sscanf(fields[0], "%f", alpha); err == nil {
+		n++
+	}
+	if _, err := fmt.Sscanf(strings.TrimSuffix(fields[1], "%"), "%f", clean); err == nil {
+		n++
+	}
+	if _, err := fmt.Sscanf(strings.TrimSuffix(fields[2], "%"), "%f", adv); err == nil {
+		n++
+	}
+	return n, nil
+}

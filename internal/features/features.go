@@ -1,0 +1,263 @@
+// Package features composes the full Soteria feature-extraction pipeline
+// (paper Fig. 3): disassembled CFG -> density- and level-based labelings
+// -> ten random walks per labeling -> n-gram counting -> top-500 TF-IDF
+// vectors per labeling.
+//
+// Every sample yields 20 per-walk vectors (ten 1x500 DBL vectors and ten
+// 1x500 LBL vectors) consumed by the CNN classifier's majority vote, and
+// one combined 1x1000 vector (walk-aggregated DBL ++ LBL) consumed by
+// the autoencoder detector.
+package features
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"soteria/internal/disasm"
+	"soteria/internal/labeling"
+	"soteria/internal/ngram"
+	"soteria/internal/walk"
+)
+
+// Config parameterizes extraction. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	// WalkCount is the number of random walks per labeling (paper: 10).
+	WalkCount int `json:"walkCount"`
+	// LengthFactor scales walk length: steps = LengthFactor * |V|
+	// (paper: 5).
+	LengthFactor int `json:"lengthFactor"`
+	// Ns are the n-gram lengths (paper: 2, 3, 4).
+	Ns []int `json:"ns"`
+	// TopK is the vocabulary size per labeling (paper: 500). The
+	// combined detector vector has dimension 2*TopK.
+	TopK int `json:"topK"`
+	// Seed drives walk randomness. Extraction for a given (Seed, salt)
+	// pair is deterministic; re-seeding re-randomizes the feature space,
+	// which is Soteria's defense-by-randomization property.
+	Seed int64 `json:"seed"`
+	// RawMagnitude disables the per-labeling L2 normalization of
+	// feature vectors. Normalized (pattern-only) vectors are the
+	// default: they are what separates GEA merges from clean samples,
+	// since a merged graph's in-vocabulary gram *distribution* shifts
+	// while its overall mass stays plausible.
+	RawMagnitude bool `json:"rawMagnitude"`
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		WalkCount:    walk.DefaultCount,
+		LengthFactor: walk.DefaultLengthFactor,
+		Ns:           append([]int(nil), ngram.DefaultNs...),
+		TopK:         ngram.DefaultTopK,
+		Seed:         1,
+	}
+}
+
+// Vectors holds every feature representation of one sample.
+type Vectors struct {
+	// DBL and LBL hold WalkCount per-walk TF-IDF vectors of length TopK.
+	DBL [][]float64
+	LBL [][]float64
+	// Combined is the walk-aggregated detector vector: DBL features
+	// followed by LBL features, length 2*TopK.
+	Combined []float64
+	// CombinedWalks pairs walk i's DBL and LBL vectors into one
+	// 2*TopK vector — the per-walk detector representation.
+	CombinedWalks [][]float64
+}
+
+// Extractor extracts features after being fitted on a training corpus.
+type Extractor struct {
+	cfg Config
+	dbl *ngram.Vectorizer
+	lbl *ngram.Vectorizer
+}
+
+// ErrNotFitted is returned by Extract before Fit has been called.
+var ErrNotFitted = errors.New("features: extractor not fitted")
+
+// NewExtractor returns an unfitted extractor.
+func NewExtractor(cfg Config) *Extractor {
+	if cfg.WalkCount <= 0 {
+		cfg.WalkCount = walk.DefaultCount
+	}
+	if cfg.LengthFactor <= 0 {
+		cfg.LengthFactor = walk.DefaultLengthFactor
+	}
+	if len(cfg.Ns) == 0 {
+		cfg.Ns = append([]int(nil), ngram.DefaultNs...)
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = ngram.DefaultTopK
+	}
+	return &Extractor{cfg: cfg}
+}
+
+// Config returns the extractor's effective configuration.
+func (e *Extractor) Config() Config { return e.cfg }
+
+// Dim returns the combined detector vector length (2*TopK).
+func (e *Extractor) Dim() int { return 2 * e.cfg.TopK }
+
+// WalkDim returns the per-walk vector length (TopK).
+func (e *Extractor) WalkDim() int { return e.cfg.TopK }
+
+// Fitted reports whether Fit has been called.
+func (e *Extractor) Fitted() bool { return e.dbl != nil && e.lbl != nil }
+
+// rngFor derives the walk RNG for a sample. salt distinguishes samples;
+// extraction is deterministic per (Seed, salt).
+func (e *Extractor) rngFor(salt int64) *rand.Rand {
+	const mix = int64(-7046029254386353131) // 0x9E3779B97F4A7C15 as int64
+	return rand.New(rand.NewSource(e.cfg.Seed*mix + salt + 1))
+}
+
+// sampleGrams runs the labeling + walks + n-gram stages for one sample,
+// returning per-walk gram counts for each labeling.
+func (e *Extractor) sampleGrams(c *disasm.CFG, salt int64) (dblWalks, lblWalks []map[string]int) {
+	rng := e.rngFor(salt)
+	entry := c.EntryNode()
+	dblLabels := labeling.DensityBased(c.G, entry)
+	lblLabels := labeling.LevelBased(c.G, entry)
+
+	traceGrams := func(perm []int) []map[string]int {
+		traces := walk.Walks(c.G, entry, perm, e.cfg.WalkCount, e.cfg.LengthFactor, rng)
+		out := make([]map[string]int, len(traces))
+		for i, tr := range traces {
+			out[i] = ngram.Grams(tr, e.cfg.Ns)
+		}
+		return out
+	}
+	return traceGrams(dblLabels.Perm), traceGrams(lblLabels.Perm)
+}
+
+// aggregate sums per-walk gram counts into one map.
+func aggregate(walks []map[string]int) map[string]int {
+	out := make(map[string]int)
+	for _, w := range walks {
+		for g, c := range w {
+			out[g] += c
+		}
+	}
+	return out
+}
+
+// Fit builds the DBL and LBL vocabularies from a training corpus. The
+// i-th CFG uses salt i, so fitting is deterministic. Per-sample gram
+// extraction runs in parallel; the result is independent of worker
+// scheduling.
+func (e *Extractor) Fit(cfgs []*disasm.CFG) {
+	dblCorpus := make([]map[string]int, len(cfgs))
+	lblCorpus := make([]map[string]int, len(cfgs))
+	parallelFor(len(cfgs), func(i int) {
+		dw, lw := e.sampleGrams(cfgs[i], int64(i))
+		dblCorpus[i] = aggregate(dw)
+		lblCorpus[i] = aggregate(lw)
+	})
+	e.dbl = ngram.Fit(dblCorpus, e.cfg.TopK)
+	e.lbl = ngram.Fit(lblCorpus, e.cfg.TopK)
+	e.dbl.L2 = !e.cfg.RawMagnitude
+	e.lbl.L2 = !e.cfg.RawMagnitude
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// FitVectorizers injects pre-built vocabularies (used when loading a
+// persisted model).
+func (e *Extractor) FitVectorizers(dbl, lbl *ngram.Vectorizer) {
+	e.dbl, e.lbl = dbl, lbl
+}
+
+// Vectorizers exposes the fitted vocabularies.
+func (e *Extractor) Vectorizers() (dbl, lbl *ngram.Vectorizer) { return e.dbl, e.lbl }
+
+// Extract computes every feature representation of one sample.
+func (e *Extractor) Extract(c *disasm.CFG, salt int64) (*Vectors, error) {
+	if !e.Fitted() {
+		return nil, ErrNotFitted
+	}
+	dw, lw := e.sampleGrams(c, salt)
+	v := &Vectors{
+		DBL: make([][]float64, len(dw)),
+		LBL: make([][]float64, len(lw)),
+	}
+	for i, g := range dw {
+		v.DBL[i] = e.dbl.Vector(g)
+	}
+	for i, g := range lw {
+		v.LBL[i] = e.lbl.Vector(g)
+	}
+	dblAgg := e.dbl.Vector(aggregate(dw))
+	lblAgg := e.lbl.Vector(aggregate(lw))
+	v.Combined = make([]float64, 0, len(dblAgg)+len(lblAgg))
+	v.Combined = append(v.Combined, dblAgg...)
+	v.Combined = append(v.Combined, lblAgg...)
+
+	n := len(v.DBL)
+	if len(v.LBL) < n {
+		n = len(v.LBL)
+	}
+	v.CombinedWalks = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		cw := make([]float64, 0, len(v.DBL[i])+len(v.LBL[i]))
+		cw = append(cw, v.DBL[i]...)
+		cw = append(cw, v.LBL[i]...)
+		v.CombinedWalks[i] = cw
+	}
+	return v, nil
+}
+
+// ExtractBatch extracts features for many samples in parallel (the
+// pipeline stages are pure, so results equal sequential extraction).
+// salts[i] seeds sample i's walks.
+func (e *Extractor) ExtractBatch(cfgs []*disasm.CFG, salts []int64) ([]*Vectors, error) {
+	if !e.Fitted() {
+		return nil, ErrNotFitted
+	}
+	if len(cfgs) != len(salts) {
+		return nil, errors.New("features: cfgs and salts length mismatch")
+	}
+	out := make([]*Vectors, len(cfgs))
+	errs := make([]error, len(cfgs))
+	parallelFor(len(cfgs), func(i int) {
+		out[i], errs[i] = e.Extract(cfgs[i], salts[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package features
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"soteria/internal/disasm"
+	"soteria/internal/malgen"
+)
+
+// corpusCFGs generates a small mixed corpus for fitting.
+func corpusCFGs(t *testing.T, perClass int) []*disasm.CFG {
+	t.Helper()
+	g := malgen.NewGenerator(malgen.Config{Seed: 42})
+	var cfgs []*disasm.CFG
+	for _, c := range malgen.Classes {
+		for i := 0; i < perClass; i++ {
+			s, err := g.Sample(c)
+			if err != nil {
+				t.Fatalf("sample: %v", err)
+			}
+			cfgs = append(cfgs, s.CFG)
+		}
+	}
+	return cfgs
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TopK = 50
+	cfg.WalkCount = 4
+	cfg.LengthFactor = 3
+	return cfg
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.WalkCount != 10 || cfg.LengthFactor != 5 || cfg.TopK != 500 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+	if !reflect.DeepEqual(cfg.Ns, []int{2, 3, 4}) {
+		t.Fatalf("Ns = %v", cfg.Ns)
+	}
+}
+
+func TestExtractBeforeFitErrors(t *testing.T) {
+	e := NewExtractor(smallConfig())
+	cfgs := corpusCFGs(t, 1)
+	if _, err := e.Extract(cfgs[0], 0); err != ErrNotFitted {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+}
+
+func TestExtractShapes(t *testing.T) {
+	cfgs := corpusCFGs(t, 2)
+	e := NewExtractor(smallConfig())
+	e.Fit(cfgs)
+	if !e.Fitted() {
+		t.Fatal("extractor should be fitted")
+	}
+	v, err := e.Extract(cfgs[0], 0)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if len(v.DBL) != 4 || len(v.LBL) != 4 {
+		t.Fatalf("walk vectors = %d/%d, want 4/4", len(v.DBL), len(v.LBL))
+	}
+	for _, w := range append(append([][]float64{}, v.DBL...), v.LBL...) {
+		if len(w) != 50 {
+			t.Fatalf("per-walk dim = %d, want 50", len(w))
+		}
+	}
+	if len(v.Combined) != 100 {
+		t.Fatalf("combined dim = %d, want 100", len(v.Combined))
+	}
+	if e.Dim() != 100 || e.WalkDim() != 50 {
+		t.Fatalf("Dim = %d, WalkDim = %d", e.Dim(), e.WalkDim())
+	}
+}
+
+func TestExtractDeterministicPerSalt(t *testing.T) {
+	cfgs := corpusCFGs(t, 2)
+	e := NewExtractor(smallConfig())
+	e.Fit(cfgs)
+	a, _ := e.Extract(cfgs[0], 7)
+	b, _ := e.Extract(cfgs[0], 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same salt produced different features")
+	}
+	c, _ := e.Extract(cfgs[0], 8)
+	if reflect.DeepEqual(a.Combined, c.Combined) {
+		t.Fatal("different salts produced identical features")
+	}
+}
+
+func TestSeedRerandomizesFeatureSpace(t *testing.T) {
+	// The defense property: a different extractor seed yields different
+	// walks and hence (generally) a different selected vocabulary.
+	cfgs := corpusCFGs(t, 2)
+	cfg1 := smallConfig()
+	cfg2 := smallConfig()
+	cfg2.Seed = cfg1.Seed + 1
+	e1 := NewExtractor(cfg1)
+	e2 := NewExtractor(cfg2)
+	e1.Fit(cfgs)
+	e2.Fit(cfgs)
+	d1, _ := e1.Vectorizers()
+	d2, _ := e2.Vectorizers()
+	if reflect.DeepEqual(d1.Vocab, d2.Vocab) {
+		t.Fatal("different seeds selected identical vocabularies")
+	}
+}
+
+func TestCombinedHalvesCarryMass(t *testing.T) {
+	cfgs := corpusCFGs(t, 2)
+	e := NewExtractor(smallConfig())
+	e.Fit(cfgs)
+	v, _ := e.Extract(cfgs[0], 0)
+	normOf := func(xs []float64) float64 {
+		var n float64
+		for _, x := range xs {
+			n += x * x
+		}
+		return n
+	}
+	// Both labeling halves of a clean training sample must carry
+	// in-vocabulary mass (vectors are unnormalized TF-IDF, magnitude
+	// encodes vocabulary coverage).
+	if n := normOf(v.Combined[:50]); n <= 0 {
+		t.Fatalf("DBL half norm^2 = %v", n)
+	}
+	if n := normOf(v.Combined[50:]); n <= 0 {
+		t.Fatalf("LBL half norm^2 = %v", n)
+	}
+	if math.IsNaN(normOf(v.Combined)) {
+		t.Fatal("NaN in combined vector")
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	e := NewExtractor(Config{})
+	cfg := e.Config()
+	if cfg.WalkCount != 10 || cfg.LengthFactor != 5 || cfg.TopK != 500 || len(cfg.Ns) != 3 {
+		t.Fatalf("zero config not defaulted: %+v", cfg)
+	}
+}
+
+func TestFitVectorizersInjection(t *testing.T) {
+	cfgs := corpusCFGs(t, 1)
+	e := NewExtractor(smallConfig())
+	e.Fit(cfgs)
+	d, l := e.Vectorizers()
+
+	e2 := NewExtractor(smallConfig())
+	e2.FitVectorizers(d, l)
+	if !e2.Fitted() {
+		t.Fatal("injected extractor should be fitted")
+	}
+	a, _ := e.Extract(cfgs[0], 3)
+	b, _ := e2.Extract(cfgs[0], 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("injected vectorizers changed extraction")
+	}
+}

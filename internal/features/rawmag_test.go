@@ -1,0 +1,89 @@
+package features
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtractBatchMatchesSequential(t *testing.T) {
+	cfgs := corpusCFGs(t, 2)
+	e := NewExtractor(smallConfig())
+	e.Fit(cfgs)
+	salts := make([]int64, len(cfgs))
+	for i := range salts {
+		salts[i] = int64(100 + i)
+	}
+	batch, err := e.ExtractBatch(cfgs, salts)
+	if err != nil {
+		t.Fatalf("ExtractBatch: %v", err)
+	}
+	for i, c := range cfgs {
+		seq, err := e.Extract(c, salts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range seq.Combined {
+			if seq.Combined[j] != batch[i].Combined[j] {
+				t.Fatalf("sample %d: batch differs from sequential", i)
+			}
+		}
+	}
+}
+
+func TestExtractBatchErrors(t *testing.T) {
+	cfgs := corpusCFGs(t, 1)
+	e := NewExtractor(smallConfig())
+	if _, err := e.ExtractBatch(cfgs, make([]int64, len(cfgs))); err != ErrNotFitted {
+		t.Fatalf("unfitted err = %v", err)
+	}
+	e.Fit(cfgs)
+	if _, err := e.ExtractBatch(cfgs, make([]int64, len(cfgs)+1)); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestRawMagnitudeConfig(t *testing.T) {
+	cfgs := corpusCFGs(t, 2)
+
+	l2cfg := smallConfig()
+	l2 := NewExtractor(l2cfg)
+	l2.Fit(cfgs)
+
+	rawCfg := smallConfig()
+	rawCfg.RawMagnitude = true
+	raw := NewExtractor(rawCfg)
+	raw.Fit(cfgs)
+
+	vL2, err := l2.Extract(cfgs[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vRaw, err := raw.Extract(cfgs[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	}
+	// L2 halves have unit norm; raw halves carry the TF-IDF magnitude
+	// (well below 1 for typical samples).
+	if n := norm(vL2.Combined[:50]); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("L2 DBL half norm = %v, want 1", n)
+	}
+	if n := norm(vRaw.Combined[:50]); n >= 1 || n <= 0 {
+		t.Fatalf("raw DBL half norm = %v, want (0, 1)", n)
+	}
+	// Direction is the same in both representations.
+	dot := 0.0
+	for j := 0; j < 50; j++ {
+		dot += vL2.Combined[j] * vRaw.Combined[j]
+	}
+	cos := dot / (norm(vL2.Combined[:50]) * norm(vRaw.Combined[:50]))
+	if math.Abs(cos-1) > 1e-9 {
+		t.Fatalf("raw and L2 halves not collinear: cos = %v", cos)
+	}
+}

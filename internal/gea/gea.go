@@ -1,0 +1,127 @@
+// Package gea implements the Graph Embedding and Augmentation attack
+// (Abusnaina et al., reproduced as the paper's threat model, section
+// II-C): the adversary merges the code of an original sample with the
+// code of a target sample — the class it wants the classifier to output
+// — through a shared entry block and a shared exit block. Only the
+// original branch ever executes, so the adversarial example remains a
+// practical, working program, but its CFG (and therefore every
+// CFG-derived feature) changes.
+//
+// The package also provides the binary-level (impractical) manipulations
+// of section II: appending raw bytes or whole unreachable sections,
+// which the paper's feature extractor is immune to by construction.
+package gea
+
+import (
+	"fmt"
+
+	"soteria/internal/disasm"
+	"soteria/internal/isa"
+)
+
+// Merge grafts target into original per GEA: a new shared entry block
+// branches to either program's entry (the condition always selects the
+// original), every halt in both programs is rewired to a new shared
+// exit block, and the two programs' blocks are relabeled to coexist.
+// The result stays executable with the original's behaviour.
+func Merge(original, target *isa.Program) (*isa.Program, error) {
+	if err := original.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: original: %w", err)
+	}
+	if err := target.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: target: %w", err)
+	}
+	o := original.RelabelPrefix("o_")
+	t := target.RelabelPrefix("t_")
+
+	const exitLabel = "gea_exit"
+	rewireHalts := func(p *isa.Program) {
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				if _, ok := b.Term.(isa.TermHalt); ok {
+					b.Term = isa.TermJump{To: exitLabel}
+				}
+			}
+		}
+	}
+	rewireHalts(o)
+	rewireHalts(t)
+
+	// Shared entry: r11 = 1; test r11,r11 -> zero flag false -> the JZ
+	// branch to the embedded code never fires and control falls through
+	// to the original entry (the next block in layout).
+	entry := &isa.Block{
+		Label: "gea_entry",
+		Body: []isa.Inst{
+			{Op: isa.OpMovI, R1: 11, Imm: 1},
+			{Op: isa.OpTest, R1: 11, R2: 11},
+		},
+		Term: isa.TermCond{Op: isa.OpJz, To: t.Entry(), Else: o.Entry()},
+	}
+	exit := &isa.Block{Label: exitLabel, Term: isa.TermHalt{}}
+
+	merged := &isa.Program{Funcs: make([]*isa.Function, 0, len(o.Funcs)+len(t.Funcs)+2)}
+	merged.Funcs = append(merged.Funcs, &isa.Function{Name: "gea_main", Blocks: []*isa.Block{entry}})
+	merged.Funcs = append(merged.Funcs, o.Funcs...)
+	merged.Funcs = append(merged.Funcs, t.Funcs...)
+	merged.Funcs = append(merged.Funcs, &isa.Function{Name: "gea_exit_fn", Blocks: []*isa.Block{exit}})
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: merged program invalid: %w", err)
+	}
+	return merged, nil
+}
+
+// MergeToCFG merges, assembles, and disassembles in one step, returning
+// the adversarial binary and its recovered CFG.
+func MergeToCFG(original, target *isa.Program) (*isa.Binary, *disasm.CFG, error) {
+	merged, err := Merge(original, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	bin, _, err := isa.Assemble(merged, isa.AsmOptions{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("gea: assemble: %w", err)
+	}
+	cfg, err := disasm.Disassemble(bin)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gea: disassemble: %w", err)
+	}
+	return bin, cfg, nil
+}
+
+// AppendSectionAE is the binary-level manipulation: clone the binary and
+// add the donor's text as a new executable — but unreachable — section.
+// The paper classifies this as an impractical AE for CFG-based systems:
+// the disassembler never reaches the section, so features are unchanged.
+func AppendSectionAE(bin *isa.Binary, donor *isa.Binary) *isa.Binary {
+	out := cloneBinary(bin)
+	if text := donor.Section(".text"); text != nil {
+		out.AppendSection(".inj", isa.SecExec, text.Data)
+	}
+	return out
+}
+
+// AppendBytesAE clones the binary and appends the donor's text bytes to
+// the end of the original text section, after its final halt.
+func AppendBytesAE(bin *isa.Binary, donor *isa.Binary) *isa.Binary {
+	out := cloneBinary(bin)
+	text := out.Section(".text")
+	dText := donor.Section(".text")
+	if text != nil && dText != nil {
+		text.Data = append(text.Data, dText.Data...)
+	}
+	return out
+}
+
+func cloneBinary(bin *isa.Binary) *isa.Binary {
+	out := &isa.Binary{Entry: bin.Entry, Sections: make([]isa.Section, len(bin.Sections))}
+	for i, s := range bin.Sections {
+		out.Sections[i] = isa.Section{
+			Name:  s.Name,
+			Addr:  s.Addr,
+			Flags: s.Flags,
+			Data:  append([]byte(nil), s.Data...),
+		}
+	}
+	return out
+}

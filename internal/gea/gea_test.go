@@ -1,0 +1,216 @@
+package gea
+
+import (
+	"reflect"
+	"testing"
+
+	"soteria/internal/disasm"
+	"soteria/internal/isa"
+	"soteria/internal/labeling"
+	"soteria/internal/malgen"
+)
+
+func samplePair(t *testing.T) (*malgen.Sample, *malgen.Sample) {
+	t.Helper()
+	g := malgen.NewGenerator(malgen.Config{Seed: 1})
+	orig, err := g.SampleSized(malgen.Gafgyt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := g.SampleSized(malgen.Benign, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, tgt
+}
+
+func TestMergeNodeCount(t *testing.T) {
+	orig, tgt := samplePair(t)
+	_, cfg, err := MergeToCFG(orig.Program, tgt.Program)
+	if err != nil {
+		t.Fatalf("MergeToCFG: %v", err)
+	}
+	// Shared entry + shared exit + both programs' blocks.
+	want := orig.Nodes() + tgt.Nodes() + 2
+	if got := cfg.NumNodes(); got != want {
+		t.Fatalf("merged nodes = %d, want %d", got, want)
+	}
+}
+
+func TestMergePreservesOriginalBehaviour(t *testing.T) {
+	// The practicality requirement: the AE must execute the original
+	// sample's behaviour (same syscall trace) and halt cleanly.
+	orig, tgt := samplePair(t)
+	merged, err := Merge(orig.Program, tgt.Program)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	mbin, _, err := isa.Assemble(merged, isa.AsmOptions{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	vmOrig := isa.NewVM(orig.Binary)
+	if err := vmOrig.Run(500000); err != nil {
+		t.Fatalf("original run: %v", err)
+	}
+	vmAE := isa.NewVM(mbin)
+	if err := vmAE.Run(500000); err != nil {
+		t.Fatalf("AE run: %v", err)
+	}
+	if !reflect.DeepEqual(vmOrig.Syscalls, vmAE.Syscalls) {
+		t.Fatalf("AE changed behaviour: %d vs %d syscalls", len(vmOrig.Syscalls), len(vmAE.Syscalls))
+	}
+}
+
+func TestMergeAllNodesReachable(t *testing.T) {
+	// Both branches are reachable in the CFG (the embedded code is part
+	// of the flow even though it never executes).
+	orig, tgt := samplePair(t)
+	_, cfg, err := MergeToCFG(orig.Program, tgt.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range cfg.G.Reachable(cfg.EntryNode()) {
+		if !r {
+			t.Fatalf("merged CFG node %d unreachable", id)
+		}
+	}
+}
+
+func TestMergeReshufflesLabels(t *testing.T) {
+	// The defense-relevant property: after grafting, the original
+	// subgraph's labels change under both labelings.
+	orig, tgt := samplePair(t)
+	_, mergedCFG, err := MergeToCFG(orig.Program, tgt.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origDBL := labeling.DensityBased(orig.CFG.G, orig.CFG.EntryNode())
+	mergedDBL := labeling.DensityBased(mergedCFG.G, mergedCFG.EntryNode())
+	// Compare the label assigned to the original entry block: in the
+	// original it is some label; in the merged graph the original entry
+	// is no longer the graph entry and its label shifts.
+	if origDBL.Perm[orig.CFG.EntryNode()] == mergedDBL.Perm[mergedCFG.EntryNode()] &&
+		mergedCFG.NumNodes() == orig.CFG.NumNodes() {
+		t.Fatal("merged graph labels did not change")
+	}
+	origLBL := labeling.LevelBased(orig.CFG.G, orig.CFG.EntryNode())
+	mergedLBL := labeling.LevelBased(mergedCFG.G, mergedCFG.EntryNode())
+	if mergedLBL.Perm[mergedCFG.EntryNode()] != 0 {
+		t.Fatal("merged LBL entry must still be label 0")
+	}
+	_ = origLBL
+}
+
+func TestMergeInvalidPrograms(t *testing.T) {
+	orig, _ := samplePair(t)
+	if _, err := Merge(&isa.Program{}, orig.Program); err == nil {
+		t.Fatal("empty original should error")
+	}
+	if _, err := Merge(orig.Program, &isa.Program{}); err == nil {
+		t.Fatal("empty target should error")
+	}
+}
+
+func TestAppendSectionAEKeepsCFG(t *testing.T) {
+	orig, tgt := samplePair(t)
+	ae := AppendSectionAE(orig.Binary, tgt.Binary)
+	cfg, err := disasm.Disassemble(ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumNodes() != orig.Nodes() {
+		t.Fatalf("appended section changed CFG: %d vs %d", cfg.NumNodes(), orig.Nodes())
+	}
+	// But the bytes did change (image-based classifiers would see it).
+	a, _ := orig.Binary.Encode()
+	b, _ := ae.Encode()
+	if len(a) == len(b) {
+		t.Fatal("AppendSectionAE did not grow the binary")
+	}
+	// Original binary untouched.
+	if len(orig.Binary.Sections) != 2 {
+		t.Fatalf("original binary mutated: %d sections", len(orig.Binary.Sections))
+	}
+}
+
+func TestAppendBytesAEKeepsCFG(t *testing.T) {
+	orig, tgt := samplePair(t)
+	before := len(orig.Binary.Section(".text").Data)
+	ae := AppendBytesAE(orig.Binary, tgt.Binary)
+	cfg, err := disasm.Disassemble(ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumNodes() != orig.Nodes() {
+		t.Fatalf("appended bytes changed CFG: %d vs %d", cfg.NumNodes(), orig.Nodes())
+	}
+	if len(orig.Binary.Section(".text").Data) != before {
+		t.Fatal("original binary mutated")
+	}
+	if len(ae.Section(".text").Data) == before {
+		t.Fatal("AE text did not grow")
+	}
+}
+
+func TestSelectTargetsTableIII(t *testing.T) {
+	g := malgen.NewGenerator(malgen.Config{Seed: 9})
+	var pool []*malgen.Sample
+	for _, c := range malgen.Classes {
+		for _, n := range []int{15, 40, 90, 25, 60} {
+			s, err := g.SampleSized(c, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, s)
+		}
+	}
+	targets := SelectTargets(pool)
+	if len(targets) != 12 {
+		t.Fatalf("targets = %d, want 12 (4 classes x 3 sizes)", len(targets))
+	}
+	for i := 0; i < len(targets); i += 3 {
+		small, med, large := targets[i], targets[i+1], targets[i+2]
+		if small.Size != malgen.Small || med.Size != malgen.Medium || large.Size != malgen.Large {
+			t.Fatalf("size order wrong at %d", i)
+		}
+		if small.Sample.Nodes() != 15 || med.Sample.Nodes() != 40 || large.Sample.Nodes() != 90 {
+			t.Fatalf("selected sizes = %d/%d/%d, want 15/40/90",
+				small.Sample.Nodes(), med.Sample.Nodes(), large.Sample.Nodes())
+		}
+	}
+}
+
+func TestGenerateAEsSkipsTargetClass(t *testing.T) {
+	g := malgen.NewGenerator(malgen.Config{Seed: 10})
+	var tests []*malgen.Sample
+	for _, c := range malgen.Classes {
+		for i := 0; i < 3; i++ {
+			s, err := g.SampleSized(c, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tests = append(tests, s)
+		}
+	}
+	tgtSample, err := g.SampleSized(malgen.Benign, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Target{Class: malgen.Benign, Size: malgen.Small, Sample: tgtSample}
+	aes, err := GenerateAEs(tests, target)
+	if err != nil {
+		t.Fatalf("GenerateAEs: %v", err)
+	}
+	if len(aes) != 9 { // 12 tests minus 3 benign
+		t.Fatalf("AEs = %d, want 9", len(aes))
+	}
+	for _, ae := range aes {
+		if ae.Original.Class == malgen.Benign {
+			t.Fatal("AE generated from target-class sample")
+		}
+		if ae.CFG.NumNodes() != ae.Original.Nodes()+tgtSample.Nodes()+2 {
+			t.Fatalf("AE node count wrong")
+		}
+	}
+}

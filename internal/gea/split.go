@@ -1,0 +1,98 @@
+package gea
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"soteria/internal/disasm"
+	"soteria/internal/isa"
+)
+
+// SplitBlocks applies the paper's second code-level manipulation
+// (section II: "augmenting or splitting functions results in a
+// structure modification"): k basic blocks are each split into two
+// blocks joined by an unconditional jump. Functionality is untouched —
+// the same instructions execute in the same order — but the CFG gains k
+// nodes and k edges, perturbing labels and walk features.
+//
+// This is the fine-grained perturbation the paper's limitations section
+// anticipates: far subtler than a GEA graft, it lower-bounds the
+// detector's sensitivity.
+func SplitBlocks(p *isa.Program, k int, rng *rand.Rand) (*isa.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: split: %w", err)
+	}
+	out := p.Clone()
+
+	// Candidate blocks: body of at least 2 instructions, so the split
+	// point separates real work.
+	type candidate struct {
+		f, b int
+	}
+	var candidates []candidate
+	for fi, f := range out.Funcs {
+		for bi, b := range f.Blocks {
+			if len(b.Body) >= 2 {
+				candidates = append(candidates, candidate{fi, bi})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("gea: split: no splittable blocks")
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	chosen := candidates[:k]
+	// Apply deepest-first within each function so earlier insertions do
+	// not shift later candidates' block indices.
+	sort.Slice(chosen, func(i, j int) bool {
+		if chosen[i].f != chosen[j].f {
+			return chosen[i].f < chosen[j].f
+		}
+		return chosen[i].b > chosen[j].b
+	})
+
+	for n := 0; n < k; n++ {
+		c := chosen[n]
+		f := out.Funcs[c.f]
+		b := f.Blocks[c.b]
+		cut := 1 + rng.Intn(len(b.Body)-1)
+		tail := &isa.Block{
+			Label: fmt.Sprintf("%s_sp%d", b.Label, n),
+			Body:  append([]isa.Inst(nil), b.Body[cut:]...),
+			Term:  b.Term,
+		}
+		b.Body = b.Body[:cut]
+		b.Term = isa.TermJump{To: tail.Label}
+		// Insert the tail right after its head to keep layout tight.
+		f.Blocks = append(f.Blocks, nil)
+		copy(f.Blocks[c.b+2:], f.Blocks[c.b+1:])
+		f.Blocks[c.b+1] = tail
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: split produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+// SplitToCFG splits, assembles, and disassembles in one step.
+func SplitToCFG(p *isa.Program, k int, rng *rand.Rand) (*isa.Binary, *disasm.CFG, error) {
+	sp, err := SplitBlocks(p, k, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	bin, _, err := isa.Assemble(sp, isa.AsmOptions{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("gea: split assemble: %w", err)
+	}
+	cfg, err := disasm.Disassemble(bin)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gea: split disassemble: %w", err)
+	}
+	return bin, cfg, nil
+}

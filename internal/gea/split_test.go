@@ -1,0 +1,88 @@
+package gea
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"soteria/internal/isa"
+	"soteria/internal/malgen"
+)
+
+func TestSplitBlocksAddsNodes(t *testing.T) {
+	orig, _ := samplePair(t)
+	rng := rand.New(rand.NewSource(1))
+	_, cfg, err := SplitToCFG(orig.Program, 5, rng)
+	if err != nil {
+		t.Fatalf("SplitToCFG: %v", err)
+	}
+	// Each split adds a tail block, plus possibly a jump trampoline when
+	// the split block's terminator relied on fallthrough layout.
+	if got := cfg.NumNodes(); got < orig.Nodes()+5 || got > orig.Nodes()+10 {
+		t.Fatalf("split CFG nodes = %d, want in [%d, %d]", got, orig.Nodes()+5, orig.Nodes()+10)
+	}
+}
+
+func TestSplitBlocksPreservesBehaviour(t *testing.T) {
+	orig, _ := samplePair(t)
+	rng := rand.New(rand.NewSource(2))
+	bin, _, err := SplitToCFG(orig.Program, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmO := isa.NewVM(orig.Binary)
+	if err := vmO.Run(500000); err != nil {
+		t.Fatal(err)
+	}
+	vmS := isa.NewVM(bin)
+	if err := vmS.Run(500000); err != nil {
+		t.Fatalf("split binary run: %v", err)
+	}
+	if !reflect.DeepEqual(vmO.Syscalls, vmS.Syscalls) {
+		t.Fatal("splitting changed behaviour")
+	}
+}
+
+func TestSplitBlocksClampsK(t *testing.T) {
+	g := malgen.NewGenerator(malgen.Config{Seed: 3})
+	s, err := g.SampleSized(malgen.Benign, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	sp, err := SplitBlocks(s.Program, 10000, rng)
+	if err != nil {
+		t.Fatalf("SplitBlocks: %v", err)
+	}
+	if sp.NumBlocks() <= s.Program.NumBlocks() {
+		t.Fatal("expected some splits")
+	}
+}
+
+func TestSplitBlocksDoesNotMutateInput(t *testing.T) {
+	orig, _ := samplePair(t)
+	before := orig.Program.NumBlocks()
+	rng := rand.New(rand.NewSource(4))
+	if _, err := SplitBlocks(orig.Program, 3, rng); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Program.NumBlocks() != before {
+		t.Fatal("SplitBlocks mutated its input")
+	}
+}
+
+func TestSplitBlocksNoCandidates(t *testing.T) {
+	p := &isa.Program{Funcs: []*isa.Function{{
+		Name:   "main",
+		Blocks: []*isa.Block{{Label: "entry", Term: isa.TermHalt{}}},
+	}}}
+	if _, err := SplitBlocks(p, 1, rand.New(rand.NewSource(5))); err == nil {
+		t.Fatal("expected error when nothing is splittable")
+	}
+}
+
+func TestSplitBlocksInvalidProgram(t *testing.T) {
+	if _, err := SplitBlocks(&isa.Program{}, 1, rand.New(rand.NewSource(6))); err == nil {
+		t.Fatal("invalid program should error")
+	}
+}

@@ -1,0 +1,74 @@
+package gea
+
+import (
+	"fmt"
+	"sort"
+
+	"soteria/internal/disasm"
+	"soteria/internal/isa"
+	"soteria/internal/malgen"
+)
+
+// Target is one selected GEA graft donor: a sample of the class the
+// adversary wants the classifier to output, in one of the paper's three
+// size buckets (minimum, median, maximum node count of the class).
+type Target struct {
+	Class  malgen.Class
+	Size   malgen.SizeClass
+	Sample *malgen.Sample
+}
+
+// SelectTargets reproduces the paper's Table III selection: for each
+// class present in the pool, pick the sample with the minimum, median,
+// and maximum CFG node count.
+func SelectTargets(pool []*malgen.Sample) []Target {
+	byClass := make(map[malgen.Class][]*malgen.Sample)
+	for _, s := range pool {
+		byClass[s.Class] = append(byClass[s.Class], s)
+	}
+	var out []Target
+	for _, c := range malgen.Classes {
+		samples := byClass[c]
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Slice(samples, func(i, j int) bool {
+			if n1, n2 := samples[i].Nodes(), samples[j].Nodes(); n1 != n2 {
+				return n1 < n2
+			}
+			return samples[i].ID < samples[j].ID
+		})
+		out = append(out,
+			Target{Class: c, Size: malgen.Small, Sample: samples[0]},
+			Target{Class: c, Size: malgen.Medium, Sample: samples[len(samples)/2]},
+			Target{Class: c, Size: malgen.Large, Sample: samples[len(samples)-1]},
+		)
+	}
+	return out
+}
+
+// AE is one generated adversarial example.
+type AE struct {
+	Original *malgen.Sample
+	Target   Target
+	Binary   *isa.Binary
+	CFG      *disasm.CFG
+}
+
+// GenerateAEs applies GEA with the given target over every sample in
+// tests whose class differs from the target class — the paper's AE
+// corpus construction.
+func GenerateAEs(tests []*malgen.Sample, target Target) ([]*AE, error) {
+	out := make([]*AE, 0, len(tests))
+	for _, s := range tests {
+		if s.Class == target.Class {
+			continue
+		}
+		bin, cfg, err := MergeToCFG(s.Program, target.Sample.Program)
+		if err != nil {
+			return nil, fmt.Errorf("gea: %s x %s: %w", s.ID, target.Sample.ID, err)
+		}
+		out = append(out, &AE{Original: s, Target: target, Binary: bin, CFG: cfg})
+	}
+	return out, nil
+}

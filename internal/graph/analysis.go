@@ -1,0 +1,225 @@
+package graph
+
+// Control-flow analyses beyond plain traversal: strongly connected
+// components (loop detection in CFGs) and dominator trees (structural
+// analysis). These support corpus-generator validation and give
+// downstream users the standard CFG toolbox.
+
+// SCC returns the strongly connected components of the directed graph
+// using Tarjan's algorithm (iterative, so deep graphs cannot overflow
+// the stack). Components are returned in reverse topological order —
+// every edge between components points from a later component to an
+// earlier one — and each component's node list is ascending.
+func (g *Graph) SCC() [][]int {
+	n := g.NumNodes()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps   [][]int
+		stack   []int
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		succ []int
+		i    int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{v: root, succ: g.succsRef(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w, succ: g.succsRef(w)})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-order: pop the frame, fold lowlink into the parent.
+			v := f.v
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := &work[len(work)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				// Ascending node order within the component.
+				for i, j := 0, len(comp)-1; i < j; i, j = i+1, j-1 {
+					comp[i], comp[j] = comp[j], comp[i]
+				}
+				insertionSort(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// NontrivialSCCs returns the components that contain a cycle: more than
+// one node, or a single node with a self loop. In a CFG these are
+// exactly the loops.
+func (g *Graph) NontrivialSCCs() [][]int {
+	var out [][]int
+	for _, comp := range g.SCC() {
+		if len(comp) > 1 || g.HasEdge(comp[0], comp[0]) {
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+// Dominators returns the immediate-dominator of every node with respect
+// to the entry, computed with the Cooper-Harvey-Kennedy iterative
+// algorithm. idom[entry] == entry; unreachable nodes get -1.
+func (g *Graph) Dominators(entry int) []int {
+	n := g.NumNodes()
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if entry < 0 || entry >= n {
+		return idom
+	}
+
+	// Reverse post-order of the reachable subgraph.
+	order := g.postOrder(entry)
+	rpo := make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+	rpoIndex := make([]int, n)
+	for i := range rpoIndex {
+		rpoIndex[i] = -1
+	}
+	for i, v := range rpo {
+		rpoIndex[v] = i
+	}
+
+	idom[entry] = entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, v := range rpo {
+			if v == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.predsRef(v) {
+				if idom[p] == -1 {
+					continue // predecessor not processed / unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[v] != newIdom {
+				idom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom table returned
+// by Dominators (a node dominates itself).
+func Dominates(idom []int, a, b int) bool {
+	if a < 0 || b < 0 || b >= len(idom) || idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if idom[b] == b { // reached entry
+			return b == a
+		}
+		b = idom[b]
+	}
+}
+
+// postOrder returns reachable nodes in DFS post-order from entry.
+func (g *Graph) postOrder(entry int) []int {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	order := make([]int, 0, n)
+	type frame struct {
+		v    int
+		succ []int
+		i    int
+	}
+	work := []frame{{v: entry, succ: g.succsRef(entry)}}
+	seen[entry] = true
+	for len(work) > 0 {
+		f := &work[len(work)-1]
+		if f.i < len(f.succ) {
+			w := f.succ[f.i]
+			f.i++
+			if !seen[w] {
+				seen[w] = true
+				work = append(work, frame{v: w, succ: g.succsRef(w)})
+			}
+			continue
+		}
+		order = append(order, f.v)
+		work = work[:len(work)-1]
+	}
+	return order
+}
+
+func insertionSort(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

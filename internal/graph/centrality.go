@@ -1,0 +1,123 @@
+package graph
+
+// Centrality measures follow the paper's definitions (section III-B.1,
+// footnote 1):
+//
+//   - Betweenness B(v): the paper counts shortest paths through v over
+//     the total number of shortest paths. We compute the standard Brandes
+//     pair-dependency form, sum over pairs of sigma_st(v)/sigma_st,
+//     normalized by the number of ordered pairs — a monotone equivalent
+//     that preserves every ranking the labeling tie-breaks rely on.
+//   - Closeness C(v): derived from the average shortest-path distance
+//     between v and all other nodes; we use the standard inverse form
+//     (n-1) / sum(dist), which is monotone in the paper's definition and
+//     preserves every ranking the labeling needs.
+//   - Centrality factor CF(v) = B(v) + C(v).
+//
+// Both measures are computed over the undirected view of the CFG, which
+// matches the paper's random-walk treatment of the graph and keeps exit
+// blocks comparable with entry blocks.
+
+// Betweenness returns the betweenness centrality of every node via
+// Brandes' algorithm on the undirected view, normalized by the number of
+// ordered node pairs (n-1)(n-2) so values lie in [0, 1].
+func (g *Graph) Betweenness() []float64 {
+	n := g.NumNodes()
+	bc := make([]float64, n)
+	if n < 3 {
+		return bc
+	}
+
+	sigma := make([]float64, n)
+	dist := make([]int, n)
+	delta := make([]float64, n)
+	preds := make([][]int, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+
+	for s := 0; s < n; s++ {
+		for i := 0; i < n; i++ {
+			sigma[i] = 0
+			dist[i] = -1
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		order = order[:0]
+		queue = queue[:0]
+
+		sigma[s] = 1
+		dist[s] = 0
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			for _, v := range g.UndirectedNeighbors(u) {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+			}
+		}
+		// Accumulate dependencies in reverse BFS order.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, u := range preds[w] {
+				delta[u] += sigma[u] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	// Undirected Brandes counts each unordered pair from both endpoints;
+	// dividing by ordered-pair count (n-1)(n-2) bounds values to [0, 1].
+	norm := float64(n-1) * float64(n-2)
+	for i := range bc {
+		bc[i] /= norm
+	}
+	return bc
+}
+
+// Closeness returns the closeness centrality of every node over the
+// undirected view: (reachable-1) / sum of distances to reachable nodes,
+// scaled by the fraction of the graph reached (the Wasserman-Faust
+// correction), so disconnected graphs remain comparable. Isolated nodes
+// get 0.
+func (g *Graph) Closeness() []float64 {
+	n := g.NumNodes()
+	cc := make([]float64, n)
+	if n < 2 {
+		return cc
+	}
+	for u := 0; u < n; u++ {
+		sum, reach := 0, 0
+		for v, d := range g.UndirectedDistances(u) {
+			if v != u && d > 0 {
+				sum += d
+				reach++
+			}
+		}
+		if sum == 0 {
+			continue
+		}
+		frac := float64(reach) / float64(n-1)
+		cc[u] = frac * float64(reach) / float64(sum)
+	}
+	return cc
+}
+
+// CentralityFactor returns CF(v) = B(v) + C(v) for every node.
+func (g *Graph) CentralityFactor() []float64 {
+	b := g.Betweenness()
+	c := g.Closeness()
+	cf := make([]float64, len(b))
+	for i := range cf {
+		cf[i] = b[i] + c[i]
+	}
+	return cf
+}

@@ -1,0 +1,25 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT syntax. labels may be nil, in
+// which case node IDs are used; otherwise labels[i] names node i.
+func (g *Graph) DOT(name string, labels []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for u := 0; u < g.NumNodes(); u++ {
+		if labels != nil && u < len(labels) {
+			fmt.Fprintf(&b, "  n%d [label=%q];\n", u, labels[u])
+		} else {
+			fmt.Fprintf(&b, "  n%d;\n", u)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

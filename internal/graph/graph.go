@@ -1,0 +1,215 @@
+// Package graph implements the directed-graph substrate used by every
+// CFG-consuming stage of Soteria: adjacency storage, traversal,
+// shortest paths, and the centrality measures that drive node labeling.
+//
+// Nodes are dense integer IDs in [0, N). Higher layers (the CFG built by
+// the disassembler) keep their own mapping from basic-block addresses to
+// these IDs. All adjacency lists are kept sorted so that every traversal
+// and measure is deterministic.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a directed graph over dense node IDs [0, N).
+// The zero value is an empty graph ready to use.
+type Graph struct {
+	succs [][]int
+	preds [][]int
+	edges int
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	g := &Graph{}
+	g.EnsureNodes(n)
+	return g
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.succs) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddNode appends a new isolated node and returns its ID.
+func (g *Graph) AddNode() int {
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, nil)
+	return len(g.succs) - 1
+}
+
+// EnsureNodes grows the graph so that it contains at least n nodes.
+func (g *Graph) EnsureNodes(n int) {
+	for len(g.succs) < n {
+		g.AddNode()
+	}
+}
+
+// AddEdge inserts the directed edge u -> v. Both endpoints must already
+// exist. Inserting a duplicate edge is a no-op.
+func (g *Graph) AddEdge(u, v int) error {
+	if err := g.checkNode(u); err != nil {
+		return err
+	}
+	if err := g.checkNode(v); err != nil {
+		return err
+	}
+	if g.hasEdge(u, v) {
+		return nil
+	}
+	g.succs[u] = insertSorted(g.succs[u], v)
+	g.preds[v] = insertSorted(g.preds[v], u)
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction sites where the endpoints are
+// known-valid by construction; it panics on out-of-range nodes.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether the directed edge u -> v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.succs) || v < 0 || v >= len(g.succs) {
+		return false
+	}
+	return g.hasEdge(u, v)
+}
+
+func (g *Graph) hasEdge(u, v int) bool {
+	s := g.succs[u]
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// Succs returns a copy of u's successor list in ascending order.
+func (g *Graph) Succs(u int) []int {
+	return append([]int(nil), g.succs[u]...)
+}
+
+// Preds returns a copy of u's predecessor list in ascending order.
+func (g *Graph) Preds(u int) []int {
+	return append([]int(nil), g.preds[u]...)
+}
+
+// succsRef exposes the internal successor slice for read-only hot paths.
+func (g *Graph) succsRef(u int) []int { return g.succs[u] }
+
+// predsRef exposes the internal predecessor slice for read-only hot paths.
+func (g *Graph) predsRef(u int) []int { return g.preds[u] }
+
+// OutDegree returns the number of out-edges of u.
+func (g *Graph) OutDegree(u int) int { return len(g.succs[u]) }
+
+// InDegree returns the number of in-edges of u.
+func (g *Graph) InDegree(u int) int { return len(g.preds[u]) }
+
+// Degree returns the total degree (in + out) of u.
+func (g *Graph) Degree(u int) int { return len(g.succs[u]) + len(g.preds[u]) }
+
+// NodeDensity returns the paper's node density: the sum of in- and
+// out-edges of u divided by the total number of edges in the graph.
+// It returns 0 for an edgeless graph.
+func (g *Graph) NodeDensity(u int) float64 {
+	if g.edges == 0 {
+		return 0
+	}
+	return float64(g.Degree(u)) / float64(g.edges)
+}
+
+// GraphDensity returns the classical directed-graph density
+// |E| / (|V|·(|V|-1)), or 0 for graphs with fewer than two nodes.
+func (g *Graph) GraphDensity() float64 {
+	n := len(g.succs)
+	if n < 2 {
+		return 0
+	}
+	return float64(g.edges) / float64(n*(n-1))
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		succs: make([][]int, len(g.succs)),
+		preds: make([][]int, len(g.preds)),
+		edges: g.edges,
+	}
+	for i := range g.succs {
+		c.succs[i] = append([]int(nil), g.succs[i]...)
+		c.preds[i] = append([]int(nil), g.preds[i]...)
+	}
+	return c
+}
+
+// Edges returns all directed edges ordered by (from, to).
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	for u, ss := range g.succs {
+		for _, v := range ss {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// UndirectedNeighbors returns the sorted, de-duplicated union of u's
+// successors and predecessors — the neighborhood used by random walks,
+// which treat the CFG as undirected per the paper.
+func (g *Graph) UndirectedNeighbors(u int) []int {
+	return mergeSorted(g.succs[u], g.preds[u])
+}
+
+func (g *Graph) checkNode(u int) error {
+	if u < 0 || u >= len(g.succs) {
+		return fmt.Errorf("graph: node %d out of range [0, %d)", u, len(g.succs))
+	}
+	return nil
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// mergeSorted merges two ascending slices, dropping duplicates.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = appendUnique(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = appendUnique(out, b[j])
+			j++
+		default:
+			out = appendUnique(out, a[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = appendUnique(out, a[i])
+	}
+	for ; j < len(b); j++ {
+		out = appendUnique(out, b[j])
+	}
+	return out
+}
+
+func appendUnique(s []int, v int) []int {
+	if n := len(s); n > 0 && s[n-1] == v {
+		return s
+	}
+	return append(s, v)
+}

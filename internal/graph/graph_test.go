@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAddNode(t *testing.T) {
+	g := New(3)
+	if got := g.NumNodes(); got != 3 {
+		t.Fatalf("NumNodes = %d, want 3", got)
+	}
+	id := g.AddNode()
+	if id != 3 {
+		t.Fatalf("AddNode returned %d, want 3", id)
+	}
+	if got := g.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes after AddNode = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 0 {
+		t.Fatalf("NumEdges = %d, want 0", got)
+	}
+}
+
+func TestZeroValueGraphUsable(t *testing.T) {
+	var g Graph
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("zero value not empty: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	g.EnsureNodes(2)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("edge 0->1 missing")
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		u, v    int
+		wantErr bool
+	}{
+		{name: "valid", n: 2, u: 0, v: 1},
+		{name: "self loop allowed", n: 1, u: 0, v: 0},
+		{name: "u out of range", n: 2, u: 2, v: 0, wantErr: true},
+		{name: "v out of range", n: 2, u: 0, v: 5, wantErr: true},
+		{name: "negative u", n: 2, u: -1, v: 0, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := New(tt.n)
+			err := g.AddEdge(tt.u, tt.v)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("AddEdge(%d,%d) err = %v, wantErr = %v", tt.u, tt.v, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 1)
+	if got := g.NumEdges(); got != 1 {
+		t.Fatalf("NumEdges = %d, want 1", got)
+	}
+}
+
+func TestSuccsPredsSortedAndCopied(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(2, 0)
+
+	succs := g.Succs(0)
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(succs, want) {
+		t.Fatalf("Succs(0) = %v, want %v", succs, want)
+	}
+	// Mutating the returned slice must not affect the graph.
+	succs[0] = 99
+	if got := g.Succs(0)[0]; got != 1 {
+		t.Fatalf("internal adjacency mutated: Succs(0)[0] = %d", got)
+	}
+	if want := []int{2}; !reflect.DeepEqual(g.Preds(0), want) {
+		t.Fatalf("Preds(0) = %v, want %v", g.Preds(0), want)
+	}
+}
+
+func TestDegreesAndDensity(t *testing.T) {
+	// Diamond: 0->1, 0->2, 1->3, 2->3.
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(3); got != 2 {
+		t.Errorf("InDegree(3) = %d, want 2", got)
+	}
+	if got := g.Degree(1); got != 2 {
+		t.Errorf("Degree(1) = %d, want 2", got)
+	}
+	if got, want := g.NodeDensity(0), 2.0/4.0; got != want {
+		t.Errorf("NodeDensity(0) = %v, want %v", got, want)
+	}
+	if got, want := g.GraphDensity(), 4.0/12.0; got != want {
+		t.Errorf("GraphDensity = %v, want %v", got, want)
+	}
+}
+
+func TestNodeDensityEdgeless(t *testing.T) {
+	g := New(3)
+	if got := g.NodeDensity(0); got != 0 {
+		t.Fatalf("NodeDensity on edgeless graph = %v, want 0", got)
+	}
+	if got := g.GraphDensity(); got != 0 {
+		t.Fatalf("GraphDensity on edgeless graph = %v, want 0", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	c := g.Clone()
+	c.MustAddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("clone missing original edge")
+	}
+	if g.NumEdges() != 1 || c.NumEdges() != 2 {
+		t.Fatalf("edge counts: orig %d want 1, clone %d want 2", g.NumEdges(), c.NumEdges())
+	}
+}
+
+func TestEdgesOrdered(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 1)
+	want := [][2]int{{0, 1}, {0, 2}, {2, 0}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestUndirectedNeighbors(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(0, 2) // both directions: 2 must appear once
+	want := []int{1, 2}
+	if got := g.UndirectedNeighbors(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("UndirectedNeighbors(0) = %v, want %v", got, want)
+	}
+}
+
+// randomGraph builds a random graph with n nodes and approximately m
+// edge attempts, for property tests.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestPropertyEdgeCountMatchesAdjacency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.OutDegree(u)
+		}
+		sumIn := 0
+		for u := 0; u < n; u++ {
+			sumIn += g.InDegree(u)
+		}
+		return sum == g.NumEdges() && sumIn == g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNodeDensitySumsToTwo(t *testing.T) {
+	// Sum over nodes of degree/|E| is exactly 2 when |E| > 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, 1+rng.Intn(4*n))
+		if g.NumEdges() == 0 {
+			return true
+		}
+		sum := 0.0
+		for u := 0; u < n; u++ {
+			sum += g.NodeDensity(u)
+		}
+		return sum > 1.999999 && sum < 2.000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	dot := g.DOT("g", []string{"entry", "exit"})
+	for _, want := range []string{"digraph \"g\"", "n0 [label=\"entry\"]", "n0 -> n1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

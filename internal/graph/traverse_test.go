@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds 0 -> 1 -> 2 -> ... -> n-1.
+func chain(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestBFSLevelsChain(t *testing.T) {
+	g := chain(4)
+	want := []int{0, 1, 2, 3}
+	if got := g.BFSLevels(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("BFSLevels = %v, want %v", got, want)
+	}
+}
+
+func TestBFSLevelsUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	want := []int{0, 1, -1}
+	if got := g.BFSLevels(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("BFSLevels = %v, want %v", got, want)
+	}
+}
+
+func TestBFSLevelsBadEntry(t *testing.T) {
+	g := New(2)
+	for _, l := range g.BFSLevels(7) {
+		if l != -1 {
+			t.Fatal("expected all -1 for invalid entry")
+		}
+	}
+}
+
+func TestBFSLevelsDiamond(t *testing.T) {
+	// 0->1, 0->2, 1->3, 2->3: node 3 at level 2 despite two paths.
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	want := []int{0, 1, 1, 2}
+	if got := g.BFSLevels(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("BFSLevels = %v, want %v", got, want)
+	}
+}
+
+func TestReachableIgnoresUnconnected(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 4) // island
+	reach := g.Reachable(0)
+	want := []bool{true, true, true, false, false}
+	if !reflect.DeepEqual(reach, want) {
+		t.Fatalf("Reachable = %v, want %v", reach, want)
+	}
+}
+
+func TestReachableDirectionality(t *testing.T) {
+	// Edge 1->0 must not make 1 reachable from 0.
+	g := New(2)
+	g.MustAddEdge(1, 0)
+	reach := g.Reachable(0)
+	if reach[1] {
+		t.Fatal("node 1 should be unreachable following directed edges")
+	}
+}
+
+func TestShortestPathsFrom(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	want := []int{0, 1, 1, -1}
+	if got := g.ShortestPathsFrom(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ShortestPathsFrom = %v, want %v", got, want)
+	}
+}
+
+func TestUndirectedDistances(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(2, 0) // undirected: 0 can reach 2 in 1 step
+	g.MustAddEdge(2, 1)
+	want := []int{0, 2, 1}
+	if got := g.UndirectedDistances(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("UndirectedDistances = %v, want %v", got, want)
+	}
+}
+
+func TestDiameterAndAvgPath(t *testing.T) {
+	g := chain(4) // undirected path of 4 nodes: diameter 3
+	if got := g.Diameter(); got != 3 {
+		t.Fatalf("Diameter = %d, want 3", got)
+	}
+	// Distances over ordered pairs: 1,2,3,1,1,2,2,1,1,3,2,1 sum=20, cnt=12.
+	if got, want := g.AverageShortestPath(), 20.0/12.0; got != want {
+		t.Fatalf("AverageShortestPath = %v, want %v", got, want)
+	}
+}
+
+func TestDiameterTrivial(t *testing.T) {
+	if got := New(1).Diameter(); got != 0 {
+		t.Fatalf("Diameter single node = %d, want 0", got)
+	}
+	if got := New(0).AverageShortestPath(); got != 0 {
+		t.Fatalf("AverageShortestPath empty = %v, want 0", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	// 4, 5 isolated.
+	if got := g.ConnectedComponents(); got != 4 {
+		t.Fatalf("ConnectedComponents = %d, want 4", got)
+	}
+}
+
+func TestPropertyBFSLevelsMonotone(t *testing.T) {
+	// Every reachable node's level is exactly 1 + min level of its
+	// reachable predecessors (BFS optimality).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		levels := g.BFSLevels(0)
+		for v := 1; v < n; v++ {
+			if levels[v] == -1 {
+				continue
+			}
+			best := -1
+			for _, p := range g.Preds(v) {
+				if levels[p] >= 0 && (best == -1 || levels[p] < best) {
+					best = levels[p]
+				}
+			}
+			if best == -1 || levels[v] != best+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyReachableClosedUnderSuccs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		reach := g.Reachable(0)
+		for u := 0; u < n; u++ {
+			if !reach[u] {
+				continue
+			}
+			for _, v := range g.Succs(u) {
+				if !reach[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

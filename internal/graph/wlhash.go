@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// WLHash computes a Weisfeiler-Leman structural fingerprint of the
+// graph: nodes start with degree-based colors and repeatedly absorb
+// sorted multisets of neighbor colors (distinguishing in- from
+// out-neighbors); the final color histogram is hashed. Isomorphic
+// graphs always collide; non-isomorphic graphs collide only when WL
+// itself cannot distinguish them (rare outside pathological regular
+// graphs).
+//
+// The corpus tooling uses this to deduplicate structurally identical
+// samples, and tests use it to assert that transformations did (or did
+// not) change a CFG.
+func (g *Graph) WLHash(iterations int) [32]byte {
+	n := g.NumNodes()
+	colors := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		colors[v] = uint64(g.InDegree(v))<<32 | uint64(g.OutDegree(v))
+	}
+	if iterations <= 0 {
+		iterations = 3
+	}
+	next := make([]uint64, n)
+	var buf []byte
+	for it := 0; it < iterations; it++ {
+		for v := 0; v < n; v++ {
+			buf = buf[:0]
+			buf = binary.BigEndian.AppendUint64(buf, colors[v])
+			buf = appendSortedColors(buf, g.succsRef(v), colors, 'S')
+			buf = appendSortedColors(buf, g.predsRef(v), colors, 'P')
+			h := sha256.Sum256(buf)
+			next[v] = binary.BigEndian.Uint64(h[:8])
+		}
+		colors, next = next, colors
+	}
+	// Hash the sorted final colors (a canonical multiset).
+	final := append([]uint64(nil), colors...)
+	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
+	buf = buf[:0]
+	buf = binary.BigEndian.AppendUint64(buf, uint64(n))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(g.NumEdges()))
+	for _, c := range final {
+		buf = binary.BigEndian.AppendUint64(buf, c)
+	}
+	return sha256.Sum256(buf)
+}
+
+func appendSortedColors(buf []byte, nodes []int, colors []uint64, tag byte) []byte {
+	cs := make([]uint64, len(nodes))
+	for i, v := range nodes {
+		cs[i] = colors[v]
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	buf = append(buf, tag)
+	for _, c := range cs {
+		buf = binary.BigEndian.AppendUint64(buf, c)
+	}
+	return buf
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// permuteGraph relabels nodes by a random permutation (an isomorphic
+// copy).
+func permuteGraph(g *Graph, rng *rand.Rand) *Graph {
+	n := g.NumNodes()
+	perm := rng.Perm(n)
+	out := New(n)
+	for _, e := range g.Edges() {
+		out.MustAddEdge(perm[e[0]], perm[e[1]])
+	}
+	return out
+}
+
+func TestWLHashInvariantUnderIsomorphism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		h1 := g.WLHash(3)
+		h2 := permuteGraph(g, rng).WLHash(3)
+		return h1 == h2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWLHashDistinguishesStructures(t *testing.T) {
+	chain4 := chain(4)
+	ring4 := ring4()
+	if chain4.WLHash(3) == ring4.WLHash(3) {
+		t.Fatal("chain and ring hashed equal")
+	}
+	// Adding one edge changes the hash.
+	g := chain(5)
+	h1 := g.WLHash(3)
+	g.MustAddEdge(4, 0)
+	if g.WLHash(3) == h1 {
+		t.Fatal("edge insertion did not change hash")
+	}
+}
+
+func ring4() *Graph {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(i, (i+1)%4)
+	}
+	return g
+}
+
+func TestWLHashDirectionSensitive(t *testing.T) {
+	a := New(3)
+	a.MustAddEdge(0, 1)
+	a.MustAddEdge(1, 2)
+	b := New(3)
+	b.MustAddEdge(1, 0)
+	b.MustAddEdge(1, 2)
+	// a is a path 0->1->2; b is a fork 1->{0,2}: different digraphs.
+	if a.WLHash(3) == b.WLHash(3) {
+		t.Fatal("direction-distinct graphs hashed equal")
+	}
+}
+
+func TestWLHashDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 30, 80)
+	if g.WLHash(3) != g.WLHash(3) {
+		t.Fatal("hash not deterministic")
+	}
+	if g.WLHash(0) != g.WLHash(0) { // default iterations path
+		t.Fatal("default-iteration hash not deterministic")
+	}
+}
+
+func TestWLHashEmptyAndSingle(t *testing.T) {
+	if New(0).WLHash(3) == New(1).WLHash(3) {
+		t.Fatal("empty and single-node graphs hashed equal")
+	}
+}

@@ -1,0 +1,146 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The assembler lowers a Program to an SOTB binary. Layout is fully
+// deterministic: functions in order, blocks in order, every instruction
+// 8 bytes. Terminators are emitted so that each program block keeps its
+// identity in the recovered CFG:
+//
+//   - TermJump always emits an explicit JMP (no silent fallthrough), so
+//     two program blocks never fuse into one disassembled block.
+//   - TermCond emits JCC To; when Else is not the next block in layout a
+//     JMP Else trampoline follows (which the disassembler sees as its own
+//     tiny block, exactly as real compilers produce).
+//   - TermCall emits CALL Target; the return continuation must either be
+//     the next block in layout or is reached through a JMP trampoline.
+
+// AsmOptions controls assembly.
+type AsmOptions struct {
+	// Base is the virtual address of the .text section. Zero means the
+	// default 0x1000.
+	Base uint32
+	// Data, when non-empty, is emitted as a non-executable .data section
+	// following .text.
+	Data []byte
+}
+
+// DefaultBase is the default .text virtual address.
+const DefaultBase uint32 = 0x1000
+
+// Assemble lowers the program into an SOTB binary. It returns the binary
+// and the virtual address of every block label.
+func Assemble(p *Program, opts AsmOptions) (*Binary, map[string]uint32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	base := opts.Base
+	if base == 0 {
+		base = DefaultBase
+	}
+
+	// Flatten blocks in layout order.
+	type laid struct {
+		b    *Block
+		next string // label of the next block in layout, "" for last
+	}
+	var blocks []laid
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			blocks = append(blocks, laid{b: b})
+		}
+	}
+	for i := range blocks {
+		if i+1 < len(blocks) {
+			blocks[i].next = blocks[i+1].b.Label
+		}
+	}
+
+	// Pass 1: sizes and addresses.
+	addr := make(map[string]uint32, len(blocks))
+	pc := base
+	for _, l := range blocks {
+		addr[l.b.Label] = pc
+		pc += uint32(len(l.b.Body)+termInsts(l.b.Term, l.next)) * InstSize
+	}
+
+	// Pass 2: emit.
+	text := make([]byte, 0, int(pc-base))
+	for _, l := range blocks {
+		for _, in := range l.b.Body {
+			text = in.Encode(text)
+		}
+		switch t := l.b.Term.(type) {
+		case TermJump:
+			text = Inst{Op: OpJmp, Imm: int32(addr[t.To])}.Encode(text)
+		case TermCond:
+			text = Inst{Op: t.Op, Imm: int32(addr[t.To])}.Encode(text)
+			if t.Else != l.next {
+				text = Inst{Op: OpJmp, Imm: int32(addr[t.Else])}.Encode(text)
+			}
+		case TermCall:
+			text = Inst{Op: OpCall, Imm: int32(addr[t.Target])}.Encode(text)
+			if t.Ret != l.next {
+				text = Inst{Op: OpJmp, Imm: int32(addr[t.Ret])}.Encode(text)
+			}
+		case TermRet:
+			text = Inst{Op: OpRet}.Encode(text)
+		case TermHalt:
+			text = Inst{Op: OpHalt}.Encode(text)
+		default:
+			return nil, nil, fmt.Errorf("isa: block %q: unknown terminator %T", l.b.Label, t)
+		}
+	}
+
+	bin := &Binary{
+		Entry: addr[p.Entry()],
+		Sections: []Section{
+			{Name: ".text", Addr: base, Flags: SecExec, Data: text},
+		},
+	}
+	if len(opts.Data) > 0 {
+		dataAddr := (base + uint32(len(text)) + 0xFFF) &^ 0xFFF
+		bin.Sections = append(bin.Sections, Section{
+			Name:  ".data",
+			Addr:  dataAddr,
+			Flags: SecWrite,
+			Data:  append([]byte(nil), opts.Data...),
+		})
+	}
+	return bin, addr, nil
+}
+
+// termInsts returns how many instructions the terminator emits given the
+// label of the next block in layout.
+func termInsts(t Terminator, next string) int {
+	switch t := t.(type) {
+	case TermJump, TermRet, TermHalt:
+		return 1
+	case TermCond:
+		if t.Else == next {
+			return 1
+		}
+		return 2
+	case TermCall:
+		if t.Ret == next {
+			return 1
+		}
+		return 2
+	default:
+		return 1
+	}
+}
+
+// BlockAddrs returns the sorted list of block start addresses from an
+// Assemble address map, useful in tests.
+func BlockAddrs(addr map[string]uint32) []uint32 {
+	out := make([]uint32, 0, len(addr))
+	for _, a := range addr {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

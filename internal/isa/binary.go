@@ -1,0 +1,207 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The SOTB container is the on-disk format for SOT-32 executables — the
+// stand-in for the ELF binaries of the paper's IoT dataset. It carries a
+// list of named sections with virtual addresses and an entry point.
+// Binary-level adversarial manipulations (appending bytes, adding
+// sections with benign code) operate directly on this container.
+
+// Section flags.
+const (
+	SecExec  uint8 = 1 << 0 // section contains executable code
+	SecWrite uint8 = 1 << 1 // section is writable data
+)
+
+// Section is a named, contiguous range of bytes at a virtual address.
+type Section struct {
+	Name  string
+	Addr  uint32
+	Flags uint8
+	Data  []byte
+}
+
+// Executable reports whether the section holds code.
+func (s *Section) Executable() bool { return s.Flags&SecExec != 0 }
+
+// Binary is a parsed SOTB executable.
+type Binary struct {
+	Entry    uint32
+	Sections []Section
+}
+
+var (
+	sotbMagic = []byte("SOTB")
+
+	// ErrBadMagic is returned when the container does not start with the
+	// SOTB magic.
+	ErrBadMagic = errors.New("isa: bad SOTB magic")
+)
+
+const sotbVersion = 1
+
+// Section returns the section with the given name, or nil.
+func (b *Binary) Section(name string) *Section {
+	for i := range b.Sections {
+		if b.Sections[i].Name == name {
+			return &b.Sections[i]
+		}
+	}
+	return nil
+}
+
+// SectionAt returns the section containing the virtual address, or nil.
+func (b *Binary) SectionAt(addr uint32) *Section {
+	for i := range b.Sections {
+		s := &b.Sections[i]
+		if addr >= s.Addr && addr < s.Addr+uint32(len(s.Data)) {
+			return s
+		}
+	}
+	return nil
+}
+
+// MaxAddr returns the first virtual address beyond every section, used
+// when appending new sections.
+func (b *Binary) MaxAddr() uint32 {
+	var m uint32
+	for i := range b.Sections {
+		if end := b.Sections[i].Addr + uint32(len(b.Sections[i].Data)); end > m {
+			m = end
+		}
+	}
+	return m
+}
+
+// AppendSection adds a section after every existing one and returns its
+// assigned virtual address. Used by binary-level AE generation.
+func (b *Binary) AppendSection(name string, flags uint8, data []byte) uint32 {
+	addr := (b.MaxAddr() + 0xFFF) &^ 0xFFF // next page boundary
+	b.Sections = append(b.Sections, Section{
+		Name:  name,
+		Addr:  addr,
+		Flags: flags,
+		Data:  append([]byte(nil), data...),
+	})
+	return addr
+}
+
+// Size returns the total encoded size estimate in bytes.
+func (b *Binary) Size() int {
+	n := len(sotbMagic) + 1 + 1 + 4
+	for i := range b.Sections {
+		n += 1 + len(b.Sections[i].Name) + 4 + 4 + 1 + 4 + len(b.Sections[i].Data)
+	}
+	return n
+}
+
+// Encode serializes the binary into SOTB container bytes.
+func (b *Binary) Encode() ([]byte, error) {
+	if len(b.Sections) > 255 {
+		return nil, fmt.Errorf("isa: too many sections: %d", len(b.Sections))
+	}
+	var buf bytes.Buffer
+	buf.Grow(b.Size())
+	buf.Write(sotbMagic)
+	buf.WriteByte(sotbVersion)
+	buf.WriteByte(byte(len(b.Sections)))
+	var u32 [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf.Write(u32[:])
+	}
+	put(b.Entry)
+	for i := range b.Sections {
+		s := &b.Sections[i]
+		if len(s.Name) > 255 {
+			return nil, fmt.Errorf("isa: section name too long: %q", s.Name[:16])
+		}
+		buf.WriteByte(byte(len(s.Name)))
+		buf.WriteString(s.Name)
+		put(s.Addr)
+		put(uint32(len(s.Data)))
+		buf.WriteByte(s.Flags)
+		put(0) // reserved
+		buf.Write(s.Data)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBinary parses an SOTB container.
+func DecodeBinary(data []byte) (*Binary, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := r.Read(magic); err != nil || !bytes.Equal(magic, sotbMagic) {
+		return nil, ErrBadMagic
+	}
+	version, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("isa: truncated header: %w", err)
+	}
+	if version != sotbVersion {
+		return nil, fmt.Errorf("isa: unsupported SOTB version %d", version)
+	}
+	nsec, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("isa: truncated header: %w", err)
+	}
+	var u32 [4]byte
+	get := func() (uint32, error) {
+		if _, err := r.Read(u32[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	entry, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("isa: truncated entry: %w", err)
+	}
+	b := &Binary{Entry: entry, Sections: make([]Section, 0, nsec)}
+	for i := 0; i < int(nsec); i++ {
+		nameLen, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("isa: truncated section %d: %w", i, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := r.Read(name); err != nil {
+			return nil, fmt.Errorf("isa: truncated section name %d: %w", i, err)
+		}
+		addr, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("isa: truncated section addr %d: %w", i, err)
+		}
+		size, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("isa: truncated section size %d: %w", i, err)
+		}
+		flags, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("isa: truncated section flags %d: %w", i, err)
+		}
+		if _, err := get(); err != nil { // reserved
+			return nil, fmt.Errorf("isa: truncated section reserved %d: %w", i, err)
+		}
+		if int64(size) > int64(r.Len()) {
+			return nil, fmt.Errorf("isa: section %d size %d exceeds remaining %d bytes", i, size, r.Len())
+		}
+		secData := make([]byte, size)
+		if size > 0 {
+			if _, err := r.Read(secData); err != nil {
+				return nil, fmt.Errorf("isa: truncated section data %d: %w", i, err)
+			}
+		}
+		b.Sections = append(b.Sections, Section{
+			Name:  string(name),
+			Addr:  addr,
+			Flags: flags,
+			Data:  secData,
+		})
+	}
+	return b, nil
+}

@@ -1,0 +1,123 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VM is a small SOT-32 interpreter. Soteria itself never executes
+// samples (it is a static system), but the paper's practicality
+// requirement — an adversarial example must remain executable and
+// undamaged — is checked in this repository by actually running the
+// original and perturbed binaries and comparing their behaviour.
+type VM struct {
+	bin   *Binary
+	regs  [16]int64
+	zero  bool
+	less  bool
+	stack []uint32
+	mem   map[uint32]int64
+
+	// Syscalls records the ordered (number, r0) pairs of every OpSys
+	// executed — the observable behaviour of a run.
+	Syscalls [][2]int64
+	// Steps counts executed instructions.
+	Steps int
+}
+
+// ErrStepLimit is returned when execution exceeds the step budget.
+var ErrStepLimit = errors.New("isa: step limit exceeded")
+
+// NewVM prepares a VM for the binary.
+func NewVM(bin *Binary) *VM {
+	return &VM{bin: bin, mem: make(map[uint32]int64)}
+}
+
+// Run executes from the binary entry until OpHalt, an error, or the step
+// limit. It returns nil on a clean halt.
+func (vm *VM) Run(maxSteps int) error {
+	pc := vm.bin.Entry
+	for vm.Steps < maxSteps {
+		sec := vm.bin.SectionAt(pc)
+		if sec == nil || !sec.Executable() {
+			return fmt.Errorf("isa: pc 0x%x outside executable sections", pc)
+		}
+		off := pc - sec.Addr
+		in, err := Decode(sec.Data[off:])
+		if err != nil {
+			return fmt.Errorf("isa: at 0x%x: %w", pc, err)
+		}
+		vm.Steps++
+		next := pc + InstSize
+		switch in.Op {
+		case OpNop:
+		case OpMov:
+			vm.regs[in.R1&15] = vm.regs[in.R2&15]
+		case OpMovI:
+			vm.regs[in.R1&15] = int64(in.Imm)
+		case OpAdd:
+			vm.regs[in.R1&15] += vm.regs[in.R2&15]
+		case OpSub:
+			vm.regs[in.R1&15] -= vm.regs[in.R2&15]
+		case OpMul:
+			vm.regs[in.R1&15] *= vm.regs[in.R2&15]
+		case OpXor:
+			vm.regs[in.R1&15] ^= vm.regs[in.R2&15]
+		case OpAnd:
+			vm.regs[in.R1&15] &= vm.regs[in.R2&15]
+		case OpOr:
+			vm.regs[in.R1&15] |= vm.regs[in.R2&15]
+		case OpShl:
+			vm.regs[in.R1&15] <<= uint(in.Imm) & 63
+		case OpShr:
+			vm.regs[in.R1&15] >>= uint(in.Imm) & 63
+		case OpLoad:
+			vm.regs[in.R1&15] = vm.mem[uint32(vm.regs[in.R2&15])+uint32(in.Imm)]
+		case OpStore:
+			vm.mem[uint32(vm.regs[in.R2&15])+uint32(in.Imm)] = vm.regs[in.R1&15]
+		case OpCmp:
+			a, b := vm.regs[in.R1&15], vm.regs[in.R2&15]
+			vm.zero = a == b
+			vm.less = a < b
+		case OpTest:
+			v := vm.regs[in.R1&15] & vm.regs[in.R2&15]
+			vm.zero = v == 0
+			vm.less = v < 0
+		case OpJmp:
+			next = uint32(in.Imm)
+		case OpJz:
+			if vm.zero {
+				next = uint32(in.Imm)
+			}
+		case OpJnz:
+			if !vm.zero {
+				next = uint32(in.Imm)
+			}
+		case OpJlt:
+			if vm.less {
+				next = uint32(in.Imm)
+			}
+		case OpJge:
+			if !vm.less {
+				next = uint32(in.Imm)
+			}
+		case OpCall:
+			vm.stack = append(vm.stack, next)
+			next = uint32(in.Imm)
+		case OpRet:
+			if len(vm.stack) == 0 {
+				return fmt.Errorf("isa: ret with empty call stack at 0x%x", pc)
+			}
+			next = vm.stack[len(vm.stack)-1]
+			vm.stack = vm.stack[:len(vm.stack)-1]
+		case OpSys:
+			vm.Syscalls = append(vm.Syscalls, [2]int64{int64(in.Imm), vm.regs[0]})
+		case OpHalt:
+			return nil
+		default:
+			return fmt.Errorf("isa: unexecutable opcode %s at 0x%x", in.Op, pc)
+		}
+		pc = next
+	}
+	return ErrStepLimit
+}

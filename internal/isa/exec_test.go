@@ -1,0 +1,143 @@
+package isa
+
+import "testing"
+
+// runProgram assembles and executes a single-block program body,
+// returning the VM for inspection.
+func runProgram(t *testing.T, body []Inst) *VM {
+	t.Helper()
+	p := &Program{Funcs: []*Function{{
+		Name:   "main",
+		Blocks: []*Block{{Label: "entry", Body: body, Term: TermHalt{}}},
+	}}}
+	bin, _, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	vm := NewVM(bin)
+	if err := vm.Run(1000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return vm
+}
+
+func TestVMArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		body []Inst
+		want int64 // expected r0 reported via syscall
+	}{
+		{"add", []Inst{
+			{Op: OpMovI, R1: 0, Imm: 3}, {Op: OpMovI, R1: 1, Imm: 4},
+			{Op: OpAdd, R1: 0, R2: 1}, {Op: OpSys, Imm: 1},
+		}, 7},
+		{"sub", []Inst{
+			{Op: OpMovI, R1: 0, Imm: 10}, {Op: OpMovI, R1: 1, Imm: 4},
+			{Op: OpSub, R1: 0, R2: 1}, {Op: OpSys, Imm: 1},
+		}, 6},
+		{"mul", []Inst{
+			{Op: OpMovI, R1: 0, Imm: 6}, {Op: OpMovI, R1: 1, Imm: 7},
+			{Op: OpMul, R1: 0, R2: 1}, {Op: OpSys, Imm: 1},
+		}, 42},
+		{"xor", []Inst{
+			{Op: OpMovI, R1: 0, Imm: 0b1100}, {Op: OpMovI, R1: 1, Imm: 0b1010},
+			{Op: OpXor, R1: 0, R2: 1}, {Op: OpSys, Imm: 1},
+		}, 0b0110},
+		{"and", []Inst{
+			{Op: OpMovI, R1: 0, Imm: 0b1100}, {Op: OpMovI, R1: 1, Imm: 0b1010},
+			{Op: OpAnd, R1: 0, R2: 1}, {Op: OpSys, Imm: 1},
+		}, 0b1000},
+		{"or", []Inst{
+			{Op: OpMovI, R1: 0, Imm: 0b1100}, {Op: OpMovI, R1: 1, Imm: 0b1010},
+			{Op: OpOr, R1: 0, R2: 1}, {Op: OpSys, Imm: 1},
+		}, 0b1110},
+		{"shl", []Inst{
+			{Op: OpMovI, R1: 0, Imm: 3}, {Op: OpShl, R1: 0, Imm: 2}, {Op: OpSys, Imm: 1},
+		}, 12},
+		{"shr", []Inst{
+			{Op: OpMovI, R1: 0, Imm: 12}, {Op: OpShr, R1: 0, Imm: 2}, {Op: OpSys, Imm: 1},
+		}, 3},
+		{"mov", []Inst{
+			{Op: OpMovI, R1: 1, Imm: 99}, {Op: OpMov, R1: 0, R2: 1}, {Op: OpSys, Imm: 1},
+		}, 99},
+		{"nop", []Inst{
+			{Op: OpMovI, R1: 0, Imm: 5}, {Op: OpNop}, {Op: OpSys, Imm: 1},
+		}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			vm := runProgram(t, tt.body)
+			if len(vm.Syscalls) != 1 || vm.Syscalls[0][1] != tt.want {
+				t.Fatalf("r0 = %v, want %d", vm.Syscalls, tt.want)
+			}
+		})
+	}
+}
+
+func TestVMLoadStore(t *testing.T) {
+	vm := runProgram(t, []Inst{
+		{Op: OpMovI, R1: 0, Imm: 77},
+		{Op: OpMovI, R1: 2, Imm: 0x2000},    // base address
+		{Op: OpStore, R1: 0, R2: 2, Imm: 8}, // mem[0x2008] = 77
+		{Op: OpMovI, R1: 0, Imm: 0},         // clear
+		{Op: OpLoad, R1: 0, R2: 2, Imm: 8},  // r0 = mem[0x2008]
+		{Op: OpSys, Imm: 1},
+	})
+	if vm.Syscalls[0][1] != 77 {
+		t.Fatalf("load/store round trip = %v", vm.Syscalls)
+	}
+}
+
+func TestVMFlags(t *testing.T) {
+	// cmp sets less/zero; verify via conditional jump behaviour in a
+	// two-block program.
+	p := &Program{Funcs: []*Function{{
+		Name: "main",
+		Blocks: []*Block{
+			{
+				Label: "entry",
+				Body: []Inst{
+					{Op: OpMovI, R1: 0, Imm: 1},
+					{Op: OpMovI, R1: 1, Imm: 2},
+					{Op: OpCmp, R1: 0, R2: 1}, // 1 < 2: less=true, zero=false
+				},
+				Term: TermCond{Op: OpJlt, To: "less", Else: "notless"},
+			},
+			{Label: "notless", Body: []Inst{{Op: OpSys, Imm: 0}}, Term: TermHalt{}},
+			{Label: "less", Body: []Inst{{Op: OpSys, Imm: 1}}, Term: TermHalt{}},
+		},
+	}}}
+	bin, _, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(bin)
+	if err := vm.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Syscalls) != 1 || vm.Syscalls[0][0] != 1 {
+		t.Fatalf("jlt took wrong branch: %v", vm.Syscalls)
+	}
+}
+
+func TestVMRetWithoutCall(t *testing.T) {
+	p := &Program{Funcs: []*Function{{
+		Name:   "main",
+		Blocks: []*Block{{Label: "entry", Term: TermRet{}}},
+	}}}
+	bin, _, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewVM(bin).Run(10); err == nil {
+		t.Fatal("ret with empty stack should error")
+	}
+}
+
+func TestVMStepsCounted(t *testing.T) {
+	vm := runProgram(t, []Inst{{Op: OpNop}, {Op: OpNop}})
+	// 2 nops + halt = 3 steps.
+	if vm.Steps != 3 {
+		t.Fatalf("Steps = %d, want 3", vm.Steps)
+	}
+}

@@ -1,0 +1,52 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatAsm renders a Program as assembly text that ParseAsm accepts,
+// with explicit else/continuation labels so the round trip preserves
+// block structure exactly.
+func FormatAsm(p *Program) string {
+	var b strings.Builder
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, ".func %s\n", f.Name)
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:\n", blk.Label)
+			for _, in := range blk.Body {
+				fmt.Fprintf(&b, "    %s\n", formatInst(in))
+			}
+			switch t := blk.Term.(type) {
+			case TermJump:
+				fmt.Fprintf(&b, "    jmp %s\n", t.To)
+			case TermCond:
+				fmt.Fprintf(&b, "    %s %s, %s\n", t.Op, t.To, t.Else)
+			case TermCall:
+				fmt.Fprintf(&b, "    call %s, %s\n", t.Target, t.Ret)
+			case TermRet:
+				b.WriteString("    ret\n")
+			case TermHalt:
+				b.WriteString("    halt\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+func formatInst(in Inst) string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpMovI:
+		return fmt.Sprintf("movi r%d, %d", in.R1, in.Imm)
+	case OpShl, OpShr:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.R1, in.Imm)
+	case OpLoad, OpStore:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.R1, in.R2, in.Imm)
+	case OpSys:
+		return fmt.Sprintf("sys %d", in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.R1, in.R2)
+	}
+}

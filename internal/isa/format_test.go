@@ -1,0 +1,78 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFormatAsmRoundTrip(t *testing.T) {
+	p := twoBlockProgram()
+	text := FormatAsm(p)
+	parsed, err := ParseAsm(text)
+	if err != nil {
+		t.Fatalf("ParseAsm(FormatAsm(p)): %v\n%s", err, text)
+	}
+	b1, _, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := Assemble(parsed, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1.Section(".text").Data, b2.Section(".text").Data) {
+		t.Fatal("round trip changed assembled text section")
+	}
+}
+
+func TestFormatAsmCoversEveryTerminator(t *testing.T) {
+	p := &Program{Funcs: []*Function{
+		{
+			Name: "main",
+			Blocks: []*Block{
+				{Label: "entry", Body: []Inst{{Op: OpCmp, R1: 0, R2: 1}},
+					Term: TermCond{Op: OpJz, To: "done", Else: "mid"}},
+				{Label: "mid", Term: TermCall{Target: "fn", Ret: "done"}},
+				{Label: "done", Term: TermHalt{}},
+			},
+		},
+		{
+			Name:   "f",
+			Blocks: []*Block{{Label: "fn", Term: TermRet{}}},
+		},
+	}}
+	parsed, err := ParseAsm(FormatAsm(p))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if parsed.NumBlocks() != p.NumBlocks() {
+		t.Fatalf("block count changed: %d vs %d", parsed.NumBlocks(), p.NumBlocks())
+	}
+}
+
+func TestFormatAsmCoversEveryInstruction(t *testing.T) {
+	body := []Inst{
+		{Op: OpNop},
+		{Op: OpMov, R1: 1, R2: 2},
+		{Op: OpMovI, R1: 3, Imm: -7},
+		{Op: OpAdd, R1: 1, R2: 2},
+		{Op: OpShl, R1: 1, Imm: 3},
+		{Op: OpShr, R1: 1, Imm: 1},
+		{Op: OpLoad, R1: 1, R2: 2, Imm: 16},
+		{Op: OpStore, R1: 1, R2: 2, Imm: 16},
+		{Op: OpTest, R1: 1, R2: 1},
+		{Op: OpSys, Imm: 9},
+	}
+	p := &Program{Funcs: []*Function{{
+		Name:   "main",
+		Blocks: []*Block{{Label: "entry", Body: body, Term: TermHalt{}}},
+	}}}
+	parsed, err := ParseAsm(FormatAsm(p))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	got := parsed.Funcs[0].Blocks[0].Body
+	if !reflect.DeepEqual(got, body) {
+		t.Fatalf("instructions changed:\n got %v\nwant %v", got, body)
+	}
+}

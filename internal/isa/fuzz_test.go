@@ -1,0 +1,63 @@
+package isa
+
+import "testing"
+
+// FuzzDecodeBinary hardens the SOTB parser against malformed
+// containers: arbitrary input must either decode into a structurally
+// valid Binary or return an error — never panic or over-allocate.
+func FuzzDecodeBinary(f *testing.F) {
+	bin, _, err := Assemble(twoBlockProgram(), AsmOptions{Data: []byte("seed")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := bin.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add([]byte("SOTB"))
+	f.Add([]byte{})
+	f.Add(append([]byte("SOTB\x01\xff"), make([]byte, 64)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip consistently.
+		re, err := b.Encode()
+		if err != nil {
+			t.Fatalf("decoded binary failed to encode: %v", err)
+		}
+		b2, err := DecodeBinary(re)
+		if err != nil {
+			t.Fatalf("re-encoded binary failed to decode: %v", err)
+		}
+		if len(b2.Sections) != len(b.Sections) || b2.Entry != b.Entry {
+			t.Fatal("round trip changed structure")
+		}
+	})
+}
+
+// FuzzDecodeInst checks the instruction decoder never panics and only
+// accepts defined opcodes.
+func FuzzDecodeInst(f *testing.F) {
+	f.Add([]byte{byte(OpJmp), 0, 0, 0, 1, 2, 3, 4})
+	f.Add(make([]byte, InstSize))
+	f.Add([]byte{1, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !in.Op.Valid() {
+			t.Fatalf("decoder accepted invalid opcode %d", in.Op)
+		}
+		enc := in.Encode(nil)
+		re, err := Decode(enc)
+		if err != nil || re != in {
+			t.Fatalf("round trip failed: %v vs %v (%v)", re, in, err)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Package isa defines SOT-32, the synthetic 32-bit instruction set this
+// repository uses in place of the real IoT (ARM/MIPS) binaries the paper
+// analyzed with radare2. The ISA is deliberately small but carries the
+// properties Soteria's pipeline depends on: fixed-width encodable
+// instructions, direct and conditional branches, calls, returns, and a
+// section-based binary container in which unreachable code can be planted
+// (the binary-level adversarial manipulations of section II).
+//
+// Every instruction encodes to exactly 8 bytes:
+//
+//	byte 0   opcode
+//	byte 1   first register operand
+//	byte 2   second register operand
+//	byte 3   reserved flags (zero)
+//	byte 4-7 32-bit little-endian immediate
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcode enumerates SOT-32 operations. The zero value is invalid so that
+// zero-filled padding never decodes as a meaningful instruction.
+type Opcode uint8
+
+// SOT-32 opcodes.
+const (
+	OpInvalid Opcode = iota
+	OpNop
+	OpMov   // r1 <- r2
+	OpMovI  // r1 <- imm
+	OpAdd   // r1 <- r1 + r2
+	OpSub   // r1 <- r1 - r2
+	OpMul   // r1 <- r1 * r2
+	OpXor   // r1 <- r1 ^ r2
+	OpAnd   // r1 <- r1 & r2
+	OpOr    // r1 <- r1 | r2
+	OpShl   // r1 <- r1 << imm
+	OpShr   // r1 <- r1 >> imm
+	OpLoad  // r1 <- mem[r2 + imm]
+	OpStore // mem[r2 + imm] <- r1
+	OpCmp   // flags <- compare(r1, r2)
+	OpTest  // flags <- r1 & r2
+	OpJmp   // pc <- imm
+	OpJz    // if zero flag: pc <- imm
+	OpJnz   // if !zero flag: pc <- imm
+	OpJlt   // if less flag: pc <- imm
+	OpJge   // if !less flag: pc <- imm
+	OpCall  // push pc; pc <- imm
+	OpRet   // pc <- pop
+	OpSys   // system call #imm
+	OpHalt  // stop
+
+	opMax // sentinel, keep last
+)
+
+var opNames = map[Opcode]string{
+	OpInvalid: "invalid",
+	OpNop:     "nop",
+	OpMov:     "mov",
+	OpMovI:    "movi",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpXor:     "xor",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpCmp:     "cmp",
+	OpTest:    "test",
+	OpJmp:     "jmp",
+	OpJz:      "jz",
+	OpJnz:     "jnz",
+	OpJlt:     "jlt",
+	OpJge:     "jge",
+	OpCall:    "call",
+	OpRet:     "ret",
+	OpSys:     "sys",
+	OpHalt:    "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether the opcode is a defined SOT-32 operation
+// (excluding OpInvalid).
+func (op Opcode) Valid() bool { return op > OpInvalid && op < opMax }
+
+// IsBranch reports whether the opcode is a direct or conditional jump.
+func (op Opcode) IsBranch() bool {
+	switch op {
+	case OpJmp, OpJz, OpJnz, OpJlt, OpJge:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the opcode is a conditional jump.
+func (op Opcode) IsConditional() bool {
+	switch op {
+	case OpJz, OpJnz, OpJlt, OpJge:
+		return true
+	}
+	return false
+}
+
+// Terminates reports whether the opcode ends a basic block: any branch,
+// call, return, or halt. Calls terminate blocks because the CFG models
+// the call edge and the fall-through return edge explicitly.
+func (op Opcode) Terminates() bool {
+	return op.IsBranch() || op == OpCall || op == OpRet || op == OpHalt
+}
+
+// InstSize is the fixed encoded size of every SOT-32 instruction.
+const InstSize = 8
+
+// Inst is a single SOT-32 instruction.
+type Inst struct {
+	Op  Opcode
+	R1  uint8
+	R2  uint8
+	Imm int32
+}
+
+// String renders the instruction in assembly-like form.
+func (in Inst) String() string {
+	switch {
+	case in.Op.IsBranch() || in.Op == OpCall:
+		return fmt.Sprintf("%s 0x%x", in.Op, uint32(in.Imm))
+	case in.Op == OpRet || in.Op == OpHalt || in.Op == OpNop:
+		return in.Op.String()
+	case in.Op == OpSys:
+		return fmt.Sprintf("sys %d", in.Imm)
+	case in.Op == OpMovI:
+		return fmt.Sprintf("movi r%d, %d", in.R1, in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.R1, in.R2)
+	}
+}
+
+// Encode appends the 8-byte encoding of the instruction to dst.
+func (in Inst) Encode(dst []byte) []byte {
+	var buf [InstSize]byte
+	buf[0] = byte(in.Op)
+	buf[1] = in.R1
+	buf[2] = in.R2
+	buf[3] = 0
+	binary.LittleEndian.PutUint32(buf[4:], uint32(in.Imm))
+	return append(dst, buf[:]...)
+}
+
+// Decode parses one instruction from the front of src. It returns an
+// error if src holds fewer than InstSize bytes or the opcode is invalid.
+func Decode(src []byte) (Inst, error) {
+	if len(src) < InstSize {
+		return Inst{}, fmt.Errorf("isa: short instruction: %d bytes", len(src))
+	}
+	in := Inst{
+		Op:  Opcode(src[0]),
+		R1:  src[1],
+		R2:  src[2],
+		Imm: int32(binary.LittleEndian.Uint32(src[4:8])),
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode 0x%02x", src[0])
+	}
+	return in, nil
+}

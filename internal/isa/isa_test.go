@@ -1,0 +1,438 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeString(t *testing.T) {
+	if got := OpJmp.String(); got != "jmp" {
+		t.Fatalf("OpJmp.String() = %q", got)
+	}
+	if got := Opcode(200).String(); got != "op(200)" {
+		t.Fatalf("unknown opcode string = %q", got)
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	tests := []struct {
+		op          Opcode
+		branch      bool
+		conditional bool
+		terminates  bool
+	}{
+		{OpJmp, true, false, true},
+		{OpJz, true, true, true},
+		{OpJnz, true, true, true},
+		{OpJlt, true, true, true},
+		{OpJge, true, true, true},
+		{OpCall, false, false, true},
+		{OpRet, false, false, true},
+		{OpHalt, false, false, true},
+		{OpAdd, false, false, false},
+		{OpSys, false, false, false},
+		{OpNop, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.IsBranch(); got != tt.branch {
+			t.Errorf("%s.IsBranch() = %v, want %v", tt.op, got, tt.branch)
+		}
+		if got := tt.op.IsConditional(); got != tt.conditional {
+			t.Errorf("%s.IsConditional() = %v, want %v", tt.op, got, tt.conditional)
+		}
+		if got := tt.op.Terminates(); got != tt.terminates {
+			t.Errorf("%s.Terminates() = %v, want %v", tt.op, got, tt.terminates)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, r1, r2 uint8, imm int32) bool {
+		in := Inst{Op: Opcode(op%uint8(opMax-1)) + 1, R1: r1, R2: r2, Imm: imm}
+		enc := in.Encode(nil)
+		if len(enc) != InstSize {
+			return false
+		}
+		dec, err := Decode(enc)
+		return err == nil && dec == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short input should error")
+	}
+	if _, err := Decode(make([]byte, InstSize)); err == nil {
+		t.Fatal("zero opcode should error")
+	}
+	bad := Inst{Op: opMax, Imm: 1}.Encode(nil)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("out-of-range opcode should error")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpJmp, Imm: 0x1000}, "jmp 0x1000"},
+		{Inst{Op: OpRet}, "ret"},
+		{Inst{Op: OpSys, Imm: 7}, "sys 7"},
+		{Inst{Op: OpMovI, R1: 3, Imm: -2}, "movi r3, -2"},
+		{Inst{Op: OpAdd, R1: 1, R2: 2}, "add r1, r2"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// twoBlockProgram builds: entry (cmp, jz exit else loop), loop (jmp entry),
+// exit (halt) — a small loop with a conditional escape.
+func twoBlockProgram() *Program {
+	return &Program{Funcs: []*Function{{
+		Name: "main",
+		Blocks: []*Block{
+			{
+				Label: "entry",
+				Body:  []Inst{{Op: OpMovI, R1: 0, Imm: 0}, {Op: OpCmp, R1: 0, R2: 0}},
+				Term:  TermCond{Op: OpJz, To: "exit", Else: "loop"},
+			},
+			{
+				Label: "loop",
+				Body:  []Inst{{Op: OpAdd, R1: 0, R2: 1}},
+				Term:  TermJump{To: "entry"},
+			},
+			{
+				Label: "exit",
+				Term:  TermHalt{},
+			},
+		},
+	}}}
+}
+
+func TestProgramValidateOK(t *testing.T) {
+	if err := twoBlockProgram().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestProgramValidateErrors(t *testing.T) {
+	mk := func(mutate func(*Program)) *Program {
+		p := twoBlockProgram()
+		mutate(p)
+		return p
+	}
+	tests := []struct {
+		name string
+		p    *Program
+	}{
+		{"empty", &Program{}},
+		{"empty function", &Program{Funcs: []*Function{{Name: "f"}}}},
+		{"duplicate label", mk(func(p *Program) { p.Funcs[0].Blocks[1].Label = "entry" })},
+		{"unlabeled block", mk(func(p *Program) { p.Funcs[0].Blocks[1].Label = "" })},
+		{"missing terminator", mk(func(p *Program) { p.Funcs[0].Blocks[2].Term = nil })},
+		{"unknown target", mk(func(p *Program) { p.Funcs[0].Blocks[1].Term = TermJump{To: "nowhere"} })},
+		{"cf opcode in body", mk(func(p *Program) {
+			p.Funcs[0].Blocks[0].Body = append(p.Funcs[0].Blocks[0].Body, Inst{Op: OpJmp})
+		})},
+		{"invalid opcode in body", mk(func(p *Program) {
+			p.Funcs[0].Blocks[0].Body = append(p.Funcs[0].Blocks[0].Body, Inst{Op: OpInvalid})
+		})},
+		{"non-conditional cond op", mk(func(p *Program) {
+			p.Funcs[0].Blocks[0].Term = TermCond{Op: OpJmp, To: "exit", Else: "loop"}
+		})},
+		{"bad call target", mk(func(p *Program) {
+			p.Funcs[0].Blocks[0].Term = TermCall{Target: "ghost", Ret: "exit"}
+		})},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestProgramCloneIndependent(t *testing.T) {
+	p := twoBlockProgram()
+	c := p.Clone()
+	c.Funcs[0].Blocks[0].Label = "mutated"
+	c.Funcs[0].Blocks[0].Body[0].Imm = 99
+	if p.Funcs[0].Blocks[0].Label != "entry" {
+		t.Fatal("clone shares labels with original")
+	}
+	if p.Funcs[0].Blocks[0].Body[0].Imm != 0 {
+		t.Fatal("clone shares body slices with original")
+	}
+}
+
+func TestRelabelPrefix(t *testing.T) {
+	p := twoBlockProgram().RelabelPrefix("x_")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("relabeled program invalid: %v", err)
+	}
+	if got := p.Entry(); got != "x_entry" {
+		t.Fatalf("Entry = %q, want x_entry", got)
+	}
+	term, ok := p.Funcs[0].Blocks[0].Term.(TermCond)
+	if !ok || term.To != "x_exit" || term.Else != "x_loop" {
+		t.Fatalf("terminator not relabeled: %+v", p.Funcs[0].Blocks[0].Term)
+	}
+}
+
+func TestNumBlocksAndBlock(t *testing.T) {
+	p := twoBlockProgram()
+	if got := p.NumBlocks(); got != 3 {
+		t.Fatalf("NumBlocks = %d, want 3", got)
+	}
+	if b := p.Block("loop"); b == nil || b.Label != "loop" {
+		t.Fatalf("Block(loop) = %+v", b)
+	}
+	if b := p.Block("ghost"); b != nil {
+		t.Fatal("Block(ghost) should be nil")
+	}
+}
+
+func TestAssembleLayout(t *testing.T) {
+	p := twoBlockProgram()
+	bin, addr, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if bin.Entry != DefaultBase {
+		t.Fatalf("Entry = 0x%x, want 0x%x", bin.Entry, DefaultBase)
+	}
+	// entry: 2 body + 1 cond (else==next) = 3 insts; loop: 1 + 1 = 2;
+	// exit: 1.
+	if want := DefaultBase + 3*InstSize; addr["loop"] != want {
+		t.Fatalf("loop addr = 0x%x, want 0x%x", addr["loop"], want)
+	}
+	if want := DefaultBase + 5*InstSize; addr["exit"] != want {
+		t.Fatalf("exit addr = 0x%x, want 0x%x", addr["exit"], want)
+	}
+	text := bin.Section(".text")
+	if text == nil || !text.Executable() {
+		t.Fatal("missing executable .text section")
+	}
+	if got, want := len(text.Data), 6*InstSize; got != want {
+		t.Fatalf("text size = %d, want %d", got, want)
+	}
+}
+
+func TestAssembleTrampoline(t *testing.T) {
+	// Else target not next in layout forces a JMP trampoline.
+	p := &Program{Funcs: []*Function{{
+		Name: "main",
+		Blocks: []*Block{
+			{Label: "a", Term: TermCond{Op: OpJnz, To: "b", Else: "c"}},
+			{Label: "b", Term: TermHalt{}},
+			{Label: "c", Term: TermHalt{}},
+		},
+	}}}
+	bin, _, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	// a: jnz + jmp = 2 insts, b: 1, c: 1.
+	if got, want := len(bin.Section(".text").Data), 4*InstSize; got != want {
+		t.Fatalf("text size = %d, want %d", got, want)
+	}
+}
+
+func TestAssembleWithData(t *testing.T) {
+	bin, _, err := Assemble(twoBlockProgram(), AsmOptions{Data: []byte("config")})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	data := bin.Section(".data")
+	if data == nil || data.Executable() || string(data.Data) != "config" {
+		t.Fatalf("bad .data section: %+v", data)
+	}
+	if data.Addr%0x1000 != 0 {
+		t.Fatalf(".data not page aligned: 0x%x", data.Addr)
+	}
+}
+
+func TestBinaryEncodeDecodeRoundTrip(t *testing.T) {
+	bin, _, err := Assemble(twoBlockProgram(), AsmOptions{Data: []byte{1, 2, 3}})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	enc, err := bin.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if dec.Entry != bin.Entry || len(dec.Sections) != len(bin.Sections) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", dec, bin)
+	}
+	for i := range bin.Sections {
+		a, b := bin.Sections[i], dec.Sections[i]
+		if a.Name != b.Name || a.Addr != b.Addr || a.Flags != b.Flags || string(a.Data) != string(b.Data) {
+			t.Fatalf("section %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestDecodeBinaryErrors(t *testing.T) {
+	if _, err := DecodeBinary([]byte("ELF!")); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	bin, _, _ := Assemble(twoBlockProgram(), AsmOptions{})
+	enc, _ := bin.Encode()
+	if _, err := DecodeBinary(enc[:8]); err == nil {
+		t.Fatal("truncated container should error")
+	}
+	// Corrupt version byte.
+	bad := append([]byte(nil), enc...)
+	bad[4] = 99
+	if _, err := DecodeBinary(bad); err == nil {
+		t.Fatal("bad version should error")
+	}
+}
+
+func TestAppendSection(t *testing.T) {
+	bin, _, _ := Assemble(twoBlockProgram(), AsmOptions{})
+	before := bin.MaxAddr()
+	addr := bin.AppendSection(".junk", 0, []byte{0xde, 0xad})
+	if addr < before || addr%0x1000 != 0 {
+		t.Fatalf("appended addr 0x%x not page aligned after 0x%x", addr, before)
+	}
+	if s := bin.Section(".junk"); s == nil || s.Executable() {
+		t.Fatalf("junk section wrong: %+v", s)
+	}
+	if s := bin.SectionAt(addr); s == nil || s.Name != ".junk" {
+		t.Fatalf("SectionAt(0x%x) = %+v", addr, s)
+	}
+}
+
+func TestVMRunsLoopProgram(t *testing.T) {
+	// Count r0 from 0 to 3, emitting a syscall each iteration, then halt.
+	p := &Program{Funcs: []*Function{{
+		Name: "main",
+		Blocks: []*Block{
+			{
+				Label: "entry",
+				Body: []Inst{
+					{Op: OpMovI, R1: 0, Imm: 0}, // r0 = 0
+					{Op: OpMovI, R1: 1, Imm: 3}, // r1 = 3
+					{Op: OpMovI, R1: 2, Imm: 1}, // r2 = 1
+				},
+				Term: TermJump{To: "loop"},
+			},
+			{
+				Label: "loop",
+				Body: []Inst{
+					{Op: OpSys, Imm: 42},
+					{Op: OpAdd, R1: 0, R2: 2}, // r0 += 1
+					{Op: OpCmp, R1: 0, R2: 1},
+				},
+				Term: TermCond{Op: OpJlt, To: "loop", Else: "exit"},
+			},
+			{Label: "exit", Term: TermHalt{}},
+		},
+	}}}
+	bin, _, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	vm := NewVM(bin)
+	if err := vm.Run(1000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(vm.Syscalls) != 3 {
+		t.Fatalf("syscalls = %d, want 3", len(vm.Syscalls))
+	}
+	for i, sc := range vm.Syscalls {
+		if sc[0] != 42 || sc[1] != int64(i) {
+			t.Fatalf("syscall %d = %v", i, sc)
+		}
+	}
+}
+
+func TestVMCallRet(t *testing.T) {
+	p := &Program{Funcs: []*Function{
+		{
+			Name: "main",
+			Blocks: []*Block{
+				{
+					Label: "entry",
+					Body:  []Inst{{Op: OpMovI, R1: 0, Imm: 5}},
+					Term:  TermCall{Target: "fn", Ret: "after"},
+				},
+				{
+					Label: "after",
+					Body:  []Inst{{Op: OpSys, Imm: 1}},
+					Term:  TermHalt{},
+				},
+			},
+		},
+		{
+			Name: "double",
+			Blocks: []*Block{
+				{
+					Label: "fn",
+					Body:  []Inst{{Op: OpAdd, R1: 0, R2: 0}},
+					Term:  TermRet{},
+				},
+			},
+		},
+	}}
+	bin, _, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	vm := NewVM(bin)
+	if err := vm.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(vm.Syscalls) != 1 || vm.Syscalls[0][1] != 10 {
+		t.Fatalf("syscalls = %v, want [[1 10]]", vm.Syscalls)
+	}
+}
+
+func TestVMStepLimit(t *testing.T) {
+	p := &Program{Funcs: []*Function{{
+		Name: "main",
+		Blocks: []*Block{
+			{Label: "spin", Term: TermJump{To: "spin"}},
+		},
+	}}}
+	bin, _, _ := Assemble(p, AsmOptions{})
+	if err := NewVM(bin).Run(50); err != ErrStepLimit {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestVMRejectsNonExecutablePC(t *testing.T) {
+	bin, _, _ := Assemble(twoBlockProgram(), AsmOptions{})
+	bin.Entry = 0xdead000
+	if err := NewVM(bin).Run(10); err == nil {
+		t.Fatal("expected error for pc outside executable sections")
+	}
+}
+
+func TestBlockAddrsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := map[string]uint32{}
+	for i := 0; i < 20; i++ {
+		m[string(rune('a'+i))] = uint32(rng.Intn(1 << 20))
+	}
+	addrs := BlockAddrs(m)
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i-1] > addrs[i] {
+			t.Fatal("BlockAddrs not sorted")
+		}
+	}
+}

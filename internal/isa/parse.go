@@ -1,0 +1,316 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm parses SOT-32 assembly text into a Program. The syntax is
+// line oriented:
+//
+//	; comment                     (also after any instruction)
+//	.func NAME                    begins a function
+//	label:                        begins a basic block
+//	    movi r0, 42               straight-line instruction
+//	    cmp r0, r1
+//	    jlt loop                  conditional: taken target; else falls
+//	                              through to the next block
+//	    jlt loop, exit            conditional with explicit else
+//	    call fn                   call; returns to the next block
+//	    call fn, cont             call with explicit continuation
+//	    jmp exit | ret | halt     other terminators
+//
+// Blocks without an explicit terminator fall through via an implicit
+// jmp to the next block in the function. The first block of the first
+// function is the program entry.
+func ParseAsm(src string) (*Program, error) {
+	p := &Program{}
+	var fn *Function
+	var blk *Block
+	pendingFall := []*Block{} // blocks awaiting fallthrough target
+
+	closeBlock := func(next string) {
+		for _, b := range pendingFall {
+			b.Term = TermJump{To: next}
+		}
+		pendingFall = pendingFall[:0]
+	}
+
+	flushCond := func(b *Block, next string) error {
+		switch t := b.Term.(type) {
+		case TermCond:
+			if t.Else == "" {
+				if next == "" {
+					return fmt.Errorf("conditional in block %q needs a following block or explicit else", b.Label)
+				}
+				b.Term = TermCond{Op: t.Op, To: t.To, Else: next}
+			}
+		case TermCall:
+			if t.Ret == "" {
+				if next == "" {
+					return fmt.Errorf("call in block %q needs a following block or explicit continuation", b.Label)
+				}
+				b.Term = TermCall{Target: t.Target, Ret: next}
+			}
+		}
+		return nil
+	}
+
+	startBlock := func(label string, line int) error {
+		if fn == nil {
+			return fmt.Errorf("line %d: label %q outside .func", line, label)
+		}
+		nb := &Block{Label: label}
+		if blk != nil {
+			if blk.Term == nil {
+				pendingFall = append(pendingFall, blk)
+			}
+			if err := flushCond(blk, label); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+		}
+		closeBlock(label)
+		fn.Blocks = append(fn.Blocks, nb)
+		blk = nb
+		return nil
+	}
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+
+		if strings.HasPrefix(line, ".func") {
+			name := strings.TrimSpace(strings.TrimPrefix(line, ".func"))
+			if name == "" {
+				return nil, fmt.Errorf("line %d: .func needs a name", lineNo)
+			}
+			if blk != nil && blk.Term == nil {
+				return nil, fmt.Errorf("line %d: block %q has no terminator before new function", lineNo, blk.Label)
+			}
+			if blk != nil {
+				if err := flushCond(blk, ""); err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+			}
+			if len(pendingFall) > 0 {
+				return nil, fmt.Errorf("line %d: dangling fallthrough before new function", lineNo)
+			}
+			fn = &Function{Name: name}
+			p.Funcs = append(p.Funcs, fn)
+			blk = nil
+			continue
+		}
+
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			if !validLabel(label) {
+				return nil, fmt.Errorf("line %d: invalid label %q", lineNo, label)
+			}
+			if err := startBlock(label, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		if blk == nil {
+			return nil, fmt.Errorf("line %d: instruction outside a block", lineNo)
+		}
+		if blk.Term != nil {
+			return nil, fmt.Errorf("line %d: instruction after terminator in block %q", lineNo, blk.Label)
+		}
+		if err := parseInstLine(line, blk); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	if blk != nil {
+		if blk.Term == nil {
+			return nil, fmt.Errorf("final block %q has no terminator", blk.Label)
+		}
+		if err := flushCond(blk, ""); err != nil {
+			return nil, err
+		}
+	}
+	if len(pendingFall) > 0 {
+		return nil, fmt.Errorf("dangling fallthrough at end of program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInstLine parses one mnemonic line into blk (body instruction or
+// terminator).
+func parseInstLine(line string, blk *Block) error {
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+	op := fields[0]
+	args := fields[1:]
+
+	reg := func(s string) (uint8, error) {
+		if len(s) < 2 || s[0] != 'r' {
+			return 0, fmt.Errorf("expected register, got %q", s)
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n > 15 {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return uint8(n), nil
+	}
+	imm := func(s string) (int32, error) {
+		n, err := strconv.ParseInt(s, 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int32(n), nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	rr := map[string]Opcode{
+		"mov": OpMov, "add": OpAdd, "sub": OpSub, "mul": OpMul,
+		"xor": OpXor, "and": OpAnd, "or": OpOr, "cmp": OpCmp, "test": OpTest,
+	}
+	ri := map[string]Opcode{"shl": OpShl, "shr": OpShr}
+	mem := map[string]Opcode{"load": OpLoad, "store": OpStore}
+	cond := map[string]Opcode{"jz": OpJz, "jnz": OpJnz, "jlt": OpJlt, "jge": OpJge}
+
+	switch {
+	case op == "nop":
+		if err := need(0); err != nil {
+			return err
+		}
+		blk.Body = append(blk.Body, Inst{Op: OpNop})
+	case op == "movi":
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := imm(args[1])
+		if err != nil {
+			return err
+		}
+		blk.Body = append(blk.Body, Inst{Op: OpMovI, R1: r, Imm: v})
+	case rr[op] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		r1, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		r2, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		blk.Body = append(blk.Body, Inst{Op: rr[op], R1: r1, R2: r2})
+	case ri[op] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := imm(args[1])
+		if err != nil {
+			return err
+		}
+		blk.Body = append(blk.Body, Inst{Op: ri[op], R1: r, Imm: v})
+	case mem[op] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		r1, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		r2, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := imm(args[2])
+		if err != nil {
+			return err
+		}
+		blk.Body = append(blk.Body, Inst{Op: mem[op], R1: r1, R2: r2, Imm: v})
+	case op == "sys":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := imm(args[0])
+		if err != nil {
+			return err
+		}
+		blk.Body = append(blk.Body, Inst{Op: OpSys, Imm: v})
+	case op == "jmp":
+		if err := need(1); err != nil {
+			return err
+		}
+		blk.Term = TermJump{To: args[0]}
+	case cond[op] != 0:
+		if len(args) != 1 && len(args) != 2 {
+			return fmt.Errorf("%s expects 1 or 2 labels", op)
+		}
+		t := TermCond{Op: cond[op], To: args[0]}
+		if len(args) == 2 {
+			t.Else = args[1]
+		}
+		blk.Term = t
+	case op == "call":
+		if len(args) != 1 && len(args) != 2 {
+			return fmt.Errorf("call expects 1 or 2 labels")
+		}
+		t := TermCall{Target: args[0]}
+		if len(args) == 2 {
+			t.Ret = args[1]
+		}
+		blk.Term = t
+	case op == "ret":
+		if err := need(0); err != nil {
+			return err
+		}
+		blk.Term = TermRet{}
+	case op == "halt":
+		if err := need(0); err != nil {
+			return err
+		}
+		blk.Term = TermHalt{}
+	default:
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleAsm = `
+; count from 0 to 3, syscall each iteration
+.func main
+entry:
+    movi r0, 0
+    movi r1, 3
+    movi r2, 1
+    jmp loop
+loop:
+    sys 42
+    add r0, r2
+    cmp r0, r1
+    jlt loop          ; else falls through to exit
+exit:
+    halt
+`
+
+func TestParseAsmRoundTripExecution(t *testing.T) {
+	p, err := ParseAsm(sampleAsm)
+	if err != nil {
+		t.Fatalf("ParseAsm: %v", err)
+	}
+	if p.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3", p.NumBlocks())
+	}
+	bin, _, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	vm := NewVM(bin)
+	if err := vm.Run(1000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(vm.Syscalls) != 3 {
+		t.Fatalf("syscalls = %v, want 3 iterations", vm.Syscalls)
+	}
+}
+
+func TestParseAsmCallAndExplicitElse(t *testing.T) {
+	src := `
+.func main
+entry:
+    movi r0, 5
+    call double        ; implicit continuation: next block
+after:
+    cmp r0, r1
+    jz iszero, nonzero
+nonzero:
+    sys 1
+    halt
+iszero:
+    sys 0
+    halt
+.func helper
+double:
+    add r0, r0
+    ret
+`
+	p, err := ParseAsm(src)
+	if err != nil {
+		t.Fatalf("ParseAsm: %v", err)
+	}
+	bin, _, err := Assemble(p, AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(bin)
+	if err := vm.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// r0 = 10, r1 = 0 -> not zero -> sys 1.
+	if len(vm.Syscalls) != 1 || vm.Syscalls[0][0] != 1 || vm.Syscalls[0][1] != 10 {
+		t.Fatalf("syscalls = %v", vm.Syscalls)
+	}
+}
+
+func TestParseAsmFallthroughBlocks(t *testing.T) {
+	src := `
+.func main
+a:
+    movi r0, 1
+b:
+    sys 7
+    halt
+`
+	p, err := ParseAsm(src)
+	if err != nil {
+		t.Fatalf("ParseAsm: %v", err)
+	}
+	// Block a gets an implicit jmp b.
+	term, ok := p.Funcs[0].Blocks[0].Term.(TermJump)
+	if !ok || term.To != "b" {
+		t.Fatalf("implicit fallthrough missing: %+v", p.Funcs[0].Blocks[0].Term)
+	}
+}
+
+func TestParseAsmAllInstructions(t *testing.T) {
+	src := `
+.func main
+entry:
+    nop
+    mov r1, r2
+    movi r3, 0x10
+    add r1, r2
+    sub r1, r2
+    mul r1, r2
+    xor r1, r2
+    and r1, r2
+    or r1, r2
+    shl r1, 2
+    shr r1, 1
+    load r1, r2, 8
+    store r1, r2, 8
+    cmp r1, r2
+    test r1, r2
+    sys 3
+    halt
+`
+	p, err := ParseAsm(src)
+	if err != nil {
+		t.Fatalf("ParseAsm: %v", err)
+	}
+	if got := len(p.Funcs[0].Blocks[0].Body); got != 16 {
+		t.Fatalf("body insts = %d, want 16", got)
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no func", "entry:\n halt\n", "outside .func"},
+		{"inst outside block", ".func m\n nop\n", "outside a block"},
+		{"unknown op", ".func m\nentry:\n frobnicate r1\n halt\n", "unknown mnemonic"},
+		{"bad register", ".func m\nentry:\n mov r99, r1\n halt\n", "bad register"},
+		{"bad immediate", ".func m\nentry:\n movi r0, banana\n halt\n", "bad immediate"},
+		{"missing terminator", ".func m\nentry:\n nop\n", "no terminator"},
+		{"inst after terminator", ".func m\nentry:\n halt\n nop\n", "after terminator"},
+		{"operand count", ".func m\nentry:\n add r1\n halt\n", "expects 2 operands"},
+		{"bad label", ".func m\n9lives:\n halt\n", "invalid label"},
+		{"unknown target", ".func m\nentry:\n jmp ghost\n", "unknown label"},
+		{"cond at end", ".func m\nentry:\n cmp r0, r1\n jz entry\n", "needs a following block"},
+		{"func name missing", ".func\nentry:\n halt\n", ".func needs a name"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseAsm(tt.src)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("err = %v, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseAsmCommentsAndBlankLines(t *testing.T) {
+	src := "\n\n; leading comment\n.func main ; trailing\nentry: ; block\n halt ; done\n"
+	if _, err := ParseAsm(src); err != nil {
+		t.Fatalf("ParseAsm: %v", err)
+	}
+}

@@ -1,0 +1,206 @@
+package isa
+
+import (
+	"fmt"
+)
+
+// Program is the structured (pre-assembly) form of a SOT-32 executable:
+// an ordered list of functions, each an ordered list of labeled basic
+// blocks. The first block of the first function is the program entry.
+//
+// Programs are what the synthetic corpus generator produces and what the
+// GEA attack manipulates (code-level perturbation); the assembler lowers
+// them to binaries, and the disassembler recovers CFGs from those
+// binaries, mirroring the paper's radare2 pipeline.
+type Program struct {
+	Funcs []*Function
+}
+
+// Function is a named, ordered sequence of basic blocks. Control may
+// only enter through the first block.
+type Function struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Block is a labeled basic block: a straight-line body (no control-flow
+// opcodes) and exactly one terminator.
+type Block struct {
+	Label string
+	Body  []Inst
+	Term  Terminator
+}
+
+// Terminator describes how control leaves a basic block.
+type Terminator interface {
+	isTerminator()
+}
+
+// TermJump unconditionally transfers control to the block labeled To.
+type TermJump struct{ To string }
+
+// TermCond branches to To when the condition encoded by Op holds and to
+// Else otherwise. Op must be a conditional jump opcode.
+type TermCond struct {
+	Op   Opcode
+	To   string
+	Else string
+}
+
+// TermCall calls the function whose entry block is labeled Target and
+// continues at Ret when the callee returns.
+type TermCall struct {
+	Target string
+	Ret    string
+}
+
+// TermRet returns from the current function.
+type TermRet struct{}
+
+// TermHalt stops the program.
+type TermHalt struct{}
+
+func (TermJump) isTerminator() {}
+func (TermCond) isTerminator() {}
+func (TermCall) isTerminator() {}
+func (TermRet) isTerminator()  {}
+func (TermHalt) isTerminator() {}
+
+// Entry returns the label of the program's entry block, or "" for an
+// empty program.
+func (p *Program) Entry() string {
+	if len(p.Funcs) == 0 || len(p.Funcs[0].Blocks) == 0 {
+		return ""
+	}
+	return p.Funcs[0].Blocks[0].Label
+}
+
+// NumBlocks returns the total number of basic blocks across functions.
+func (p *Program) NumBlocks() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += len(f.Blocks)
+	}
+	return n
+}
+
+// Block returns the block with the given label, or nil.
+func (p *Program) Block(label string) *Block {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.Label == label {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants: at least one block, unique
+// labels, valid terminators, and terminator targets that exist.
+func (p *Program) Validate() error {
+	if p.Entry() == "" {
+		return fmt.Errorf("isa: program has no entry block")
+	}
+	labels := make(map[string]bool, p.NumBlocks())
+	for _, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("isa: function %q has no blocks", f.Name)
+		}
+		for _, b := range f.Blocks {
+			if b.Label == "" {
+				return fmt.Errorf("isa: function %q contains an unlabeled block", f.Name)
+			}
+			if labels[b.Label] {
+				return fmt.Errorf("isa: duplicate block label %q", b.Label)
+			}
+			labels[b.Label] = true
+			for _, in := range b.Body {
+				if !in.Op.Valid() {
+					return fmt.Errorf("isa: block %q: invalid opcode", b.Label)
+				}
+				if in.Op.Terminates() {
+					return fmt.Errorf("isa: block %q: control-flow opcode %s in body", b.Label, in.Op)
+				}
+			}
+			if b.Term == nil {
+				return fmt.Errorf("isa: block %q has no terminator", b.Label)
+			}
+		}
+	}
+	check := func(blk, target string) error {
+		if !labels[target] {
+			return fmt.Errorf("isa: block %q targets unknown label %q", blk, target)
+		}
+		return nil
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			switch t := b.Term.(type) {
+			case TermJump:
+				if err := check(b.Label, t.To); err != nil {
+					return err
+				}
+			case TermCond:
+				if !t.Op.IsConditional() {
+					return fmt.Errorf("isa: block %q: %s is not a conditional jump", b.Label, t.Op)
+				}
+				if err := check(b.Label, t.To); err != nil {
+					return err
+				}
+				if err := check(b.Label, t.Else); err != nil {
+					return err
+				}
+			case TermCall:
+				if err := check(b.Label, t.Target); err != nil {
+					return err
+				}
+				if err := check(b.Label, t.Ret); err != nil {
+					return err
+				}
+			case TermRet, TermHalt:
+			default:
+				return fmt.Errorf("isa: block %q: unknown terminator %T", b.Label, t)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	c := &Program{Funcs: make([]*Function, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		nf := &Function{Name: f.Name, Blocks: make([]*Block, len(f.Blocks))}
+		for j, b := range f.Blocks {
+			nf.Blocks[j] = &Block{
+				Label: b.Label,
+				Body:  append([]Inst(nil), b.Body...),
+				Term:  b.Term,
+			}
+		}
+		c.Funcs[i] = nf
+	}
+	return c
+}
+
+// RelabelPrefix returns a deep copy of the program with every block label
+// prefixed, keeping all internal references consistent. GEA uses this to
+// merge two programs without label collisions.
+func (p *Program) RelabelPrefix(prefix string) *Program {
+	c := p.Clone()
+	for _, f := range c.Funcs {
+		for _, b := range f.Blocks {
+			b.Label = prefix + b.Label
+			switch t := b.Term.(type) {
+			case TermJump:
+				b.Term = TermJump{To: prefix + t.To}
+			case TermCond:
+				b.Term = TermCond{Op: t.Op, To: prefix + t.To, Else: prefix + t.Else}
+			case TermCall:
+				b.Term = TermCall{Target: prefix + t.Target, Ret: prefix + t.Ret}
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,30 @@
+package labeling_test
+
+import (
+	"fmt"
+
+	"soteria/internal/graph"
+	"soteria/internal/labeling"
+)
+
+// The paper's Fig. 4 workflow: label a small CFG both ways and observe
+// that the density ranking and the level ranking disagree.
+func Example() {
+	// 0 -> 1, 1 -> 2, 1 -> 3, 2 -> 4, 3 -> 4, 4 -> 1: node 1 is the
+	// densest but sits at level 1.
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 4)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 1)
+
+	dbl := labeling.DensityBased(g, 0)
+	lbl := labeling.LevelBased(g, 0)
+	fmt.Println("DBL:", dbl.Perm)
+	fmt.Println("LBL:", lbl.Perm)
+	// Output:
+	// DBL: [4 0 2 3 1]
+	// LBL: [0 1 2 3 4]
+}

@@ -1,0 +1,135 @@
+// Package labeling implements the paper's two CFG node-labeling schemes
+// (section III-B.1):
+//
+//   - Density-based labeling (DBL): nodes are ranked by density — the sum
+//     of in- and out-edges over the total edge count — with ties broken by
+//     centrality factor (betweenness + closeness), then by BFS level from
+//     the entry, then (for fully symmetric nodes) by node ID, which for
+//     disassembled CFGs is ascending block address.
+//   - Level-based labeling (LBL): nodes are ranked by BFS level from the
+//     entry block (the entry always gets label 0), with ties broken by the
+//     same density → centrality → ID cascade.
+//
+// Both schemes are strict total orders, so any structural modification to
+// the graph — such as a GEA merge — reshuffles the labels of the original
+// subgraph, which is exactly the property that makes the downstream
+// walk/n-gram features sensitive to adversarial grafting.
+package labeling
+
+import (
+	"math"
+	"sort"
+
+	"soteria/internal/graph"
+)
+
+// Kind selects a labeling scheme.
+type Kind int
+
+// Labeling schemes.
+const (
+	DBL Kind = iota + 1 // density-based
+	LBL                 // level-based
+)
+
+// String returns the scheme's short name.
+func (k Kind) String() string {
+	switch k {
+	case DBL:
+		return "DBL"
+	case LBL:
+		return "LBL"
+	default:
+		return "Kind(?)"
+	}
+}
+
+// Kinds lists both schemes in paper order.
+var Kinds = []Kind{DBL, LBL}
+
+// Labels is a bijection between nodes and labels.
+type Labels struct {
+	// Perm maps node ID to its label in [0, |V|).
+	Perm []int
+	// Order maps a label back to its node ID.
+	Order []int
+}
+
+// Of returns the label of a node.
+func (l *Labels) Of(node int) int { return l.Perm[node] }
+
+// nodeKey carries every ranking ingredient for one node.
+type nodeKey struct {
+	id      int
+	density float64
+	cf      float64
+	level   int
+}
+
+func keysFor(g *graph.Graph, entry int) []nodeKey {
+	cf := g.CentralityFactor()
+	levels := g.BFSLevels(entry)
+	keys := make([]nodeKey, g.NumNodes())
+	for v := range keys {
+		lvl := levels[v]
+		if lvl == -1 {
+			lvl = math.MaxInt32 // unreachable nodes rank last on level
+		}
+		keys[v] = nodeKey{id: v, density: g.NodeDensity(v), cf: cf[v], level: lvl}
+	}
+	return keys
+}
+
+// byDensity ranks higher density first, then higher centrality factor,
+// then smaller level (closer to entry), then smaller node ID.
+func byDensity(a, b nodeKey) bool {
+	if a.density != b.density {
+		return a.density > b.density
+	}
+	if a.cf != b.cf {
+		return a.cf > b.cf
+	}
+	if a.level != b.level {
+		return a.level < b.level
+	}
+	return a.id < b.id
+}
+
+// byLevel ranks smaller level first, then the density cascade.
+func byLevel(a, b nodeKey) bool {
+	if a.level != b.level {
+		return a.level < b.level
+	}
+	return byDensity(a, b)
+}
+
+func build(keys []nodeKey, less func(a, b nodeKey) bool) *Labels {
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	l := &Labels{
+		Perm:  make([]int, len(keys)),
+		Order: make([]int, len(keys)),
+	}
+	for label, k := range keys {
+		l.Perm[k.id] = label
+		l.Order[label] = k.id
+	}
+	return l
+}
+
+// DensityBased computes the DBL labeling of g with the given entry node.
+func DensityBased(g *graph.Graph, entry int) *Labels {
+	return build(keysFor(g, entry), byDensity)
+}
+
+// LevelBased computes the LBL labeling of g with the given entry node.
+func LevelBased(g *graph.Graph, entry int) *Labels {
+	return build(keysFor(g, entry), byLevel)
+}
+
+// Compute computes the labeling of the requested kind.
+func Compute(k Kind, g *graph.Graph, entry int) *Labels {
+	if k == LBL {
+		return LevelBased(g, entry)
+	}
+	return DensityBased(g, entry)
+}

@@ -1,0 +1,197 @@
+package labeling
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"soteria/internal/graph"
+)
+
+// starChain: 0->1, 0->2, 0->3, 3->4.
+func starChain() *graph.Graph {
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(3, 4)
+	return g
+}
+
+func TestKindString(t *testing.T) {
+	if DBL.String() != "DBL" || LBL.String() != "LBL" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(0).String() != "Kind(?)" {
+		t.Fatal("unknown kind name wrong")
+	}
+}
+
+func TestDensityBasedStarChain(t *testing.T) {
+	// Densities: node0 3/4, node3 2/4, nodes 1,2,4 1/4. The 1,2,4 tie
+	// breaks on centrality factor (leaves 1,2 are closer to everything
+	// than 4), then node ID for the symmetric pair (1,2).
+	l := DensityBased(starChain(), 0)
+	want := []int{0, 2, 3, 1, 4} // labels by node
+	if !reflect.DeepEqual(l.Perm, want) {
+		t.Fatalf("DBL Perm = %v, want %v", l.Perm, want)
+	}
+}
+
+func TestLevelBasedEntryIsZero(t *testing.T) {
+	l := LevelBased(starChain(), 0)
+	if l.Perm[0] != 0 {
+		t.Fatalf("entry label = %d, want 0", l.Perm[0])
+	}
+}
+
+func TestDBLAndLBLDiffer(t *testing.T) {
+	// 0->1, 1->2, 1->3, 2->4, 3->4, 4->1: node 1 is densest but at level
+	// 1, so DBL and LBL must disagree.
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 4)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 1)
+
+	dbl := DensityBased(g, 0)
+	lbl := LevelBased(g, 0)
+	wantDBL := []int{4, 0, 2, 3, 1}
+	wantLBL := []int{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(dbl.Perm, wantDBL) {
+		t.Fatalf("DBL Perm = %v, want %v", dbl.Perm, wantDBL)
+	}
+	if !reflect.DeepEqual(lbl.Perm, wantLBL) {
+		t.Fatalf("LBL Perm = %v, want %v", lbl.Perm, wantLBL)
+	}
+}
+
+func TestPaperFig4Diamond(t *testing.T) {
+	// The shared-entry/exit diamond of the paper's labeling example: all
+	// centralities tie, so the level cascade decides and both schemes
+	// agree: entry 0, the two branch nodes by ID, the join last.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	want := []int{0, 1, 2, 3}
+	if got := DensityBased(g, 0).Perm; !reflect.DeepEqual(got, want) {
+		t.Fatalf("DBL Perm = %v, want %v", got, want)
+	}
+	if got := LevelBased(g, 0).Perm; !reflect.DeepEqual(got, want) {
+		t.Fatalf("LBL Perm = %v, want %v", got, want)
+	}
+}
+
+func TestOrderInverseOfPerm(t *testing.T) {
+	for _, k := range Kinds {
+		l := Compute(k, starChain(), 0)
+		for node, label := range l.Perm {
+			if l.Order[label] != node {
+				t.Fatalf("%s: Order[%d] = %d, want %d", k, label, l.Order[label], node)
+			}
+		}
+		if l.Of(3) != l.Perm[3] {
+			t.Fatalf("%s: Of mismatch", k)
+		}
+	}
+}
+
+func TestUnreachableNodesRankLast(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	// 2 and 3 unreachable and isolated (density 0).
+	l := LevelBased(g, 0)
+	if l.Perm[2] < 2 || l.Perm[3] < 2 {
+		t.Fatalf("unreachable nodes should rank last: %v", l.Perm)
+	}
+}
+
+func randomConnected(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v) // random tree: all reachable
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestPropertyLabelsArePermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 2+rng.Intn(30))
+		for _, k := range Kinds {
+			l := Compute(k, g, 0)
+			seen := make([]bool, g.NumNodes())
+			for _, lab := range l.Perm {
+				if lab < 0 || lab >= g.NumNodes() || seen[lab] {
+					return false
+				}
+				seen[lab] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLBLRespectsLevels(t *testing.T) {
+	// A node at a strictly smaller level must get a smaller label.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 2+rng.Intn(25))
+		l := LevelBased(g, 0)
+		levels := g.BFSLevels(0)
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if levels[u] < levels[v] && l.Perm[u] > l.Perm[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDBLRespectsDensity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 2+rng.Intn(25))
+		l := DensityBased(g, 0)
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if g.NodeDensity(u) > g.NodeDensity(v) && l.Perm[u] > l.Perm[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomConnected(rng, 40)
+	a := DensityBased(g, 0)
+	b := DensityBased(g, 0)
+	if !reflect.DeepEqual(a.Perm, b.Perm) {
+		t.Fatal("DBL not deterministic")
+	}
+}

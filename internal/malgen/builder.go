@@ -1,0 +1,263 @@
+package malgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soteria/internal/isa"
+)
+
+// builder assembles a program from control-flow motifs while keeping an
+// exact count of emitted blocks. All motifs lay blocks out so that every
+// conditional's Else branch and every call's return continuation is the
+// next block in layout — no assembler trampolines — which keeps program
+// blocks in 1:1 correspondence with disassembled CFG nodes.
+//
+// Motifs take an explicit entry label (the label of the first block they
+// emit) and a continuation label (where control goes when the motif
+// completes); recipes chain motifs by passing each motif's continuation
+// label as the next motif's entry.
+type builder struct {
+	rng    *rand.Rand
+	main   []*isa.Block    // main function, layout order
+	funcs  []*isa.Function // extra functions (call targets)
+	nlabel int
+
+	// Instruction-mix biases, set per family.
+	sysFrac   float64  // fraction of filler instructions that are syscalls
+	sysRange  [2]int32 // inclusive syscall-number range (family API profile)
+	arithOps  []isa.Opcode
+	bodyRange [2]int // min/max filler instructions per block
+}
+
+func newBuilder(rng *rand.Rand) *builder {
+	return &builder{
+		rng:       rng,
+		sysFrac:   0.1,
+		sysRange:  [2]int32{0, 63},
+		arithOps:  []isa.Opcode{isa.OpAdd, isa.OpSub, isa.OpXor, isa.OpAnd, isa.OpOr, isa.OpMov, isa.OpMovI},
+		bodyRange: [2]int{1, 4},
+	}
+}
+
+func (b *builder) label(hint string) string {
+	b.nlabel++
+	return fmt.Sprintf("%s_%d", hint, b.nlabel)
+}
+
+// body generates filler straight-line instructions with the family's
+// instruction mix.
+func (b *builder) body() []isa.Inst {
+	n := b.bodyRange[0]
+	if d := b.bodyRange[1] - b.bodyRange[0]; d > 0 {
+		n += b.rng.Intn(d + 1)
+	}
+	out := make([]isa.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		if b.rng.Float64() < b.sysFrac {
+			span := int(b.sysRange[1]-b.sysRange[0]) + 1
+			out = append(out, isa.Inst{Op: isa.OpSys, Imm: b.sysRange[0] + int32(b.rng.Intn(span))})
+			continue
+		}
+		op := b.arithOps[b.rng.Intn(len(b.arithOps))]
+		in := isa.Inst{Op: op, R1: uint8(b.rng.Intn(8)), R2: uint8(b.rng.Intn(8))}
+		if op == isa.OpMovI {
+			in.R2 = 0 // movi has no second register operand
+			in.Imm = int32(b.rng.Intn(1 << 12))
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// blocksEmitted counts every block so far, including extra functions.
+func (b *builder) blocksEmitted() int {
+	n := len(b.main)
+	for _, f := range b.funcs {
+		n += len(f.Blocks)
+	}
+	return n
+}
+
+// withCmp appends a compare so conditional terminators have defined flags.
+func (b *builder) withCmp(body []isa.Inst) []isa.Inst {
+	return append(body, isa.Inst{
+		Op: isa.OpCmp, R1: uint8(b.rng.Intn(8)), R2: uint8(b.rng.Intn(8)),
+	})
+}
+
+func (b *builder) condOp() isa.Opcode {
+	ops := []isa.Opcode{isa.OpJz, isa.OpJnz, isa.OpJlt, isa.OpJge}
+	return ops[b.rng.Intn(len(ops))]
+}
+
+// --- Motifs -----------------------------------------------------------
+
+// chain emits n blocks in sequence from entry, ending with a jump to
+// cont. Emits n blocks (n >= 1).
+func (b *builder) chain(entry string, n int, cont string) {
+	lbl := entry
+	for i := 0; i < n; i++ {
+		to := cont
+		next := ""
+		if i+1 < n {
+			next = b.label("c")
+			to = next
+		}
+		b.main = append(b.main, &isa.Block{Label: lbl, Body: b.body(), Term: isa.TermJump{To: to}})
+		lbl = next
+	}
+}
+
+// loop emits a loop: a header (labeled entry) with a conditional exit to
+// cont, a body chain of bodyLen blocks, and a back edge to the header.
+// Emits bodyLen+1 blocks (bodyLen >= 1).
+//
+// Loops must terminate so generated binaries stay executable (the
+// paper's practicality requirement). The header compares a counter
+// (r15, incremented once per iteration in the first body block) against
+// a fresh limit in r13; filler instructions only touch r0-r7, so the
+// counter registers are never clobbered.
+func (b *builder) loop(entry string, bodyLen int, cont string) {
+	first := b.label("lb")
+	limit := int32(2 + b.rng.Intn(4))
+	header := b.body()
+	header = append(header,
+		isa.Inst{Op: isa.OpMovI, R1: 12, Imm: 1},
+		isa.Inst{Op: isa.OpMovI, R1: 13, Imm: limit},
+		isa.Inst{Op: isa.OpCmp, R1: 15, R2: 13},
+	)
+	b.main = append(b.main, &isa.Block{
+		Label: entry,
+		Body:  header,
+		Term:  isa.TermCond{Op: isa.OpJge, To: cont, Else: first},
+	})
+	lbl := first
+	for i := 0; i < bodyLen; i++ {
+		body := b.body()
+		if i == 0 {
+			body = append(body, isa.Inst{Op: isa.OpAdd, R1: 15, R2: 12})
+		}
+		to := entry // back edge
+		next := ""
+		if i+1 < bodyLen {
+			next = b.label("lb")
+			to = next
+		}
+		b.main = append(b.main, &isa.Block{Label: lbl, Body: body, Term: isa.TermJump{To: to}})
+		lbl = next
+	}
+}
+
+// dispatch emits a command-dispatch motif: a chain of k conditional
+// tests (first labeled entry) each branching to its handler; handlers
+// are chains of handlerLen blocks that all jump to cont. The final test
+// falls through to the first handler (the default command). Emits
+// k*(1+handlerLen) blocks (k >= 1, handlerLen >= 1).
+func (b *builder) dispatch(entry string, k, handlerLen int, cont string) {
+	tests := make([]string, k)
+	handlers := make([]string, k)
+	tests[0] = entry
+	for i := 1; i < k; i++ {
+		tests[i] = b.label("d")
+	}
+	for i := range handlers {
+		handlers[i] = b.label("h")
+	}
+	for i := 0; i < k; i++ {
+		els := handlers[0]
+		if i+1 < k {
+			els = tests[i+1]
+		}
+		b.main = append(b.main, &isa.Block{
+			Label: tests[i],
+			Body:  b.withCmp(b.body()),
+			Term:  isa.TermCond{Op: b.condOp(), To: handlers[i], Else: els},
+		})
+	}
+	for i := 0; i < k; i++ {
+		b.chain(handlers[i], handlerLen, cont)
+	}
+}
+
+// branchTree emits a binary if/else tree of the given depth rooted at
+// entry; every leaf jumps to cont. Emits 2^(depth+1)-1 blocks.
+func (b *builder) branchTree(entry string, depth int, cont string) {
+	if depth == 0 {
+		b.main = append(b.main, &isa.Block{Label: entry, Body: b.body(), Term: isa.TermJump{To: cont}})
+		return
+	}
+	left := b.label("t")
+	right := b.label("t")
+	b.main = append(b.main, &isa.Block{
+		Label: entry,
+		Body:  b.withCmp(b.body()),
+		Term:  isa.TermCond{Op: b.condOp(), To: right, Else: left},
+	})
+	b.branchTree(left, depth-1, cont)
+	b.branchTree(right, depth-1, cont)
+}
+
+// callSeq emits k call blocks (first labeled entry) in main; call i
+// invokes a fresh function whose body is a chain of fnLen blocks ending
+// in ret. Control continues at cont. Emits k*(1+fnLen) blocks.
+func (b *builder) callSeq(entry string, k, fnLen int, cont string) {
+	labels := make([]string, k)
+	labels[0] = entry
+	for i := 1; i < k; i++ {
+		labels[i] = b.label("call")
+	}
+	for i := 0; i < k; i++ {
+		fnEntry := b.emitFunc(fnLen)
+		ret := cont
+		if i+1 < k {
+			ret = labels[i+1]
+		}
+		b.main = append(b.main, &isa.Block{
+			Label: labels[i],
+			Body:  b.body(),
+			Term:  isa.TermCall{Target: fnEntry, Ret: ret},
+		})
+	}
+}
+
+// emitFunc creates a new function with a chain of n blocks ending in
+// ret, returning its entry label. Emits n blocks (n >= 1).
+func (b *builder) emitFunc(n int) string {
+	name := b.label("fn")
+	blocks := make([]*isa.Block, n)
+	lbl := name
+	for i := 0; i < n; i++ {
+		blocks[i] = &isa.Block{Label: lbl, Body: b.body()}
+		if i+1 < n {
+			lbl = b.label("fb")
+			blocks[i].Term = isa.TermJump{To: lbl}
+		} else {
+			blocks[i].Term = isa.TermRet{}
+		}
+	}
+	b.funcs = append(b.funcs, &isa.Function{Name: name, Blocks: blocks})
+	return name
+}
+
+// finish emits the final halt block (labeled last) and optionally a
+// padding chain so the program reaches exactly target blocks. last is
+// the continuation label the final motif already jumps to; when padding
+// is needed, the chain is spliced in under that label.
+func (b *builder) finish(target int, last string) (*isa.Program, error) {
+	pad := target - b.blocksEmitted() - 1
+	haltLabel := last
+	if pad > 0 {
+		haltLabel = b.label("halt")
+		b.chain(last, pad, haltLabel)
+	}
+	b.main = append(b.main, &isa.Block{Label: haltLabel, Term: isa.TermHalt{}})
+
+	p := &isa.Program{
+		Funcs: append([]*isa.Function{{Name: "main", Blocks: b.main}}, b.funcs...),
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("malgen: generated invalid program: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,218 @@
+package malgen
+
+// Family recipes wire motifs the way each family's real samples do.
+// These structural signatures are what make the synthetic corpus
+// class-separable through Soteria's CFG pipeline, standing in for the
+// real behavioural differences between the families:
+//
+//   - Benign (GitHub utilities): call-heavy library structure, branch
+//     trees, long straight-line stretches, few loops, low syscall rate.
+//   - Gafgyt (command bots): a large command-dispatch ladder with
+//     per-command handlers, flooding loops. Gafgyt is deliberately the
+//     most heterogeneous family (three sub-variants), mirroring the
+//     paper's observation that Gafgyt carries the largest number of
+//     discriminative features and is the only family with detector
+//     false positives.
+//   - Mirai (scanner/killer): tight scanning loops back to back, a long
+//     credential-test conditional ladder, high syscall rate.
+//   - Tsunami (IRC bot): a central keep-alive loop alternating with
+//     small command dispatches.
+
+// recipe emits motifs for one family into b, consuming at most
+// target-1 blocks (one is reserved for the final halt), and returns the
+// label the final motif continues to.
+type recipe func(b *builder, target int) string
+
+// remaining returns how many blocks the recipe may still emit.
+func remaining(b *builder, target int) int {
+	return target - b.blocksEmitted() - 1
+}
+
+func benignRecipe(b *builder, target int) string {
+	b.sysFrac = 0.03
+	b.sysRange = [2]int32{0, 15} // file/stdio profile
+	b.bodyRange = [2]int{2, 5}
+	cur := "entry"
+	for {
+		rem := remaining(b, target)
+		if rem < 2 {
+			break
+		}
+		cont := b.label("m")
+		switch pick := b.rng.Intn(10); {
+		case pick < 4 && rem >= 4: // call-heavy library structure
+			k := 1 + b.rng.Intn(3)
+			fnLen := 2 + b.rng.Intn(4)
+			for k*(1+fnLen) > rem {
+				if fnLen > 2 {
+					fnLen--
+				} else {
+					k--
+				}
+			}
+			if k < 1 {
+				b.chain(cur, min(rem, 2), cont)
+			} else {
+				b.callSeq(cur, k, fnLen, cont)
+			}
+		case pick < 7 && rem >= 3: // branch tree
+			depth := 1
+			for (1<<(depth+2))-1 <= rem && depth < 3 {
+				depth++
+			}
+			b.branchTree(cur, depth, cont)
+		default: // straight-line stretch
+			b.chain(cur, min(rem, 2+b.rng.Intn(5)), cont)
+		}
+		cur = cont
+	}
+	return cur
+}
+
+func gafgytRecipe(b *builder, target int) string {
+	b.sysFrac = 0.15
+	b.sysRange = [2]int32{24, 47} // raw-socket flood profile
+	b.bodyRange = [2]int{1, 4}
+	cur := "entry"
+	variant := b.rng.Intn(3)
+
+	// Signature motif: command-dispatch ladder sized to the sample.
+	if rem := remaining(b, target); rem >= 6 {
+		k := max(2, min(rem/3, 4+b.rng.Intn(8)))
+		handlerLen := 1 + b.rng.Intn(2)
+		for k*(1+handlerLen) > rem {
+			k--
+		}
+		if k >= 1 {
+			cont := b.label("m")
+			b.dispatch(cur, k, handlerLen, cont)
+			cur = cont
+		}
+	}
+	for {
+		rem := remaining(b, target)
+		if rem < 2 {
+			break
+		}
+		cont := b.label("m")
+		switch variant {
+		case 0: // dispatch-heavy: more small dispatches
+			if rem >= 6 {
+				k := 2 + b.rng.Intn(3)
+				for k*2 > rem {
+					k--
+				}
+				b.dispatch(cur, k, 1, cont)
+			} else {
+				b.chain(cur, min(rem, 1+b.rng.Intn(3)), cont)
+			}
+		case 1: // flooding loops
+			if rem >= 3 {
+				b.loop(cur, min(rem-1, 1+b.rng.Intn(4)), cont)
+			} else {
+				b.chain(cur, min(rem, 2), cont)
+			}
+		default: // benign-like call mix (the overlap that causes FPs)
+			if rem >= 4 {
+				fnLen := min(rem-1, 2+b.rng.Intn(3))
+				b.callSeq(cur, 1, fnLen, cont)
+			} else {
+				b.chain(cur, min(rem, 2), cont)
+			}
+		}
+		cur = cont
+	}
+	return cur
+}
+
+func miraiRecipe(b *builder, target int) string {
+	b.sysFrac = 0.25
+	b.sysRange = [2]int32{32, 55} // telnet-scan profile
+	b.bodyRange = [2]int{1, 3}
+	cur := "entry"
+
+	// Signature motif: credential-test ladder (dispatch with unit
+	// handlers) straight out of the scanner.
+	if rem := remaining(b, target); rem >= 6 {
+		k := max(3, min(rem/3, 5+b.rng.Intn(6)))
+		for k*2 > rem {
+			k--
+		}
+		if k >= 1 {
+			cont := b.label("m")
+			b.dispatch(cur, k, 1, cont)
+			cur = cont
+		}
+	}
+	// Back-to-back tight scanning loops.
+	for {
+		rem := remaining(b, target)
+		if rem < 2 {
+			break
+		}
+		cont := b.label("m")
+		if rem >= 3 && b.rng.Intn(10) < 8 {
+			b.loop(cur, min(rem-1, 1+b.rng.Intn(3)), cont)
+		} else {
+			b.chain(cur, min(rem, 1+b.rng.Intn(2)), cont)
+		}
+		cur = cont
+	}
+	return cur
+}
+
+func tsunamiRecipe(b *builder, target int) string {
+	b.sysFrac = 0.2
+	b.sysRange = [2]int32{16, 39} // IRC C2 profile
+	b.bodyRange = [2]int{2, 4}
+	cur := "entry"
+	// Central keep-alive loop alternating with small command dispatches.
+	useLoop := true
+	for {
+		rem := remaining(b, target)
+		if rem < 2 {
+			break
+		}
+		cont := b.label("m")
+		switch {
+		case useLoop && rem >= 4:
+			b.loop(cur, min(rem-1, 2+b.rng.Intn(3)), cont)
+		case !useLoop && rem >= 8:
+			k := 2 + b.rng.Intn(2)
+			b.dispatch(cur, k, 2, cont)
+		default:
+			b.chain(cur, min(rem, 2), cont)
+		}
+		useLoop = !useLoop
+		cur = cont
+	}
+	return cur
+}
+
+// recipeFor returns the family recipe.
+func recipeFor(c Class) recipe {
+	switch c {
+	case Gafgyt:
+		return gafgytRecipe
+	case Mirai:
+		return miraiRecipe
+	case Tsunami:
+		return tsunamiRecipe
+	default:
+		return benignRecipe
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

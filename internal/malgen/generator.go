@@ -1,0 +1,150 @@
+package malgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soteria/internal/disasm"
+	"soteria/internal/isa"
+)
+
+// Sample is one synthetic corpus entry: the program source, its
+// assembled binary, and the CFG recovered by the disassembler — the
+// exact artifact chain the paper obtains from CyberIOC + radare2.
+type Sample struct {
+	ID      string
+	Class   Class
+	Program *isa.Program
+	Binary  *isa.Binary
+	CFG     *disasm.CFG
+}
+
+// Nodes returns the sample's CFG node count.
+func (s *Sample) Nodes() int { return s.CFG.NumNodes() }
+
+// Config parameterizes the generator.
+type Config struct {
+	// Seed drives all randomness; the same seed reproduces the same
+	// corpus sample-for-sample.
+	Seed int64
+	// Sizes overrides the per-class node-count anchors; nil means the
+	// paper's Table III statistics.
+	Sizes map[Class]SizeStats
+}
+
+// Generator produces synthetic samples. It is not safe for concurrent
+// use; derive independent generators with distinct seeds instead.
+type Generator struct {
+	rng   *rand.Rand
+	sizes map[Class]SizeStats
+	next  int
+}
+
+// NewGenerator returns a generator for the given configuration.
+func NewGenerator(cfg Config) *Generator {
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = PaperSizes
+	}
+	return &Generator{rng: rand.New(rand.NewSource(cfg.Seed)), sizes: sizes}
+}
+
+// minNodes is the smallest program the recipes can produce (entry work
+// plus a halt block).
+const minNodes = 5
+
+// Sample generates one sample of class c with a node count drawn from
+// the class's size distribution.
+func (g *Generator) Sample(c Class) (*Sample, error) {
+	return g.SampleSized(c, g.drawNodes(c))
+}
+
+// SampleSized generates one sample of class c with exactly nodes CFG
+// nodes (clamped to the generator minimum).
+func (g *Generator) SampleSized(c Class, nodes int) (*Sample, error) {
+	if nodes < minNodes {
+		nodes = minNodes
+	}
+	// Per-sample RNG derived from the master stream keeps samples
+	// reproducible regardless of generation order elsewhere.
+	g.next++
+	id := fmt.Sprintf("%s-%06d", c, g.next)
+	rng := rand.New(rand.NewSource(g.rng.Int63()))
+
+	b := newBuilder(rng)
+	last := recipeFor(c)(b, nodes)
+	prog, err := b.finish(nodes, last)
+	if err != nil {
+		return nil, fmt.Errorf("malgen: %s: %w", id, err)
+	}
+	bin, _, err := isa.Assemble(prog, isa.AsmOptions{Data: g.dataSection(c, rng)})
+	if err != nil {
+		return nil, fmt.Errorf("malgen: %s: assemble: %w", id, err)
+	}
+	cfg, err := disasm.Disassemble(bin)
+	if err != nil {
+		return nil, fmt.Errorf("malgen: %s: disassemble: %w", id, err)
+	}
+	return &Sample{ID: id, Class: c, Program: prog, Binary: bin, CFG: cfg}, nil
+}
+
+// Corpus generates counts[c] samples of each class, in class order.
+func (g *Generator) Corpus(counts map[Class]int) ([]*Sample, error) {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	out := make([]*Sample, 0, total)
+	for _, c := range Classes {
+		for i := 0; i < counts[c]; i++ {
+			s, err := g.Sample(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// drawNodes samples a node count whose minimum, median and maximum match
+// the class anchors, via a piecewise-linear quantile function.
+func (g *Generator) drawNodes(c Class) int {
+	st, ok := g.sizes[c]
+	if !ok {
+		st = SizeStats{Min: 10, Median: 50, Max: 150}
+	}
+	q := g.rng.Float64()
+	var v float64
+	if q < 0.5 {
+		v = float64(st.Min) + (float64(st.Median)-float64(st.Min))*q*2
+	} else {
+		v = float64(st.Median) + (float64(st.Max)-float64(st.Median))*(q-0.5)*2
+	}
+	return int(v + 0.5)
+}
+
+// dataSection emits family-flavored .data bytes: real malware carries
+// family-specific strings (C2 hostnames, credential lists, IRC
+// commands), which is the signal byte-level baselines like the
+// image-based classifier consume.
+func (g *Generator) dataSection(c Class, rng *rand.Rand) []byte {
+	var words []string
+	switch c {
+	case Gafgyt:
+		words = []string{"PING", "PONG", "HOLD", "JUNK", "UDP", "TCP", "KILLATTK", "/bin/busybox"}
+	case Mirai:
+		words = []string{"admin", "root", "888888", "xc3511", "vizxv", "/dev/watchdog", "telnet"}
+	case Tsunami:
+		words = []string{"NICK", "MODE", "JOIN", "PRIVMSG", "TSUNAMI", "ircd"}
+	default:
+		words = []string{"usage:", "error:", "version", "GNU", "libc", "help", "output"}
+	}
+	n := 2 + rng.Intn(len(words))
+	out := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		out = append(out, words[rng.Intn(len(words))]...)
+		out = append(out, 0)
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package malgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"soteria/internal/isa"
+)
+
+func TestClassStrings(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{Benign, "Benign"}, {Gafgyt, "Gafgyt"}, {Mirai, "Mirai"},
+		{Tsunami, "Tsunami"}, {Class(9), "Class(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(tt.c), got, tt.want)
+		}
+	}
+	if got := Small.String(); got != "Small" {
+		t.Errorf("Small.String() = %q", got)
+	}
+	if got := SizeClass(7).String(); got != "SizeClass(7)" {
+		t.Errorf("SizeClass(7).String() = %q", got)
+	}
+}
+
+func TestSizeStatsNodes(t *testing.T) {
+	st := SizeStats{Min: 1, Median: 2, Max: 3}
+	if st.Nodes(Small) != 1 || st.Nodes(Medium) != 2 || st.Nodes(Large) != 3 {
+		t.Fatalf("SizeStats.Nodes wrong: %+v", st)
+	}
+}
+
+func TestPaperCountsTotal(t *testing.T) {
+	malware := PaperCounts[Gafgyt] + PaperCounts[Mirai] + PaperCounts[Tsunami]
+	if malware+PaperUnlabeled != 13798 {
+		t.Fatalf("malware total = %d, want 13798", malware+PaperUnlabeled)
+	}
+	if total := malware + PaperCounts[Benign] + PaperUnlabeled; total != 16814 {
+		t.Fatalf("corpus total = %d, want 16814", total)
+	}
+}
+
+func TestSampleSizedExactNodeCount(t *testing.T) {
+	g := NewGenerator(Config{Seed: 7})
+	for _, c := range Classes {
+		for _, nodes := range []int{10, 25, 64, 133} {
+			s, err := g.SampleSized(c, nodes)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", c, nodes, err)
+			}
+			if got := s.Nodes(); got != nodes {
+				t.Errorf("%s: CFG nodes = %d, want %d", s.ID, got, nodes)
+			}
+		}
+	}
+}
+
+func TestSampleSizedPaperAnchors(t *testing.T) {
+	g := NewGenerator(Config{Seed: 11})
+	for _, c := range Classes {
+		for _, sz := range SizeClasses {
+			want := PaperSizes[c].Nodes(sz)
+			s, err := g.SampleSized(c, want)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c, sz, err)
+			}
+			if got := s.Nodes(); got != want {
+				t.Errorf("%s %s: nodes = %d, want %d", c, sz, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleMinimumClamped(t *testing.T) {
+	g := NewGenerator(Config{Seed: 3})
+	s, err := g.SampleSized(Benign, 1)
+	if err != nil {
+		t.Fatalf("SampleSized: %v", err)
+	}
+	if s.Nodes() < minNodes {
+		t.Fatalf("nodes = %d, want >= %d", s.Nodes(), minNodes)
+	}
+}
+
+func TestSamplesFullyReachable(t *testing.T) {
+	g := NewGenerator(Config{Seed: 5})
+	for _, c := range Classes {
+		s, err := g.SampleSized(c, 60)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		reach := s.CFG.G.Reachable(s.CFG.EntryNode())
+		for id, r := range reach {
+			if !r {
+				t.Fatalf("%s: node %d unreachable from entry", s.ID, id)
+			}
+		}
+	}
+}
+
+func TestSamplesExecutable(t *testing.T) {
+	// The practicality requirement: every generated binary must actually
+	// run to a clean halt.
+	g := NewGenerator(Config{Seed: 13})
+	for _, c := range Classes {
+		s, err := g.SampleSized(c, 40)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		vm := isa.NewVM(s.Binary)
+		if err := vm.Run(200000); err != nil {
+			t.Errorf("%s: execution failed: %v", s.ID, err)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(Config{Seed: 99})
+	b := NewGenerator(Config{Seed: 99})
+	for i := 0; i < 5; i++ {
+		sa, err := a.Sample(Mirai)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.Sample(Mirai)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea, _ := sa.Binary.Encode()
+		eb, _ := sb.Binary.Encode()
+		if string(ea) != string(eb) {
+			t.Fatalf("sample %d differs across same-seed generators", i)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := NewGenerator(Config{Seed: 1})
+	b := NewGenerator(Config{Seed: 2})
+	sa, _ := a.Sample(Gafgyt)
+	sb, _ := b.Sample(Gafgyt)
+	ea, _ := sa.Binary.Encode()
+	eb, _ := sb.Binary.Encode()
+	if string(ea) == string(eb) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestDrawNodesWithinAnchors(t *testing.T) {
+	g := NewGenerator(Config{Seed: 21})
+	for _, c := range Classes {
+		st := PaperSizes[c]
+		for i := 0; i < 200; i++ {
+			n := g.drawNodes(c)
+			if n < st.Min || n > st.Max {
+				t.Fatalf("%s: drew %d outside [%d, %d]", c, n, st.Min, st.Max)
+			}
+		}
+	}
+}
+
+func TestCorpusCountsAndOrder(t *testing.T) {
+	g := NewGenerator(Config{Seed: 17})
+	corpus, err := g.Corpus(map[Class]int{Benign: 3, Gafgyt: 2, Tsunami: 1})
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	if len(corpus) != 6 {
+		t.Fatalf("corpus size = %d, want 6", len(corpus))
+	}
+	wantClasses := []Class{Benign, Benign, Benign, Gafgyt, Gafgyt, Tsunami}
+	for i, s := range corpus {
+		if s.Class != wantClasses[i] {
+			t.Fatalf("corpus[%d].Class = %s, want %s", i, s.Class, wantClasses[i])
+		}
+	}
+}
+
+func TestFamilyStructuralSignal(t *testing.T) {
+	// Families must differ structurally at matched size: Mirai (loop
+	// heavy) should carry more back edges than Benign (call heavy), and
+	// Benign should carry more ret blocks than Mirai.
+	g := NewGenerator(Config{Seed: 31})
+	backEdges := func(s *Sample) int {
+		levels := s.CFG.G.BFSLevels(s.CFG.EntryNode())
+		n := 0
+		for _, e := range s.CFG.G.Edges() {
+			if levels[e[1]] >= 0 && levels[e[1]] <= levels[e[0]] {
+				n++
+			}
+		}
+		return n
+	}
+	miraiBE, benignBE := 0, 0
+	for i := 0; i < 10; i++ {
+		m, err := g.SampleSized(Mirai, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.SampleSized(Benign, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miraiBE += backEdges(m)
+		benignBE += backEdges(b)
+	}
+	if miraiBE <= benignBE {
+		t.Fatalf("expected Mirai back edges (%d) > Benign (%d)", miraiBE, benignBE)
+	}
+}
+
+func TestBuilderMotifBlockCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name string
+		emit func(b *builder)
+		want int
+	}{
+		{"chain", func(b *builder) { b.chain("entry", 4, "end") }, 4},
+		{"loop", func(b *builder) { b.loop("entry", 3, "end") }, 4},
+		{"dispatch", func(b *builder) { b.dispatch("entry", 3, 2, "end") }, 9},
+		{"branchTree d2", func(b *builder) { b.branchTree("entry", 2, "end") }, 7},
+		{"callSeq", func(b *builder) { b.callSeq("entry", 2, 3, "end") }, 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := newBuilder(rng)
+			tt.emit(b)
+			if got := b.blocksEmitted(); got != tt.want {
+				t.Fatalf("blocks = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGeneratedProgramsSurviveAsmRoundTrip(t *testing.T) {
+	// Generated programs rendered to assembly text, re-parsed, and
+	// re-assembled must produce byte-identical text sections — ties the
+	// corpus generator, formatter, parser, and assembler together.
+	g := NewGenerator(Config{Seed: 23})
+	for _, c := range Classes {
+		s, err := g.SampleSized(c, 35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := isa.ParseAsm(isa.FormatAsm(s.Program))
+		if err != nil {
+			t.Fatalf("%s: round trip parse: %v", s.ID, err)
+		}
+		b2, _, err := isa.Assemble(parsed, isa.AsmOptions{})
+		if err != nil {
+			t.Fatalf("%s: round trip assemble: %v", s.ID, err)
+		}
+		orig := s.Binary.Section(".text").Data
+		if string(b2.Section(".text").Data) != string(orig) {
+			t.Fatalf("%s: text section changed across asm round trip", s.ID)
+		}
+	}
+}
+
+func TestDataSectionFamilyFlavor(t *testing.T) {
+	g := NewGenerator(Config{Seed: 41})
+	s, err := g.SampleSized(Mirai, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := s.Binary.Section(".data")
+	if data == nil || len(data.Data) == 0 {
+		t.Fatal("missing .data section")
+	}
+}

@@ -1,0 +1,21 @@
+package ngram_test
+
+import (
+	"fmt"
+
+	"soteria/internal/ngram"
+)
+
+// A random-walk label trace becomes n-gram counts, and a fitted
+// vectorizer turns counts into fixed-size TF-IDF vectors.
+func Example() {
+	trace := []int{0, 1, 2, 1, 2}
+	counts := ngram.Grams(trace, []int{2})
+	fmt.Println(counts["1|2"], counts["2|1"], counts["0|1"])
+
+	v := ngram.Fit([]map[string]int{counts}, 3)
+	fmt.Println(v.Vocab)
+	// Output:
+	// 2 1 1
+	// [1|2 0|1 2|1]
+}

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchNorm normalizes each feature over the batch during training
+// (subtract batch mean, divide by batch std) and applies learned scale
+// (gamma) and shift (beta); at inference it uses exponential running
+// statistics. Momentum follows the common 0.9 convention.
+type BatchNorm struct {
+	Dim   int
+	Eps   float64
+	Mom   float64
+	Gamma *Param // 1 x Dim
+	Beta  *Param // 1 x Dim
+
+	// Running statistics for inference.
+	runMean []float64
+	runVar  []float64
+
+	// Cached values from the last training forward pass.
+	lastXHat *Matrix
+	lastStd  []float64
+}
+
+// NewBatchNorm creates a batch-normalization layer for Dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	b := &BatchNorm{
+		Dim:     dim,
+		Eps:     1e-5,
+		Mom:     0.9,
+		Gamma:   newParam(1, dim),
+		Beta:    newParam(1, dim),
+		runMean: make([]float64, dim),
+		runVar:  make([]float64, dim),
+	}
+	b.Gamma.W.Fill(1)
+	for i := range b.runVar {
+		b.runVar[i] = 1
+	}
+	return b
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
+	if x.Cols != b.Dim {
+		panic(fmt.Sprintf("nn: BatchNorm expected %d cols, got %d", b.Dim, x.Cols))
+	}
+	out := NewMatrix(x.Rows, x.Cols)
+	if !train || x.Rows < 2 {
+		// Inference (or degenerate batch): running statistics.
+		for i := 0; i < x.Rows; i++ {
+			src, dst := x.Row(i), out.Row(i)
+			for j := range src {
+				xh := (src[j] - b.runMean[j]) / math.Sqrt(b.runVar[j]+b.Eps)
+				dst[j] = b.Gamma.W.Data[j]*xh + b.Beta.W.Data[j]
+			}
+		}
+		b.lastXHat = nil
+		return out
+	}
+
+	n := float64(x.Rows)
+	mean := make([]float64, b.Dim)
+	variance := make([]float64, b.Dim)
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.Row(i) {
+			d := v - mean[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= n
+	}
+
+	b.lastXHat = NewMatrix(x.Rows, x.Cols)
+	if cap(b.lastStd) < b.Dim {
+		b.lastStd = make([]float64, b.Dim)
+	}
+	b.lastStd = b.lastStd[:b.Dim]
+	for j := range variance {
+		b.lastStd[j] = math.Sqrt(variance[j] + b.Eps)
+	}
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		xh := b.lastXHat.Row(i)
+		dst := out.Row(i)
+		for j := range src {
+			xh[j] = (src[j] - mean[j]) / b.lastStd[j]
+			dst[j] = b.Gamma.W.Data[j]*xh[j] + b.Beta.W.Data[j]
+		}
+	}
+	for j := range mean {
+		b.runMean[j] = b.Mom*b.runMean[j] + (1-b.Mom)*mean[j]
+		b.runVar[j] = b.Mom*b.runVar[j] + (1-b.Mom)*variance[j]
+	}
+	return out
+}
+
+// Backward implements Layer. The gradient follows the standard
+// batch-norm derivation, coupling every row of the batch through the
+// shared mean and variance.
+func (b *BatchNorm) Backward(grad *Matrix) *Matrix {
+	if b.lastXHat == nil {
+		// Inference-mode backward: per-feature affine map.
+		out := grad.Clone()
+		for i := 0; i < out.Rows; i++ {
+			row := out.Row(i)
+			for j := range row {
+				row[j] *= b.Gamma.W.Data[j] / math.Sqrt(b.runVar[j]+b.Eps)
+			}
+		}
+		return out
+	}
+	n := float64(grad.Rows)
+	dGamma := make([]float64, b.Dim)
+	dBeta := make([]float64, b.Dim)
+	sumDy := make([]float64, b.Dim)
+	sumDyXh := make([]float64, b.Dim)
+	for i := 0; i < grad.Rows; i++ {
+		g := grad.Row(i)
+		xh := b.lastXHat.Row(i)
+		for j := range g {
+			dGamma[j] += g[j] * xh[j]
+			dBeta[j] += g[j]
+			sumDy[j] += g[j]
+			sumDyXh[j] += g[j] * xh[j]
+		}
+	}
+	for j := 0; j < b.Dim; j++ {
+		b.Gamma.G.Data[j] += dGamma[j]
+		b.Beta.G.Data[j] += dBeta[j]
+	}
+	out := NewMatrix(grad.Rows, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		g := grad.Row(i)
+		xh := b.lastXHat.Row(i)
+		dst := out.Row(i)
+		for j := range g {
+			dst[j] = b.Gamma.W.Data[j] / b.lastStd[j] *
+				(g[j] - sumDy[j]/n - xh[j]*sumDyXh[j]/n)
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+var _ Layer = (*BatchNorm)(nil)

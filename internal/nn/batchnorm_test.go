@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trainModeGrads runs a train-mode forward/backward for gradient checks
+// (batch norm couples rows, so checks must use train mode consistently).
+func trainModeLoss(n *Network, l Loss, x, y *Matrix) float64 {
+	loss, _ := l.Compute(n.Forward(x, true), y)
+	return loss
+}
+
+func checkTrainModeGrads(t *testing.T, n *Network, l Loss, x, y *Matrix, tol float64) {
+	t.Helper()
+	const eps = 1e-6
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+	pred := n.Forward(x, true)
+	_, grad := l.Compute(pred, y)
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	dx := grad
+
+	// Parameter gradients.
+	for pi, p := range n.Params() {
+		for i := range p.W.Data {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := trainModeLoss(n, l, x, y)
+			p.W.Data[i] = orig - eps
+			lm := trainModeLoss(n, l, x, y)
+			p.W.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-p.G.Data[i]) > tol {
+				t.Fatalf("param %d elem %d: numeric %v vs analytic %v", pi, i, num, p.G.Data[i])
+			}
+		}
+	}
+	// Input gradients.
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := trainModeLoss(n, l, x, y)
+		x.Data[i] = orig - eps
+		lm := trainModeLoss(n, l, x, y)
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dx.Data[i]) > tol {
+			t.Fatalf("input elem %d: numeric %v vs analytic %v", i, num, dx.Data[i])
+		}
+	}
+}
+
+func TestGradBatchNormTrainMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bn := NewBatchNorm(5)
+	// Non-trivial gamma/beta.
+	bn.Gamma.W.Randomize(rng, 1)
+	bn.Beta.W.Randomize(rng, 1)
+	// Freeze running-stat updates' effect on the check by reusing the
+	// same batch every evaluation (stats update but don't feed forward).
+	n := NewNetwork(bn)
+	x := randMatrix(rng, 6, 5)
+	y := randMatrix(rng, 6, 5)
+	checkTrainModeGrads(t, n, MSE{}, x, y, 1e-5)
+}
+
+func TestGradBatchNormInStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewNetwork(NewDense(4, 6, rng), NewBatchNorm(6), NewReLU(), NewDense(6, 3, rng))
+	x := randMatrix(rng, 5, 4)
+	y := OneHot([]int{0, 1, 2, 0, 1}, 3)
+	checkTrainModeGrads(t, n, SoftmaxCrossEntropy{}, x, y, 1e-5)
+}
+
+func TestBatchNormNormalizesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bn := NewBatchNorm(3)
+	x := randMatrix(rng, 50, 3)
+	x.Scale(4)
+	out := bn.Forward(x, true)
+	for j := 0; j < 3; j++ {
+		var mean, sq float64
+		for i := 0; i < out.Rows; i++ {
+			mean += out.At(i, j)
+		}
+		mean /= float64(out.Rows)
+		for i := 0; i < out.Rows; i++ {
+			d := out.At(i, j) - mean
+			sq += d * d
+		}
+		std := math.Sqrt(sq / float64(out.Rows))
+		if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-3 {
+			t.Fatalf("feature %d: mean=%v std=%v", j, mean, std)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bn := NewBatchNorm(2)
+	x := randMatrix(rng, 40, 2)
+	for i := 0; i < 50; i++ { // converge running stats
+		bn.Forward(x, true)
+	}
+	single := NewMatrix(1, 2)
+	single.Set(0, 0, x.At(0, 0))
+	single.Set(0, 1, x.At(0, 1))
+	out := bn.Forward(single, false)
+	// Inference on one row must not blow up (running stats, not batch).
+	if math.IsNaN(out.At(0, 0)) || math.IsInf(out.At(0, 0), 0) {
+		t.Fatal("inference produced invalid value")
+	}
+	// And it approximates the train-mode normalization of that row.
+	full := bn.Forward(x, true)
+	if math.Abs(out.At(0, 0)-full.At(0, 0)) > 0.2 {
+		t.Fatalf("inference %v vs train-mode %v", out.At(0, 0), full.At(0, 0))
+	}
+}
+
+func TestBatchNormTrainsFaster(t *testing.T) {
+	// Smoke test: a net with batch norm must still learn XOR.
+	rng := rand.New(rand.NewSource(5))
+	net := NewNetwork(
+		NewDense(2, 8, rng),
+		NewBatchNorm(8),
+		NewReLU(),
+		NewDense(8, 2, rng),
+	)
+	x := FromRows([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	y := OneHot([]int{0, 1, 1, 0}, 2)
+	tr := Trainer{Net: net, Loss: SoftmaxCrossEntropy{}, Opt: NewAdam(0.05)}
+	if _, err := tr.Fit(x, y, TrainConfig{Epochs: 300, BatchSize: 4, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	pred := Argmax(net.Forward(x, true)) // batch stats for the tiny batch
+	want := []int{0, 1, 1, 0}
+	for i := range want {
+		if pred[i] != want[i] {
+			t.Fatalf("XOR with batchnorm: pred %v", pred)
+		}
+	}
+}
+
+func TestTrainerEarlyStoppingRestoresBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewNetwork(NewDense(3, 16, rng), NewReLU(), NewDense(16, 1, rng))
+	// Tiny noisy dataset: prone to overfit, validation loss rises.
+	x := randMatrix(rng, 30, 3)
+	y := NewMatrix(30, 1)
+	for i := 0; i < 30; i++ {
+		y.Set(i, 0, x.At(i, 0)+0.3*rng.NormFloat64())
+	}
+	tr := Trainer{Net: net, Loss: MSE{}, Opt: NewAdam(0.02)}
+	losses, err := tr.Fit(x, y, TrainConfig{
+		Epochs: 500, BatchSize: 8, Seed: 2,
+		ValFraction: 0.3, Patience: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) >= 500 {
+		t.Fatalf("early stopping never triggered: %d epochs", len(losses))
+	}
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv1D is a 1-D convolution over channels-last sequences. A batch row
+// of length L*InCh is interpreted as L positions of InCh channels; the
+// output row has OutLen()*OutCh elements, with valid padding and the
+// given stride. Implemented with im2col + matmul.
+type Conv1D struct {
+	InLen, InCh int
+	OutCh       int
+	Kernel      int
+	Stride      int
+	Weight      *Param // (Kernel*InCh) x OutCh
+	Bias        *Param // 1 x OutCh
+
+	lastCols *Matrix // im2col of last input: (batch*outLen) x (Kernel*InCh)
+	lastRows int
+}
+
+// NewConv1D creates a convolution layer with He-initialized kernels.
+func NewConv1D(inLen, inCh, outCh, kernel, stride int, rng *rand.Rand) *Conv1D {
+	if kernel <= 0 || stride <= 0 || inLen < kernel {
+		panic(fmt.Sprintf("nn: Conv1D bad geometry: inLen=%d kernel=%d stride=%d", inLen, kernel, stride))
+	}
+	c := &Conv1D{
+		InLen: inLen, InCh: inCh, OutCh: outCh, Kernel: kernel, Stride: stride,
+		Weight: newParam(kernel*inCh, outCh),
+		Bias:   newParam(1, outCh),
+	}
+	c.Weight.W.Randomize(rng, math.Sqrt(2.0/float64(kernel*inCh)))
+	return c
+}
+
+// OutLen returns the output sequence length.
+func (c *Conv1D) OutLen() int { return (c.InLen-c.Kernel)/c.Stride + 1 }
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *Matrix, _ bool) *Matrix {
+	if x.Cols != c.InLen*c.InCh {
+		panic(fmt.Sprintf("nn: Conv1D expected %d cols, got %d", c.InLen*c.InCh, x.Cols))
+	}
+	outLen := c.OutLen()
+	kc := c.Kernel * c.InCh
+	cols := NewMatrix(x.Rows*outLen, kc)
+	for b := 0; b < x.Rows; b++ {
+		row := x.Row(b)
+		for p := 0; p < outLen; p++ {
+			start := p * c.Stride * c.InCh
+			copy(cols.Row(b*outLen+p), row[start:start+kc])
+		}
+	}
+	c.lastCols = cols
+	c.lastRows = x.Rows
+
+	prod := MatMul(cols, c.Weight.W, false, false) // (batch*outLen) x OutCh
+	out := NewMatrix(x.Rows, outLen*c.OutCh)
+	for b := 0; b < x.Rows; b++ {
+		dst := out.Row(b)
+		for p := 0; p < outLen; p++ {
+			src := prod.Row(b*outLen + p)
+			for ch := 0; ch < c.OutCh; ch++ {
+				dst[p*c.OutCh+ch] = src[ch] + c.Bias.W.Data[ch]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(grad *Matrix) *Matrix {
+	outLen := c.OutLen()
+	kc := c.Kernel * c.InCh
+	// Reshape grad into (batch*outLen) x OutCh.
+	g := NewMatrix(c.lastRows*outLen, c.OutCh)
+	for b := 0; b < c.lastRows; b++ {
+		src := grad.Row(b)
+		for p := 0; p < outLen; p++ {
+			copy(g.Row(b*outLen+p), src[p*c.OutCh:(p+1)*c.OutCh])
+		}
+	}
+	c.Weight.G.AddInPlace(MatMul(c.lastCols, g, true, false))
+	c.Bias.G.AddInPlace(g.ColSums())
+
+	// Column gradient scattered back to input positions.
+	colGrad := MatMul(g, c.Weight.W, false, true) // (batch*outLen) x kc
+	dx := NewMatrix(c.lastRows, c.InLen*c.InCh)
+	for b := 0; b < c.lastRows; b++ {
+		dst := dx.Row(b)
+		for p := 0; p < outLen; p++ {
+			src := colGrad.Row(b*outLen + p)
+			start := p * c.Stride * c.InCh
+			for i := 0; i < kc; i++ {
+				dst[start+i] += src[i]
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// MaxPool1D max-pools a channels-last sequence with the given window and
+// stride.
+type MaxPool1D struct {
+	InLen, Ch      int
+	Window, Stride int
+
+	argmax   []int
+	lastRows int
+}
+
+// NewMaxPool1D creates a max-pooling layer.
+func NewMaxPool1D(inLen, ch, window, stride int) *MaxPool1D {
+	if window <= 0 || stride <= 0 || inLen < window {
+		panic(fmt.Sprintf("nn: MaxPool1D bad geometry: inLen=%d window=%d stride=%d", inLen, window, stride))
+	}
+	return &MaxPool1D{InLen: inLen, Ch: ch, Window: window, Stride: stride}
+}
+
+// OutLen returns the output sequence length.
+func (m *MaxPool1D) OutLen() int { return (m.InLen-m.Window)/m.Stride + 1 }
+
+// Forward implements Layer.
+func (m *MaxPool1D) Forward(x *Matrix, _ bool) *Matrix {
+	if x.Cols != m.InLen*m.Ch {
+		panic(fmt.Sprintf("nn: MaxPool1D expected %d cols, got %d", m.InLen*m.Ch, x.Cols))
+	}
+	outLen := m.OutLen()
+	out := NewMatrix(x.Rows, outLen*m.Ch)
+	if cap(m.argmax) < x.Rows*outLen*m.Ch {
+		m.argmax = make([]int, x.Rows*outLen*m.Ch)
+	}
+	m.argmax = m.argmax[:x.Rows*outLen*m.Ch]
+	m.lastRows = x.Rows
+	for b := 0; b < x.Rows; b++ {
+		row := x.Row(b)
+		dst := out.Row(b)
+		for p := 0; p < outLen; p++ {
+			base := p * m.Stride
+			for ch := 0; ch < m.Ch; ch++ {
+				bestIdx := base*m.Ch + ch
+				best := row[bestIdx]
+				for w := 1; w < m.Window; w++ {
+					idx := (base+w)*m.Ch + ch
+					if row[idx] > best {
+						best, bestIdx = row[idx], idx
+					}
+				}
+				dst[p*m.Ch+ch] = best
+				m.argmax[(b*outLen+p)*m.Ch+ch] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool1D) Backward(grad *Matrix) *Matrix {
+	outLen := m.OutLen()
+	dx := NewMatrix(m.lastRows, m.InLen*m.Ch)
+	for b := 0; b < m.lastRows; b++ {
+		src := grad.Row(b)
+		dst := dx.Row(b)
+		for p := 0; p < outLen; p++ {
+			for ch := 0; ch < m.Ch; ch++ {
+				dst[m.argmax[(b*outLen+p)*m.Ch+ch]] += src[p*m.Ch+ch]
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool1D) Params() []*Param { return nil }
+
+var (
+	_ Layer = (*Conv1D)(nil)
+	_ Layer = (*MaxPool1D)(nil)
+)

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv2D is a 2-D convolution over channels-last images. A batch row of
+// length H*W*InCh is interpreted as an HxW image with InCh channels;
+// output rows have OutH()*OutW()*OutCh elements, valid padding, equal
+// stride in both dimensions. Implemented with im2col + matmul.
+type Conv2D struct {
+	H, W, InCh int
+	OutCh      int
+	Kernel     int
+	Stride     int
+	Weight     *Param // (Kernel*Kernel*InCh) x OutCh
+	Bias       *Param // 1 x OutCh
+
+	lastCols *Matrix
+	lastRows int
+}
+
+// NewConv2D creates a 2-D convolution with He-initialized kernels.
+func NewConv2D(h, w, inCh, outCh, kernel, stride int, rng *rand.Rand) *Conv2D {
+	if kernel <= 0 || stride <= 0 || h < kernel || w < kernel {
+		panic(fmt.Sprintf("nn: Conv2D bad geometry: %dx%d kernel=%d stride=%d", h, w, kernel, stride))
+	}
+	c := &Conv2D{
+		H: h, W: w, InCh: inCh, OutCh: outCh, Kernel: kernel, Stride: stride,
+		Weight: newParam(kernel*kernel*inCh, outCh),
+		Bias:   newParam(1, outCh),
+	}
+	c.Weight.W.Randomize(rng, math.Sqrt(2.0/float64(kernel*kernel*inCh)))
+	return c
+}
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return (c.H-c.Kernel)/c.Stride + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return (c.W-c.Kernel)/c.Stride + 1 }
+
+func (c *Conv2D) inIdx(y, x, ch int) int { return (y*c.W+x)*c.InCh + ch }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Matrix, _ bool) *Matrix {
+	if x.Cols != c.H*c.W*c.InCh {
+		panic(fmt.Sprintf("nn: Conv2D expected %d cols, got %d", c.H*c.W*c.InCh, x.Cols))
+	}
+	oh, ow := c.OutH(), c.OutW()
+	kk := c.Kernel * c.Kernel * c.InCh
+	cols := NewMatrix(x.Rows*oh*ow, kk)
+	for b := 0; b < x.Rows; b++ {
+		row := x.Row(b)
+		for py := 0; py < oh; py++ {
+			for px := 0; px < ow; px++ {
+				dst := cols.Row((b*oh+py)*ow + px)
+				di := 0
+				for ky := 0; ky < c.Kernel; ky++ {
+					base := c.inIdx(py*c.Stride+ky, px*c.Stride, 0)
+					copy(dst[di:di+c.Kernel*c.InCh], row[base:base+c.Kernel*c.InCh])
+					di += c.Kernel * c.InCh
+				}
+			}
+		}
+	}
+	c.lastCols = cols
+	c.lastRows = x.Rows
+
+	prod := MatMul(cols, c.Weight.W, false, false)
+	out := NewMatrix(x.Rows, oh*ow*c.OutCh)
+	for b := 0; b < x.Rows; b++ {
+		dst := out.Row(b)
+		for p := 0; p < oh*ow; p++ {
+			src := prod.Row(b*oh*ow + p)
+			for ch := 0; ch < c.OutCh; ch++ {
+				dst[p*c.OutCh+ch] = src[ch] + c.Bias.W.Data[ch]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *Matrix) *Matrix {
+	oh, ow := c.OutH(), c.OutW()
+	kk := c.Kernel * c.Kernel * c.InCh
+	g := NewMatrix(c.lastRows*oh*ow, c.OutCh)
+	for b := 0; b < c.lastRows; b++ {
+		src := grad.Row(b)
+		for p := 0; p < oh*ow; p++ {
+			copy(g.Row(b*oh*ow+p), src[p*c.OutCh:(p+1)*c.OutCh])
+		}
+	}
+	c.Weight.G.AddInPlace(MatMul(c.lastCols, g, true, false))
+	c.Bias.G.AddInPlace(g.ColSums())
+
+	colGrad := MatMul(g, c.Weight.W, false, true)
+	dx := NewMatrix(c.lastRows, c.H*c.W*c.InCh)
+	for b := 0; b < c.lastRows; b++ {
+		dst := dx.Row(b)
+		for py := 0; py < oh; py++ {
+			for px := 0; px < ow; px++ {
+				src := colGrad.Row((b*oh+py)*ow + px)
+				si := 0
+				for ky := 0; ky < c.Kernel; ky++ {
+					base := c.inIdx(py*c.Stride+ky, px*c.Stride, 0)
+					for i := 0; i < c.Kernel*c.InCh; i++ {
+						dst[base+i] += src[si+i]
+					}
+					si += c.Kernel * c.InCh
+				}
+			}
+		}
+	}
+	_ = kk
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// MaxPool2D max-pools channels-last images with a square window.
+type MaxPool2D struct {
+	H, W, Ch       int
+	Window, Stride int
+
+	argmax   []int
+	lastRows int
+}
+
+// NewMaxPool2D creates a 2-D max-pooling layer.
+func NewMaxPool2D(h, w, ch, window, stride int) *MaxPool2D {
+	if window <= 0 || stride <= 0 || h < window || w < window {
+		panic(fmt.Sprintf("nn: MaxPool2D bad geometry: %dx%d window=%d stride=%d", h, w, window, stride))
+	}
+	return &MaxPool2D{H: h, W: w, Ch: ch, Window: window, Stride: stride}
+}
+
+// OutH returns the output height.
+func (m *MaxPool2D) OutH() int { return (m.H-m.Window)/m.Stride + 1 }
+
+// OutW returns the output width.
+func (m *MaxPool2D) OutW() int { return (m.W-m.Window)/m.Stride + 1 }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *Matrix, _ bool) *Matrix {
+	if x.Cols != m.H*m.W*m.Ch {
+		panic(fmt.Sprintf("nn: MaxPool2D expected %d cols, got %d", m.H*m.W*m.Ch, x.Cols))
+	}
+	oh, ow := m.OutH(), m.OutW()
+	out := NewMatrix(x.Rows, oh*ow*m.Ch)
+	need := x.Rows * oh * ow * m.Ch
+	if cap(m.argmax) < need {
+		m.argmax = make([]int, need)
+	}
+	m.argmax = m.argmax[:need]
+	m.lastRows = x.Rows
+	idx := func(y, xx, ch int) int { return (y*m.W+xx)*m.Ch + ch }
+	for b := 0; b < x.Rows; b++ {
+		row := x.Row(b)
+		dst := out.Row(b)
+		for py := 0; py < oh; py++ {
+			for px := 0; px < ow; px++ {
+				for ch := 0; ch < m.Ch; ch++ {
+					bestIdx := idx(py*m.Stride, px*m.Stride, ch)
+					best := row[bestIdx]
+					for wy := 0; wy < m.Window; wy++ {
+						for wx := 0; wx < m.Window; wx++ {
+							i := idx(py*m.Stride+wy, px*m.Stride+wx, ch)
+							if row[i] > best {
+								best, bestIdx = row[i], i
+							}
+						}
+					}
+					o := (py*ow+px)*m.Ch + ch
+					dst[o] = best
+					m.argmax[(b*oh*ow+py*ow+px)*m.Ch+ch] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *Matrix) *Matrix {
+	oh, ow := m.OutH(), m.OutW()
+	dx := NewMatrix(m.lastRows, m.H*m.W*m.Ch)
+	for b := 0; b < m.lastRows; b++ {
+		src := grad.Row(b)
+		dst := dx.Row(b)
+		for p := 0; p < oh*ow; p++ {
+			for ch := 0; ch < m.Ch; ch++ {
+				dst[m.argmax[(b*oh*ow+p)*m.Ch+ch]] += src[p*m.Ch+ch]
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+var (
+	_ Layer = (*Conv2D)(nil)
+	_ Layer = (*MaxPool2D)(nil)
+)

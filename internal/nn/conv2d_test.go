@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGradConv2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(6, 6, 2, 3, 3, 1, rng)
+	n := NewNetwork(conv)
+	x := randMatrix(rng, 2, 6*6*2)
+	y := randMatrix(rng, 2, conv.OutH()*conv.OutW()*3)
+	checkParamGrads(t, n, MSE{}, x, y, 1e-6)
+	checkInputGrads(t, n, MSE{}, x, y, 1e-6)
+}
+
+func TestGradConv2DStride2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2D(7, 7, 1, 2, 3, 2, rng)
+	n := NewNetwork(conv)
+	x := randMatrix(rng, 2, 49)
+	y := randMatrix(rng, 2, conv.OutH()*conv.OutW()*2)
+	checkParamGrads(t, n, MSE{}, x, y, 1e-6)
+	checkInputGrads(t, n, MSE{}, x, y, 1e-6)
+}
+
+func TestGradMaxPool2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := NewMaxPool2D(6, 6, 2, 2, 2)
+	n := NewNetwork(pool)
+	x := randMatrix(rng, 2, 6*6*2)
+	y := randMatrix(rng, 2, pool.OutH()*pool.OutW()*2)
+	checkInputGrads(t, n, MSE{}, x, y, 1e-6)
+}
+
+func TestGradImageCNNStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	conv1 := NewConv2D(8, 8, 1, 3, 3, 1, rng) // -> 6x6x3
+	pool1 := NewMaxPool2D(6, 6, 3, 2, 2)      // -> 3x3x3
+	n := NewNetwork(conv1, NewReLU(), pool1, NewDense(27, 2, rng))
+	x := randMatrix(rng, 2, 64)
+	y := OneHot([]int{0, 1}, 2)
+	checkParamGrads(t, n, SoftmaxCrossEntropy{}, x, y, 1e-5)
+	checkInputGrads(t, n, SoftmaxCrossEntropy{}, x, y, 1e-5)
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := NewConv2D(3, 3, 1, 1, 2, 1, rng)
+	// Identity-ish kernel: top-left weight 1, rest 0, bias 0.
+	conv.Weight.W.Zero()
+	conv.Weight.W.Data[0] = 1
+	conv.Bias.W.Zero()
+	x := FromRows([][]float64{{1, 2, 3, 4, 5, 6, 7, 8, 9}})
+	out := conv.Forward(x, false)
+	// Output picks input at each window's top-left: 1, 2, 4, 5.
+	want := []float64{1, 2, 4, 5}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestMaxPool2DKnownValues(t *testing.T) {
+	pool := NewMaxPool2D(2, 2, 1, 2, 2)
+	x := FromRows([][]float64{{1, 9, 3, 4}})
+	out := pool.Forward(x, false)
+	if len(out.Data) != 1 || out.Data[0] != 9 {
+		t.Fatalf("MaxPool2D = %v, want [9]", out.Data)
+	}
+}
+
+func TestTrainImageCNN(t *testing.T) {
+	// Classify images by whether the bright quadrant is top-left or
+	// bottom-right.
+	rng := rand.New(rand.NewSource(6))
+	h, w := 8, 8
+	mk := func(n int) (*Matrix, []int) {
+		x := NewMatrix(n, h*w)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := i % 2
+			labels[i] = c
+			for y := 0; y < h; y++ {
+				for xx := 0; xx < w; xx++ {
+					v := 0.05 * rng.Float64()
+					if (c == 0 && y < 4 && xx < 4) || (c == 1 && y >= 4 && xx >= 4) {
+						v = 0.8 + 0.1*rng.Float64()
+					}
+					x.Set(i, y*w+xx, v)
+				}
+			}
+		}
+		return x, labels
+	}
+	x, labels := mk(40)
+	conv := NewConv2D(h, w, 1, 4, 3, 1, rng) // 6x6x4
+	pool := NewMaxPool2D(6, 6, 4, 2, 2)      // 3x3x4
+	net := NewNetwork(conv, NewReLU(), pool, NewDense(36, 2, rng))
+	tr := Trainer{Net: net, Loss: SoftmaxCrossEntropy{}, Opt: NewAdam(0.01)}
+	if _, err := tr.Fit(x, OneHot(labels, 2), TrainConfig{Epochs: 60, BatchSize: 10, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tx, tl := mk(20)
+	pred := Argmax(net.Predict(tx))
+	correct := 0
+	for i := range pred {
+		if pred[i] == tl[i] {
+			correct++
+		}
+	}
+	if correct < 18 {
+		t.Fatalf("image CNN accuracy %d/20", correct)
+	}
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericGrad estimates dLoss/dx by central differences for the network
+// n with loss l and target y.
+func numericGrad(n *Network, l Loss, x, y *Matrix) *Matrix {
+	const eps = 1e-6
+	grad := NewMatrix(x.Rows, x.Cols)
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp, _ := l.Compute(n.Forward(x, false), y)
+		x.Data[i] = orig - eps
+		lm, _ := l.Compute(n.Forward(x, false), y)
+		x.Data[i] = orig
+		grad.Data[i] = (lp - lm) / (2 * eps)
+	}
+	return grad
+}
+
+// analyticGrads runs one forward/backward pass and returns the input
+// gradient; parameter gradients accumulate into the layers.
+func analyticGrads(n *Network, l Loss, x, y *Matrix) *Matrix {
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+	pred := n.Forward(x, false)
+	_, grad := l.Compute(pred, y)
+	var dx *Matrix
+	g := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+	dx = g
+	return dx
+}
+
+// checkParamGrads verifies every parameter gradient numerically.
+func checkParamGrads(t *testing.T, n *Network, l Loss, x, y *Matrix, tol float64) {
+	t.Helper()
+	const eps = 1e-6
+	analyticGrads(n, l, x, y)
+	for pi, p := range n.Params() {
+		for i := range p.W.Data {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp, _ := l.Compute(n.Forward(x, false), y)
+			p.W.Data[i] = orig - eps
+			lm, _ := l.Compute(n.Forward(x, false), y)
+			p.W.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-p.G.Data[i]) > tol {
+				t.Fatalf("param %d elem %d: numeric %v vs analytic %v", pi, i, num, p.G.Data[i])
+			}
+		}
+	}
+}
+
+func checkInputGrads(t *testing.T, n *Network, l Loss, x, y *Matrix, tol float64) {
+	t.Helper()
+	dx := analyticGrads(n, l, x, y)
+	num := numericGrad(n, l, x, y)
+	for i := range dx.Data {
+		if math.Abs(dx.Data[i]-num.Data[i]) > tol {
+			t.Fatalf("input grad elem %d: numeric %v vs analytic %v", i, num.Data[i], dx.Data[i])
+		}
+	}
+}
+
+func TestGradDenseMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewNetwork(NewDense(4, 3, rng))
+	x := randMatrix(rng, 5, 4)
+	y := randMatrix(rng, 5, 3)
+	checkParamGrads(t, n, MSE{}, x, y, 1e-6)
+	checkInputGrads(t, n, MSE{}, x, y, 1e-6)
+}
+
+func TestGradDenseSigmoidStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewNetwork(NewDense(4, 6, rng), NewSigmoid(), NewDense(6, 2, rng))
+	x := randMatrix(rng, 3, 4)
+	y := randMatrix(rng, 3, 2)
+	checkParamGrads(t, n, MSE{}, x, y, 1e-6)
+	checkInputGrads(t, n, MSE{}, x, y, 1e-6)
+}
+
+func TestGradReLUStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NewNetwork(NewDense(5, 8, rng), NewReLU(), NewDense(8, 3, rng))
+	// Shift inputs away from ReLU kinks for a stable numeric check.
+	x := randMatrix(rng, 4, 5)
+	y := randMatrix(rng, 4, 3)
+	checkParamGrads(t, n, MSE{}, x, y, 1e-5)
+	checkInputGrads(t, n, MSE{}, x, y, 1e-5)
+}
+
+func TestGradSoftmaxCrossEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := NewNetwork(NewDense(6, 4, rng))
+	x := randMatrix(rng, 5, 6)
+	y := OneHot([]int{0, 1, 2, 3, 1}, 4)
+	checkParamGrads(t, n, SoftmaxCrossEntropy{}, x, y, 1e-6)
+	checkInputGrads(t, n, SoftmaxCrossEntropy{}, x, y, 1e-6)
+}
+
+func TestGradConv1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := NewConv1D(10, 2, 3, 3, 1, rng) // len 10, 2ch -> 3ch
+	n := NewNetwork(conv)
+	x := randMatrix(rng, 2, 20)
+	y := randMatrix(rng, 2, conv.OutLen()*3)
+	checkParamGrads(t, n, MSE{}, x, y, 1e-6)
+	checkInputGrads(t, n, MSE{}, x, y, 1e-6)
+}
+
+func TestGradConv1DStride2(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	conv := NewConv1D(11, 1, 2, 3, 2, rng)
+	n := NewNetwork(conv)
+	x := randMatrix(rng, 3, 11)
+	y := randMatrix(rng, 3, conv.OutLen()*2)
+	checkParamGrads(t, n, MSE{}, x, y, 1e-6)
+	checkInputGrads(t, n, MSE{}, x, y, 1e-6)
+}
+
+func TestGradMaxPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := NewMaxPool1D(8, 2, 2, 2)
+	n := NewNetwork(pool)
+	x := randMatrix(rng, 2, 16)
+	y := randMatrix(rng, 2, pool.OutLen()*2)
+	// Max pool is piecewise linear; points with distinct window maxima
+	// give exact numeric agreement.
+	checkInputGrads(t, n, MSE{}, x, y, 1e-6)
+}
+
+func TestGradFullCNNStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	conv := NewConv1D(12, 1, 4, 3, 1, rng) // out 10x4
+	pool := NewMaxPool1D(10, 4, 2, 2)      // out 5x4
+	n := NewNetwork(conv, NewReLU(), pool, NewDense(20, 3, rng))
+	x := randMatrix(rng, 2, 12)
+	y := OneHot([]int{0, 2}, 3)
+	checkParamGrads(t, n, SoftmaxCrossEntropy{}, x, y, 1e-5)
+	checkInputGrads(t, n, SoftmaxCrossEntropy{}, x, y, 1e-5)
+}

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is one trainable tensor with its gradient accumulator and
+// optimizer slots.
+type Param struct {
+	W *Matrix // weights
+	G *Matrix // gradient, same shape as W
+	// M and V are optimizer state (momentum / Adam moments), lazily
+	// allocated by the optimizer.
+	M, V *Matrix
+}
+
+func newParam(rows, cols int) *Param {
+	return &Param{W: NewMatrix(rows, cols), G: NewMatrix(rows, cols)}
+}
+
+// Layer is one differentiable stage. Forward consumes a (batch x in)
+// matrix; Backward consumes the gradient w.r.t. the forward output and
+// returns the gradient w.r.t. the forward input, accumulating parameter
+// gradients along the way. Backward must be called after the matching
+// Forward (layers cache activations).
+type Layer interface {
+	Forward(x *Matrix, train bool) *Matrix
+	Backward(grad *Matrix) *Matrix
+	Params() []*Param
+}
+
+// --- Dense --------------------------------------------------------------
+
+// Dense is a fully connected layer: y = xW + b.
+type Dense struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+
+	lastX *Matrix
+}
+
+// NewDense creates a dense layer with He-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, Weight: newParam(in, out), Bias: newParam(1, out)}
+	d.Weight.W.Randomize(rng, math.Sqrt(2.0/float64(in)))
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Matrix, _ bool) *Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense(%d->%d) got input with %d cols", d.In, d.Out, x.Cols))
+	}
+	d.lastX = x
+	out := MatMul(x, d.Weight.W, false, false)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += d.Bias.W.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Matrix) *Matrix {
+	d.Weight.G.AddInPlace(MatMul(d.lastX, grad, true, false))
+	d.Bias.G.AddInPlace(grad.ColSums())
+	return MatMul(grad, d.Weight.W, false, true)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// --- ReLU ---------------------------------------------------------------
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Matrix, _ bool) *Matrix {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *Matrix) *Matrix {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// --- Sigmoid ------------------------------------------------------------
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	lastY *Matrix
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *Matrix, _ bool) *Matrix {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = 1.0 / (1.0 + math.Exp(-v))
+	}
+	s.lastY = out
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *Matrix) *Matrix {
+	out := grad.Clone()
+	for i := range out.Data {
+		y := s.lastY.Data[i]
+		out.Data[i] *= y * (1 - y)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// --- Dropout ------------------------------------------------------------
+
+// Dropout zeroes activations with probability P during training and
+// rescales survivors by 1/(1-P) (inverted dropout); it is the identity
+// at inference time.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+
+	mask []float64
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v out of [0, 1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *Matrix, train bool) *Matrix {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < len(out.Data) {
+		d.mask = make([]float64, len(out.Data))
+	}
+	d.mask = d.mask[:len(out.Data)]
+	keep := 1.0 / (1.0 - d.P)
+	for i := range out.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = keep
+			out.Data[i] *= keep
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *Matrix) *Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	for i := range out.Data {
+		out.Data[i] *= d.mask[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Interface checks.
+var (
+	_ Layer = (*Dense)(nil)
+	_ Layer = (*ReLU)(nil)
+	_ Layer = (*Sigmoid)(nil)
+	_ Layer = (*Dropout)(nil)
+)

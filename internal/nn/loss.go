@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss computes a scalar objective and the gradient of that objective
+// with respect to the network output.
+type Loss interface {
+	// Compute returns the mean loss over the batch and dL/dpred.
+	Compute(pred, target *Matrix) (float64, *Matrix)
+}
+
+// MSE is mean squared error, the autoencoder's reconstruction
+// objective.
+type MSE struct{}
+
+// Compute implements Loss.
+func (MSE) Compute(pred, target *Matrix) (float64, *Matrix) {
+	pred.sameShape(target, "MSE")
+	grad := NewMatrix(pred.Rows, pred.Cols)
+	var sum float64
+	n := float64(len(pred.Data))
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		sum += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return sum / n, grad
+}
+
+// SoftmaxCrossEntropy applies a softmax to the network's logits and
+// computes the cross entropy against one-hot targets. The combined
+// gradient (softmax - target) / batch is numerically stable.
+type SoftmaxCrossEntropy struct{}
+
+// Compute implements Loss.
+func (SoftmaxCrossEntropy) Compute(logits, target *Matrix) (float64, *Matrix) {
+	logits.sameShape(target, "SoftmaxCrossEntropy")
+	probs := Softmax(logits)
+	grad := NewMatrix(logits.Rows, logits.Cols)
+	var loss float64
+	batch := float64(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		p := probs.Row(i)
+		tgt := target.Row(i)
+		g := grad.Row(i)
+		for j := range p {
+			g[j] = (p[j] - tgt[j]) / batch
+			if tgt[j] > 0 {
+				loss -= tgt[j] * math.Log(math.Max(p[j], 1e-12))
+			}
+		}
+	}
+	return loss / batch, grad
+}
+
+// Softmax returns the row-wise softmax of logits.
+func Softmax(logits *Matrix) *Matrix {
+	out := NewMatrix(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		dst := out.Row(i)
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			dst[j] = math.Exp(v - maxV)
+			sum += dst[j]
+		}
+		for j := range dst {
+			dst[j] /= sum
+		}
+	}
+	return out
+}
+
+// OneHot encodes integer labels as a rows x classes one-hot matrix.
+func OneHot(labels []int, classes int) *Matrix {
+	out := NewMatrix(len(labels), classes)
+	for i, l := range labels {
+		if l < 0 || l >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0, %d)", l, classes))
+		}
+		out.Set(i, l, 1)
+	}
+	return out
+}
+
+// Argmax returns the index of the largest value in each row.
+func Argmax(m *Matrix) []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// RMSE returns the per-row root mean squared error between two
+// matrices — the autoencoder detector's reconstruction error.
+func RMSE(pred, target *Matrix) []float64 {
+	pred.sameShape(target, "RMSE")
+	out := make([]float64, pred.Rows)
+	for i := 0; i < pred.Rows; i++ {
+		p, t := pred.Row(i), target.Row(i)
+		var sum float64
+		for j := range p {
+			d := p[j] - t[j]
+			sum += d * d
+		}
+		out[i] = math.Sqrt(sum / float64(pred.Cols))
+	}
+	return out
+}

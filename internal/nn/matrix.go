@@ -1,0 +1,205 @@
+// Package nn is a small, dependency-free neural-network library built
+// for this reproduction: Go has no production deep-learning stack, and
+// the repository is stdlib-only, so the substrate the paper takes from
+// Keras/TensorFlow — dense and 1-D convolutional layers, dropout, max
+// pooling, MSE and softmax cross-entropy losses, SGD and Adam — is
+// implemented here from scratch on row-major float64 matrices with
+// goroutine-parallel matrix multiplication.
+//
+// Shape mismatches are programming errors and panic with descriptive
+// messages, mirroring how slice indexing fails; all data-dependent
+// failures return errors.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all have equal
+// length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("nn: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Zero resets every element.
+func (m *Matrix) Zero() { m.Fill(0) }
+
+// Randomize fills the matrix from a scaled normal distribution —
+// He initialization when scale = sqrt(2/fanIn).
+func (m *Matrix) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+}
+
+// AddInPlace adds other element-wise.
+func (m *Matrix) AddInPlace(other *Matrix) {
+	m.sameShape(other, "AddInPlace")
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+}
+
+// Scale multiplies every element by v.
+func (m *Matrix) Scale(v float64) {
+	for i := range m.Data {
+		m.Data[i] *= v
+	}
+}
+
+// MaxAbs returns the largest absolute element, 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var v float64
+	for _, x := range m.Data {
+		if a := math.Abs(x); a > v {
+			v = a
+		}
+	}
+	return v
+}
+
+func (m *Matrix) sameShape(other *Matrix, op string) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("nn: %s shape mismatch: %dx%d vs %dx%d",
+			op, m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}
+
+// parallelThreshold is the number of multiply-adds below which MatMul
+// stays single-threaded.
+const parallelThreshold = 1 << 16
+
+// MatMul computes a@b (with optional transposes) into a new matrix. It
+// parallelizes across output rows for large products.
+func MatMul(a, b *Matrix, aT, bT bool) *Matrix {
+	ar, ac := a.Rows, a.Cols
+	if aT {
+		ar, ac = ac, ar
+	}
+	br, bc := b.Rows, b.Cols
+	if bT {
+		br, bc = bc, br
+	}
+	if ac != br {
+		panic(fmt.Sprintf("nn: MatMul inner dim mismatch: %d vs %d (aT=%v bT=%v)", ac, br, aT, bT))
+	}
+	out := NewMatrix(ar, bc)
+	work := ar * ac * bc
+	rowRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			outRow := out.Data[i*bc : (i+1)*bc]
+			for k := 0; k < ac; k++ {
+				var av float64
+				if aT {
+					av = a.Data[k*a.Cols+i]
+				} else {
+					av = a.Data[i*a.Cols+k]
+				}
+				if av == 0 {
+					continue
+				}
+				if bT {
+					// b^T[k][j] = b[j][k]: strided, no inner slice.
+					for j := 0; j < bc; j++ {
+						outRow[j] += av * b.Data[j*b.Cols+k]
+					}
+				} else {
+					bRow := b.Data[k*b.Cols : (k+1)*b.Cols]
+					for j := 0; j < bc; j++ {
+						outRow[j] += av * bRow[j]
+					}
+				}
+			}
+		}
+	}
+	if work < parallelThreshold || ar < 2 {
+		rowRange(0, ar)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > ar {
+		workers = ar
+	}
+	chunk := (ar + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > ar {
+			hi = ar
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rowRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// ColSums returns a 1 x Cols matrix of column sums.
+func (m *Matrix) ColSums() *Matrix {
+	out := NewMatrix(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}

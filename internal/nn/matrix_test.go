@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveMatMul(a, b *Matrix, aT, bT bool) *Matrix {
+	ar, ac := a.Rows, a.Cols
+	if aT {
+		ar, ac = ac, ar
+	}
+	_, bc := b.Rows, b.Cols
+	if bT {
+		bc = b.Rows
+	}
+	out := NewMatrix(ar, bc)
+	at := func(m *Matrix, i, j int, t bool) float64 {
+		if t {
+			return m.At(j, i)
+		}
+		return m.At(i, j)
+	}
+	for i := 0; i < ar; i++ {
+		for j := 0; j < bc; j++ {
+			var s float64
+			for k := 0; k < ac; k++ {
+				s += at(a, i, k, aT) * at(b, k, j, bT)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func matricesClose(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := MatMul(a, b, false, false)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !matricesClose(got, want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulTransposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 4, 3)
+	b := randMatrix(rng, 4, 5)
+	// a^T (3x4) @ b (4x5) = 3x5.
+	got := MatMul(a, b, true, false)
+	want := naiveMatMul(a, b, true, false)
+	if !matricesClose(got, want, 1e-10) {
+		t.Fatal("aT MatMul mismatch")
+	}
+	c := randMatrix(rng, 5, 3)
+	// a (4x3) @ c^T (3x5) = 4x5.
+	got = MatMul(a, c, false, true)
+	want = naiveMatMul(a, c, false, true)
+	if !matricesClose(got, want, 1e-10) {
+		t.Fatal("bT MatMul mismatch")
+	}
+}
+
+func TestMatMulParallelMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 70, 90) // above parallel threshold
+	b := randMatrix(rng, 90, 40)
+	got := MatMul(a, b, false, false)
+	want := naiveMatMul(a, b, false, false)
+	if !matricesClose(got, want, 1e-9) {
+		t.Fatal("parallel MatMul mismatch")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner dim mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3), false, false)
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestPropertyMatMulMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		return matricesClose(MatMul(a, b, false, false), naiveMatMul(a, b, false, false), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.ColSums()
+	want := FromRows([][]float64{{9, 12}})
+	if !matricesClose(got, want, 1e-12) {
+		t.Fatalf("ColSums = %v", got.Data)
+	}
+}
+
+func TestCloneAndHelpers(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases data")
+	}
+	if m.MaxAbs() != 2 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	m.Scale(2)
+	if m.At(0, 1) != -4 {
+		t.Fatalf("Scale wrong: %v", m.Data)
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Fatal("Zero failed")
+	}
+	row := m.Row(0)
+	row[0] = 7
+	if m.At(0, 0) != 7 {
+		t.Fatal("Row should be a view")
+	}
+}
+
+func TestRandomizeScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMatrix(100, 100)
+	m.Randomize(rng, 0.1)
+	var sum, sq float64
+	for _, v := range m.Data {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(m.Data))
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean) > 0.01 || math.Abs(std-0.1) > 0.01 {
+		t.Fatalf("Randomize stats: mean=%v std=%v", mean, std)
+	}
+}

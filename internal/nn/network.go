@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Network is an ordered stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a network from layers.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs the stack; train enables dropout and other
+// training-only behaviour.
+func (n *Network) Forward(x *Matrix, train bool) *Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through the stack,
+// accumulating parameter gradients.
+func (n *Network) Backward(grad *Matrix) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// Params returns every trainable parameter in the stack.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W.Data)
+	}
+	return total
+}
+
+// TrainConfig controls Trainer.Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	// Seed shuffles batches deterministically.
+	Seed int64
+	// OnEpoch, when non-nil, observes every epoch's mean loss (for
+	// logging or early stopping via returned false).
+	OnEpoch func(epoch int, loss float64) bool
+	// ValFraction, when positive, holds out that share of the training
+	// rows as a validation set and enables early stopping: training
+	// halts after Patience epochs without validation improvement, and
+	// the best-validation weights are restored.
+	ValFraction float64
+	// Patience is the early-stopping tolerance in epochs (default 10
+	// when ValFraction > 0).
+	Patience int
+}
+
+// Trainer couples a network with an objective and an optimizer.
+type Trainer struct {
+	Net  *Network
+	Loss Loss
+	Opt  Optimizer
+}
+
+// Fit trains on (X, Y) and returns the mean loss per epoch.
+func (t *Trainer) Fit(x, y *Matrix, cfg TrainConfig) ([]float64, error) {
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("nn: X has %d rows, Y has %d", x.Rows, y.Rows)
+	}
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("nn: empty training set")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 || cfg.BatchSize > x.Rows {
+		cfg.BatchSize = x.Rows
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+
+	// Optional validation split for early stopping.
+	var valX, valY *Matrix
+	if cfg.ValFraction > 0 && cfg.ValFraction < 1 {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		nVal := int(float64(len(idx)) * cfg.ValFraction)
+		if nVal >= 1 && nVal < len(idx) {
+			valX = gatherRows(x, idx[:nVal])
+			valY = gatherRows(y, idx[:nVal])
+			idx = idx[nVal:]
+		}
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = 10
+	}
+	if cfg.BatchSize > len(idx) {
+		cfg.BatchSize = len(idx)
+	}
+
+	losses := make([]float64, 0, cfg.Epochs)
+	params := t.Net.Params()
+	bestVal := math.Inf(1)
+	var bestWeights []float64
+	sinceBest := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			bx := gatherRows(x, idx[start:end])
+			by := gatherRows(y, idx[start:end])
+			pred := t.Net.Forward(bx, true)
+			loss, grad := t.Loss.Compute(pred, by)
+			t.Net.Backward(grad)
+			t.Opt.Step(params)
+			epochLoss += loss
+			batches++
+		}
+		epochLoss /= float64(batches)
+		losses = append(losses, epochLoss)
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, epochLoss) {
+			break
+		}
+		if valX != nil {
+			valLoss, _ := t.Loss.Compute(t.Net.Predict(valX), valY)
+			if valLoss < bestVal {
+				bestVal = valLoss
+				bestWeights = t.Net.SaveWeights()
+				sinceBest = 0
+			} else if sinceBest++; sinceBest >= cfg.Patience {
+				break
+			}
+		}
+	}
+	if bestWeights != nil {
+		if err := t.Net.LoadWeights(bestWeights); err != nil {
+			return nil, fmt.Errorf("nn: restore best weights: %w", err)
+		}
+	}
+	return losses, nil
+}
+
+// Predict runs inference (dropout disabled).
+func (n *Network) Predict(x *Matrix) *Matrix { return n.Forward(x, false) }
+
+func gatherRows(m *Matrix, idx []int) *Matrix {
+	out := NewMatrix(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// SaveWeights flattens every parameter into one slice (for
+// persistence); LoadWeights restores them into an identically shaped
+// network.
+func (n *Network) SaveWeights() []float64 {
+	var out []float64
+	for _, p := range n.Params() {
+		out = append(out, p.W.Data...)
+	}
+	return out
+}
+
+// LoadWeights restores weights produced by SaveWeights. It fails if the
+// total parameter count differs.
+func (n *Network) LoadWeights(w []float64) error {
+	if len(w) != n.NumParams() {
+		return fmt.Errorf("nn: weight count %d does not match network's %d", len(w), n.NumParams())
+	}
+	off := 0
+	for _, p := range n.Params() {
+		copy(p.W.Data, w[off:off+len(p.W.Data)])
+		off += len(p.W.Data)
+	}
+	return nil
+}

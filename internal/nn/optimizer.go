@@ -1,0 +1,92 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients and
+// clears the gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum > 0 {
+			if p.M == nil {
+				p.M = NewMatrix(p.W.Rows, p.W.Cols)
+			}
+			for i := range p.W.Data {
+				p.M.Data[i] = s.Momentum*p.M.Data[i] - s.LR*p.G.Data[i]
+				p.W.Data[i] += p.M.Data[i]
+			}
+		} else {
+			for i := range p.W.Data {
+				p.W.Data[i] -= s.LR * p.G.Data[i]
+			}
+		}
+		p.G.Zero()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction and
+// optional decoupled weight decay (AdamW when WeightDecay > 0).
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	// WeightDecay applies decoupled L2 regularization: after the Adam
+	// update, weights shrink by LR*WeightDecay*w.
+	WeightDecay float64
+
+	t int
+}
+
+// NewAdam returns Adam with the canonical defaults and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// NewAdamW returns Adam with decoupled weight decay.
+func NewAdamW(lr, weightDecay float64) *Adam {
+	a := NewAdam(lr)
+	a.WeightDecay = weightDecay
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.M == nil {
+			p.M = NewMatrix(p.W.Rows, p.W.Cols)
+			p.V = NewMatrix(p.W.Rows, p.W.Cols)
+		}
+		for i := range p.W.Data {
+			g := p.G.Data[i]
+			p.M.Data[i] = a.Beta1*p.M.Data[i] + (1-a.Beta1)*g
+			p.V.Data[i] = a.Beta2*p.V.Data[i] + (1-a.Beta2)*g*g
+			mHat := p.M.Data[i] / c1
+			vHat := p.V.Data[i] / c2
+			p.W.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			if a.WeightDecay > 0 {
+				p.W.Data[i] -= a.LR * a.WeightDecay * p.W.Data[i]
+			}
+		}
+		p.G.Zero()
+	}
+}
+
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+)

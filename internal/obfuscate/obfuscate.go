@@ -1,0 +1,124 @@
+// Package obfuscate implements the binary-obfuscation techniques the
+// paper's limitations section identifies as Soteria's blind spot:
+//
+//   - Opaque predicates: conditionals whose outcome is fixed at runtime
+//     but unknowable statically. The dead branch never executes, yet the
+//     disassembler must treat it as reachable, so junk code enters the
+//     CFG and perturbs every CFG-derived feature.
+//   - String obfuscation: XOR-scrambling the data section, which blinds
+//     byte-level analyses (the image baseline) while leaving the CFG
+//     untouched.
+//
+// These transformations let the repository quantify the paper's own
+// caveat — "an adversary may inject a sample of code that would not
+// result in a new branching, but would still affect the structure of
+// the CFG" — as a measured ablation instead of a discussion point.
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soteria/internal/isa"
+)
+
+// OpaquePredicates inserts k opaque conditionals into the program. Each
+// selected block is split at a random point; the head ends with a
+// constant-true test whose dead branch leads to a junk block that the
+// CFG contains but execution never reaches. Runtime behaviour is
+// preserved exactly.
+func OpaquePredicates(p *isa.Program, k int, rng *rand.Rand) (*isa.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("obfuscate: %w", err)
+	}
+	out := p.Clone()
+
+	type candidate struct{ f, b int }
+	var candidates []candidate
+	for fi, f := range out.Funcs {
+		for bi, b := range f.Blocks {
+			if len(b.Body) >= 1 {
+				candidates = append(candidates, candidate{fi, bi})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("obfuscate: no blocks with bodies")
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	chosen := candidates[:k]
+	// Deepest-first within each function keeps earlier insertions from
+	// shifting later candidates.
+	for i := 0; i < len(chosen); i++ {
+		for j := i + 1; j < len(chosen); j++ {
+			ci, cj := chosen[i], chosen[j]
+			if cj.f < ci.f || (cj.f == ci.f && cj.b > ci.b) {
+				chosen[i], chosen[j] = cj, ci
+			}
+		}
+	}
+
+	for n, c := range chosen {
+		f := out.Funcs[c.f]
+		head := f.Blocks[c.b]
+		cut := rng.Intn(len(head.Body)) // tail may keep the whole body
+
+		tail := &isa.Block{
+			Label: fmt.Sprintf("%s_op%d_t", head.Label, n),
+			Body:  append([]isa.Inst(nil), head.Body[cut:]...),
+			Term:  head.Term,
+		}
+		junkLen := 1 + rng.Intn(3)
+		junk := &isa.Block{
+			Label: fmt.Sprintf("%s_op%d_j", head.Label, n),
+			Term:  isa.TermJump{To: tail.Label},
+		}
+		for i := 0; i < junkLen; i++ {
+			junk.Body = append(junk.Body, isa.Inst{
+				Op: isa.OpXor, R1: uint8(rng.Intn(8)), R2: uint8(rng.Intn(8)),
+			})
+		}
+
+		// Opaque predicate: r10 = 1; test r10, r10 sets zero = false, so
+		// the JZ branch to the junk block never fires at runtime — but a
+		// static analyzer cannot know that.
+		head.Body = append(append([]isa.Inst(nil), head.Body[:cut]...),
+			isa.Inst{Op: isa.OpMovI, R1: 10, Imm: 1},
+			isa.Inst{Op: isa.OpTest, R1: 10, R2: 10},
+		)
+		head.Term = isa.TermCond{Op: isa.OpJz, To: junk.Label, Else: tail.Label}
+
+		// Layout: head, tail, junk — Else (tail) stays next in layout.
+		f.Blocks = append(f.Blocks, nil, nil)
+		copy(f.Blocks[c.b+3:], f.Blocks[c.b+1:])
+		f.Blocks[c.b+1] = tail
+		f.Blocks[c.b+2] = junk
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("obfuscate: produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+// ScrambleData XOR-obfuscates every writable data section with the key,
+// returning a new binary. Executable sections are untouched, so the CFG
+// is identical while the byte-level view (image classifiers, string
+// scanners) changes completely.
+func ScrambleData(bin *isa.Binary, key byte) *isa.Binary {
+	out := &isa.Binary{Entry: bin.Entry, Sections: make([]isa.Section, len(bin.Sections))}
+	for i, s := range bin.Sections {
+		data := append([]byte(nil), s.Data...)
+		if !s.Executable() {
+			for j := range data {
+				data[j] ^= key
+			}
+		}
+		out.Sections[i] = isa.Section{Name: s.Name, Addr: s.Addr, Flags: s.Flags, Data: data}
+	}
+	return out
+}

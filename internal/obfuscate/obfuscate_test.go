@@ -1,0 +1,127 @@
+package obfuscate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"soteria/internal/disasm"
+	"soteria/internal/isa"
+	"soteria/internal/malgen"
+)
+
+func sample(t *testing.T, nodes int) *malgen.Sample {
+	t.Helper()
+	g := malgen.NewGenerator(malgen.Config{Seed: 11})
+	s, err := g.SampleSized(malgen.Gafgyt, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpaquePredicatesGrowCFG(t *testing.T) {
+	s := sample(t, 40)
+	rng := rand.New(rand.NewSource(1))
+	obf, err := OpaquePredicates(s.Program, 6, rng)
+	if err != nil {
+		t.Fatalf("OpaquePredicates: %v", err)
+	}
+	bin, _, err := isa.Assemble(obf, isa.AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := disasm.Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each predicate adds a tail block and a junk block, plus possibly a
+	// jump trampoline when the split block's conditional relied on
+	// fallthrough layout.
+	if got := cfg.NumNodes(); got < s.Nodes()+12 || got > s.Nodes()+18 {
+		t.Fatalf("obfuscated CFG nodes = %d, want in [%d, %d]", got, s.Nodes()+12, s.Nodes()+18)
+	}
+	// Junk blocks are statically reachable (the whole point).
+	for id, r := range cfg.G.Reachable(cfg.EntryNode()) {
+		if !r {
+			t.Fatalf("node %d unreachable: junk must be CFG-reachable", id)
+		}
+	}
+}
+
+func TestOpaquePredicatesPreserveBehaviour(t *testing.T) {
+	s := sample(t, 40)
+	rng := rand.New(rand.NewSource(2))
+	obf, err := OpaquePredicates(s.Program, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, _, err := isa.Assemble(obf, isa.AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmO := isa.NewVM(s.Binary)
+	if err := vmO.Run(500000); err != nil {
+		t.Fatal(err)
+	}
+	vmX := isa.NewVM(bin)
+	if err := vmX.Run(500000); err != nil {
+		t.Fatalf("obfuscated run: %v", err)
+	}
+	if !reflect.DeepEqual(vmO.Syscalls, vmX.Syscalls) {
+		t.Fatal("opaque predicates changed behaviour")
+	}
+}
+
+func TestOpaquePredicatesDoNotMutateInput(t *testing.T) {
+	s := sample(t, 30)
+	before := s.Program.NumBlocks()
+	if _, err := OpaquePredicates(s.Program, 3, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	if s.Program.NumBlocks() != before {
+		t.Fatal("input program mutated")
+	}
+}
+
+func TestOpaquePredicatesErrors(t *testing.T) {
+	if _, err := OpaquePredicates(&isa.Program{}, 1, rand.New(rand.NewSource(4))); err == nil {
+		t.Fatal("invalid program should error")
+	}
+	p := &isa.Program{Funcs: []*isa.Function{{
+		Name:   "main",
+		Blocks: []*isa.Block{{Label: "entry", Term: isa.TermHalt{}}},
+	}}}
+	if _, err := OpaquePredicates(p, 1, rand.New(rand.NewSource(5))); err == nil {
+		t.Fatal("bodyless program should error")
+	}
+}
+
+func TestScrambleDataKeepsCFGChangesBytes(t *testing.T) {
+	s := sample(t, 30)
+	obf := ScrambleData(s.Binary, 0x5A)
+	cfg, err := disasm.Disassemble(obf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumNodes() != s.Nodes() {
+		t.Fatalf("scramble changed CFG: %d vs %d", cfg.NumNodes(), s.Nodes())
+	}
+	origData := s.Binary.Section(".data")
+	obfData := obf.Section(".data")
+	if origData == nil || obfData == nil {
+		t.Fatal("missing data sections")
+	}
+	if reflect.DeepEqual(origData.Data, obfData.Data) {
+		t.Fatal("data section unchanged")
+	}
+	// Double scramble restores.
+	restored := ScrambleData(obf, 0x5A)
+	if !reflect.DeepEqual(restored.Section(".data").Data, origData.Data) {
+		t.Fatal("XOR scramble not involutive")
+	}
+	// Text untouched.
+	if !reflect.DeepEqual(obf.Section(".text").Data, s.Binary.Section(".text").Data) {
+		t.Fatal("text section modified")
+	}
+}

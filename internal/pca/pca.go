@@ -1,0 +1,184 @@
+// Package pca implements principal component analysis for the paper's
+// feature-space visualizations (Figs. 8-11): samples are mean-centered
+// and projected onto the top-k eigenvectors of the covariance matrix.
+//
+// Components are found by power iteration with deflation against the
+// implicit covariance operator C·v = Xᵀ(X·v)/(n-1), which never
+// materializes the d x d covariance matrix — important at the paper's
+// d = 1000 feature dimension.
+package pca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"soteria/internal/nn"
+)
+
+// PCA is a fitted projection.
+type PCA struct {
+	// Mean is the training mean, subtracted before projection.
+	Mean []float64
+	// Components holds k unit-norm principal axes (rows, length d).
+	Components [][]float64
+	// Explained holds the eigenvalue (variance) of each component.
+	Explained []float64
+}
+
+// ErrNoData is returned when Fit receives an empty matrix.
+var ErrNoData = errors.New("pca: no data")
+
+const (
+	maxIters = 1000
+	tol      = 1e-10
+)
+
+// Fit computes the top-k principal components of x's rows.
+func Fit(x *nn.Matrix, k int) (*PCA, error) {
+	if x.Rows == 0 || x.Cols == 0 {
+		return nil, ErrNoData
+	}
+	if k <= 0 || k > x.Cols {
+		return nil, fmt.Errorf("pca: k=%d out of range [1, %d]", k, x.Cols)
+	}
+	d := x.Cols
+	mean := make([]float64, d)
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(x.Rows)
+	}
+	centered := x.Clone()
+	for i := 0; i < centered.Rows; i++ {
+		row := centered.Row(i)
+		for j := range row {
+			row[j] -= mean[j]
+		}
+	}
+
+	p := &PCA{Mean: mean}
+	rng := rand.New(rand.NewSource(1))
+	denom := float64(x.Rows - 1)
+	if denom < 1 {
+		denom = 1
+	}
+	// covMul computes C·v without forming C.
+	covMul := func(v []float64) []float64 {
+		xv := make([]float64, centered.Rows)
+		for i := 0; i < centered.Rows; i++ {
+			row := centered.Row(i)
+			var s float64
+			for j, rv := range row {
+				s += rv * v[j]
+			}
+			xv[i] = s
+		}
+		out := make([]float64, d)
+		for i := 0; i < centered.Rows; i++ {
+			row := centered.Row(i)
+			c := xv[i]
+			for j, rv := range row {
+				out[j] += rv * c
+			}
+		}
+		for j := range out {
+			out[j] /= denom
+		}
+		return out
+	}
+
+	for comp := 0; comp < k; comp++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		// Deflate against found components.
+		orthogonalize(v, p.Components)
+		normalize(v)
+		var lambda float64
+		for iter := 0; iter < maxIters; iter++ {
+			w := covMul(v)
+			orthogonalize(w, p.Components)
+			newLambda := norm(w)
+			if newLambda < 1e-15 {
+				// Remaining variance is zero; use an arbitrary
+				// orthogonal direction.
+				lambda = 0
+				break
+			}
+			for j := range w {
+				w[j] /= newLambda
+			}
+			delta := 0.0
+			for j := range w {
+				delta += (w[j] - v[j]) * (w[j] - v[j])
+			}
+			copy(v, w)
+			lambda = newLambda
+			if delta < tol {
+				break
+			}
+		}
+		p.Components = append(p.Components, v)
+		p.Explained = append(p.Explained, lambda)
+	}
+	return p, nil
+}
+
+// Transform projects rows of x onto the fitted components, returning an
+// (n x k) matrix.
+func (p *PCA) Transform(x *nn.Matrix) *nn.Matrix {
+	k := len(p.Components)
+	out := nn.NewMatrix(x.Rows, k)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for c, comp := range p.Components {
+			var s float64
+			for j, v := range row {
+				s += (v - p.Mean[j]) * comp[j]
+			}
+			out.Set(i, c, s)
+		}
+	}
+	return out
+}
+
+// TransformOne projects a single vector.
+func (p *PCA) TransformOne(vec []float64) []float64 {
+	return p.Transform(nn.FromRows([][]float64{vec})).Row(0)
+}
+
+func orthogonalize(v []float64, basis [][]float64) {
+	for _, b := range basis {
+		var dot float64
+		for j := range v {
+			dot += v[j] * b[j]
+		}
+		for j := range v {
+			v[j] -= dot * b[j]
+		}
+	}
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for j := range v {
+		v[j] /= n
+	}
+}

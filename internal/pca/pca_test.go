@@ -1,0 +1,183 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soteria/internal/nn"
+)
+
+func TestFitRecoverselongatedAxis(t *testing.T) {
+	// Points stretched along (1, 1)/sqrt(2): the first component must
+	// align with it (up to sign).
+	rng := rand.New(rand.NewSource(1))
+	x := nn.NewMatrix(200, 2)
+	for i := 0; i < x.Rows; i++ {
+		tt := rng.NormFloat64() * 5
+		x.Set(i, 0, tt+0.1*rng.NormFloat64())
+		x.Set(i, 1, tt+0.1*rng.NormFloat64())
+	}
+	p, err := Fit(x, 2)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	c0 := p.Components[0]
+	want := 1.0 / math.Sqrt(2)
+	if math.Abs(math.Abs(c0[0])-want) > 0.02 || math.Abs(math.Abs(c0[1])-want) > 0.02 {
+		t.Fatalf("first component = %v, want ±(%v, %v)", c0, want, want)
+	}
+	if p.Explained[0] < 10*p.Explained[1] {
+		t.Fatalf("explained = %v, first should dominate", p.Explained)
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := nn.NewMatrix(50, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	p, err := Fit(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var dot float64
+			for k := range p.Components[i] {
+				dot += p.Components[i][k] * p.Components[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("components %d,%d dot = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestTransformCentersData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := nn.NewMatrix(80, 4)
+	for i := range x.Data {
+		x.Data[i] = 5 + rng.NormFloat64()
+	}
+	p, err := Fit(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := p.Transform(x)
+	if proj.Rows != 80 || proj.Cols != 2 {
+		t.Fatalf("projection shape %dx%d", proj.Rows, proj.Cols)
+	}
+	// Projections of training data are mean-centered.
+	var m0, m1 float64
+	for i := 0; i < proj.Rows; i++ {
+		m0 += proj.At(i, 0)
+		m1 += proj.At(i, 1)
+	}
+	if math.Abs(m0/80) > 1e-6 || math.Abs(m1/80) > 1e-6 {
+		t.Fatalf("projections not centered: %v, %v", m0/80, m1/80)
+	}
+}
+
+func TestTransformOneMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := nn.NewMatrix(30, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	p, err := Fit(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := p.Transform(x)
+	one := p.TransformOne(x.Row(3))
+	for j := range one {
+		if math.Abs(one[j]-batch.At(3, j)) > 1e-12 {
+			t.Fatal("TransformOne disagrees with batch")
+		}
+	}
+}
+
+func TestSeparatedClustersStaySeparated(t *testing.T) {
+	// Two far-apart clusters in 10-D must be separable in the first
+	// component.
+	rng := rand.New(rand.NewSource(5))
+	x := nn.NewMatrix(100, 10)
+	for i := 0; i < x.Rows; i++ {
+		off := 0.0
+		if i%2 == 1 {
+			off = 10.0
+		}
+		for j := 0; j < 10; j++ {
+			x.Set(i, j, off+rng.NormFloat64())
+		}
+	}
+	p, err := Fit(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := p.Transform(x)
+	// Check the sign of component-0 separates parity classes.
+	sep := 0
+	for i := 0; i < proj.Rows; i++ {
+		if (proj.At(i, 0) > 0) == (i%2 == 1) {
+			sep++
+		}
+	}
+	if sep != 0 && sep != 100 {
+		// Allow either orientation, but require full separation.
+		t.Fatalf("separation = %d/100, want 0 or 100", sep)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nn.NewMatrix(0, 3), 2); err != ErrNoData {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+	if _, err := Fit(nn.NewMatrix(3, 3), 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Fit(nn.NewMatrix(3, 3), 4); err == nil {
+		t.Fatal("k > d should error")
+	}
+}
+
+func TestFitConstantData(t *testing.T) {
+	x := nn.NewMatrix(10, 3)
+	x.Fill(7)
+	p, err := Fit(x, 2)
+	if err != nil {
+		t.Fatalf("Fit on constant data: %v", err)
+	}
+	for _, e := range p.Explained {
+		if e > 1e-9 {
+			t.Fatalf("constant data explained variance = %v", p.Explained)
+		}
+	}
+	proj := p.Transform(x)
+	if proj.MaxAbs() > 1e-9 {
+		t.Fatal("constant data should project to ~0")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := nn.NewMatrix(40, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	p1, _ := Fit(x, 2)
+	p2, _ := Fit(x, 2)
+	for c := range p1.Components {
+		for j := range p1.Components[c] {
+			if p1.Components[c][j] != p2.Components[c][j] {
+				t.Fatal("PCA not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package walk implements the paper's random-walk feature traversal
+// (section III-B.2): a marker starts at the CFG entry block and moves to
+// a uniformly random adjacent vertex of the undirected graph view,
+// recording the label of every visited node. Soteria performs ten walks
+// of length 5·|V| per labeling, and the walk traces are the only thing
+// downstream feature extraction ever sees — the randomization that makes
+// the classifier's effective feature space unpredictable to an adversary.
+package walk
+
+import (
+	"math/rand"
+
+	"soteria/internal/graph"
+)
+
+// DefaultCount is the paper's number of walks per labeling.
+const DefaultCount = 10
+
+// DefaultLengthFactor is the paper's walk length multiplier: a walk
+// takes 5·|V| steps.
+const DefaultLengthFactor = 5
+
+// Random performs one random walk of the given number of steps starting
+// at entry, returning the sequence of visited labels (steps+1 entries
+// including the start). labels[v] is the label of node v. The walk
+// stops early only at a node with no undirected neighbors.
+func Random(g *graph.Graph, entry int, labels []int, steps int, rng *rand.Rand) []int {
+	trace := make([]int, 0, steps+1)
+	cur := entry
+	trace = append(trace, labels[cur])
+	for i := 0; i < steps; i++ {
+		nbrs := g.UndirectedNeighbors(cur)
+		if len(nbrs) == 0 {
+			break
+		}
+		cur = nbrs[rng.Intn(len(nbrs))]
+		trace = append(trace, labels[cur])
+	}
+	return trace
+}
+
+// Walks performs count walks of lengthFactor·|V| steps each and returns
+// their traces.
+func Walks(g *graph.Graph, entry int, labels []int, count, lengthFactor int, rng *rand.Rand) [][]int {
+	steps := lengthFactor * g.NumNodes()
+	out := make([][]int, count)
+	for i := range out {
+		out[i] = Random(g, entry, labels, steps, rng)
+	}
+	return out
+}

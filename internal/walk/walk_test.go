@@ -1,0 +1,132 @@
+package walk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"soteria/internal/graph"
+)
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func ring(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestRandomWalkLengthAndStart(t *testing.T) {
+	g := ring(6)
+	rng := rand.New(rand.NewSource(1))
+	trace := Random(g, 2, identity(6), 30, rng)
+	if len(trace) != 31 {
+		t.Fatalf("trace length = %d, want 31", len(trace))
+	}
+	if trace[0] != 2 {
+		t.Fatalf("trace[0] = %d, want entry label 2", trace[0])
+	}
+}
+
+func TestRandomWalkStepsAreAdjacent(t *testing.T) {
+	g := ring(8)
+	rng := rand.New(rand.NewSource(2))
+	trace := Random(g, 0, identity(8), 100, rng)
+	for i := 1; i < len(trace); i++ {
+		u, v := trace[i-1], trace[i]
+		found := false
+		for _, n := range g.UndirectedNeighbors(u) {
+			if n == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("step %d: %d -> %d not adjacent", i, u, v)
+		}
+	}
+}
+
+func TestRandomWalkUsesLabels(t *testing.T) {
+	g := ring(3)
+	labels := []int{10, 20, 30}
+	rng := rand.New(rand.NewSource(3))
+	trace := Random(g, 0, labels, 10, rng)
+	for _, l := range trace {
+		if l != 10 && l != 20 && l != 30 {
+			t.Fatalf("unexpected label %d in trace", l)
+		}
+	}
+	if trace[0] != 10 {
+		t.Fatalf("trace[0] = %d, want 10", trace[0])
+	}
+}
+
+func TestRandomWalkIsolatedNodeStops(t *testing.T) {
+	g := graph.New(1)
+	trace := Random(g, 0, []int{0}, 10, rand.New(rand.NewSource(4)))
+	if len(trace) != 1 {
+		t.Fatalf("isolated node trace = %v, want length 1", trace)
+	}
+}
+
+func TestRandomWalkDeterministicPerSeed(t *testing.T) {
+	g := ring(10)
+	a := Random(g, 0, identity(10), 50, rand.New(rand.NewSource(7)))
+	b := Random(g, 0, identity(10), 50, rand.New(rand.NewSource(7)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different walks")
+	}
+	c := Random(g, 0, identity(10), 50, rand.New(rand.NewSource(8)))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical 50-step walks")
+	}
+}
+
+func TestWalksCountAndLength(t *testing.T) {
+	g := ring(4)
+	rng := rand.New(rand.NewSource(5))
+	traces := Walks(g, 0, identity(4), 10, 5, rng)
+	if len(traces) != 10 {
+		t.Fatalf("walk count = %d, want 10", len(traces))
+	}
+	for i, tr := range traces {
+		if len(tr) != 5*4+1 {
+			t.Fatalf("walk %d length = %d, want %d", i, len(tr), 5*4+1)
+		}
+	}
+}
+
+func TestPropertyWalkVisitsOnlyReachableLabels(t *testing.T) {
+	// Over the undirected view of a connected graph, a long walk from
+	// the entry must stay within the graph's label set and cover more
+	// than one node.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		g := ring(n)
+		trace := Random(g, 0, identity(n), 4*n, rng)
+		if len(trace) != 4*n+1 {
+			return false
+		}
+		distinct := map[int]bool{}
+		for _, l := range trace {
+			if l < 0 || l >= n {
+				return false
+			}
+			distinct[l] = true
+		}
+		return len(distinct) > 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package soteria is the public API of this reproduction of "Soteria:
+// Detecting Adversarial Examples in Control Flow Graph-based Malware
+// Classifiers" (Alasmary et al., ICDCS 2020).
+//
+// Soteria defends CFG-based IoT malware classifiers against adversarial
+// examples. A binary is disassembled into its control flow graph; nodes
+// are labeled by density (DBL) and by level (LBL); random walks over the
+// labeled graph are summarized as TF-IDF-weighted n-grams; an
+// autoencoder trained only on clean samples flags adversarial inputs by
+// reconstruction error; and a majority-voting pair of 1-D CNNs
+// classifies clean samples into Benign, Gafgyt, Mirai, or Tsunami.
+//
+// Quick start:
+//
+//	gen := soteria.NewGenerator(soteria.GeneratorConfig{Seed: 1})
+//	corpus, _ := gen.Corpus(map[soteria.Class]int{
+//		soteria.Benign: 100, soteria.Gafgyt: 100,
+//		soteria.Mirai: 100, soteria.Tsunami: 50,
+//	})
+//	sys, _ := soteria.Train(corpus, soteria.DefaultOptions())
+//	dec, _ := sys.Analyze(corpus[0].CFG, 0)
+//	fmt.Println(dec.Adversarial, dec.Class)
+//
+// The real system consumes binaries: Analyze accepts any CFG recovered
+// by the bundled disassembler, and AnalyzeBinary accepts raw SOTB
+// container bytes. See DESIGN.md for what stands in for the paper's
+// proprietary dataset and toolchain, and EXPERIMENTS.md for the
+// reproduced tables and figures.
+package soteria
+
+import (
+	"io"
+
+	"soteria/internal/core"
+	"soteria/internal/disasm"
+	"soteria/internal/gea"
+	"soteria/internal/isa"
+	"soteria/internal/malgen"
+)
+
+// Class identifies a sample class (Benign or a malware family).
+type Class = malgen.Class
+
+// Sample classes.
+const (
+	Benign  = malgen.Benign
+	Gafgyt  = malgen.Gafgyt
+	Mirai   = malgen.Mirai
+	Tsunami = malgen.Tsunami
+)
+
+// Classes lists all classes in canonical order.
+var Classes = malgen.Classes
+
+// NumClasses is the number of classes.
+const NumClasses = malgen.NumClasses
+
+// Sample is one corpus entry: program, binary, and recovered CFG.
+type Sample = malgen.Sample
+
+// CFG is a control flow graph recovered by the disassembler.
+type CFG = disasm.CFG
+
+// Binary is a parsed SOTB executable.
+type Binary = isa.Binary
+
+// Program is the structured form of a SOT-32 executable.
+type Program = isa.Program
+
+// GeneratorConfig parameterizes the synthetic corpus generator.
+type GeneratorConfig = malgen.Config
+
+// Generator produces synthetic IoT samples with family-specific CFG
+// structure (the stand-in for the paper's CyberIOC + GitHub corpus).
+type Generator = malgen.Generator
+
+// NewGenerator returns a corpus generator.
+func NewGenerator(cfg GeneratorConfig) *Generator { return malgen.NewGenerator(cfg) }
+
+// Options configures system training.
+type Options = core.Options
+
+// DefaultOptions returns CI-scale training options (minutes on a
+// laptop).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// PaperOptions returns the paper's full-scale parameters (1000
+// features, 46-filter CNNs, 100 epochs).
+func PaperOptions() Options { return core.PaperOptions() }
+
+// Decision is the system's verdict on one sample.
+type Decision = core.Decision
+
+// System is a trained Soteria instance: feature extractor, adversarial
+// example detector, and majority-voting classifier.
+type System struct {
+	pipeline *core.Pipeline
+}
+
+// Train fits Soteria on labeled clean samples. Neither model ever sees
+// adversarial data.
+func Train(samples []*Sample, opts Options) (*System, error) {
+	p, err := core.Train(samples, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{pipeline: p}, nil
+}
+
+// Analyze runs detection and classification on a CFG. salt
+// individualizes walk randomness; use a stable per-sample value for
+// reproducible results.
+func (s *System) Analyze(c *CFG, salt int64) (*Decision, error) {
+	return s.pipeline.Analyze(c, salt)
+}
+
+// AnalyzeBinary disassembles raw SOTB bytes and analyzes the result.
+func (s *System) AnalyzeBinary(raw []byte, salt int64) (*Decision, error) {
+	return s.pipeline.AnalyzeBinary(raw, salt)
+}
+
+// Pipeline exposes the underlying components (extractor, detector,
+// ensemble) for advanced use such as threshold sweeps or classifier
+// replacement.
+func (s *System) Pipeline() *core.Pipeline { return s.pipeline }
+
+// Save serializes the trained system (vocabularies, detector state,
+// classifier weights) as JSON.
+func (s *System) Save(w io.Writer) error { return s.pipeline.Save(w) }
+
+// Load rebuilds a trained system from Save output.
+func Load(r io.Reader) (*System, error) {
+	p, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &System{pipeline: p}, nil
+}
+
+// Disassemble recovers the CFG of a parsed binary.
+func Disassemble(bin *Binary) (*CFG, error) { return disasm.Disassemble(bin) }
+
+// ParseBinary decodes SOTB container bytes.
+func ParseBinary(raw []byte) (*Binary, error) { return isa.DecodeBinary(raw) }
+
+// GEAMerge applies the Graph Embedding and Augmentation attack: it
+// grafts target into original through shared entry/exit blocks,
+// returning the adversarial binary and its CFG. The result preserves
+// the original program's runtime behaviour.
+func GEAMerge(original, target *Program) (*Binary, *CFG, error) {
+	return gea.MergeToCFG(original, target)
+}

@@ -1,0 +1,168 @@
+package soteria_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"soteria"
+)
+
+func smallOptions() soteria.Options {
+	opts := soteria.DefaultOptions()
+	opts.Features.TopK = 64
+	opts.Features.WalkCount = 4
+	opts.DetectorEpochs = 15
+	opts.ClassifierEpochs = 10
+	opts.Filters = 6
+	opts.DenseUnits = 24
+	return opts
+}
+
+func smallCorpus(t *testing.T, perClass int) []*soteria.Sample {
+	t.Helper()
+	gen := soteria.NewGenerator(soteria.GeneratorConfig{Seed: 3})
+	var out []*soteria.Sample
+	for _, c := range soteria.Classes {
+		for i := 0; i < perClass; i++ {
+			s, err := gen.Sample(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	corpus := smallCorpus(t, 8)
+	sys, err := soteria.Train(corpus, smallOptions())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	dec, err := sys.Analyze(corpus[0].CFG, 123)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if dec.RE < 0 {
+		t.Fatalf("negative reconstruction error: %v", dec.RE)
+	}
+
+	// Binary round trip through the public API.
+	raw, err := corpus[0].Binary.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := sys.AnalyzeBinary(raw, 123)
+	if err != nil {
+		t.Fatalf("AnalyzeBinary: %v", err)
+	}
+	if dec2.RE != dec.RE {
+		t.Fatal("binary path disagrees with CFG path")
+	}
+
+	// GEA through the public API.
+	target := corpus[len(corpus)-1] // a Tsunami sample
+	victim := corpus[0]             // a Benign sample
+	bin, cfg, err := soteria.GEAMerge(victim.Program, target.Program)
+	if err != nil {
+		t.Fatalf("GEAMerge: %v", err)
+	}
+	if cfg.NumNodes() != victim.CFG.NumNodes()+target.CFG.NumNodes()+2 {
+		t.Fatalf("merged CFG nodes = %d", cfg.NumNodes())
+	}
+	enc, err := bin.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := soteria.ParseBinary(enc)
+	if err != nil {
+		t.Fatalf("ParseBinary: %v", err)
+	}
+	recfg, err := soteria.Disassemble(parsed)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	if recfg.NumNodes() != cfg.NumNodes() {
+		t.Fatal("re-disassembled CFG differs")
+	}
+	if _, err := sys.Analyze(cfg, 999); err != nil {
+		t.Fatalf("Analyze AE: %v", err)
+	}
+	if sys.Pipeline() == nil {
+		t.Fatal("Pipeline accessor returned nil")
+	}
+}
+
+func TestSaveLoadPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	corpus := smallCorpus(t, 5)
+	opts := smallOptions()
+	opts.DetectorEpochs = 8
+	opts.ClassifierEpochs = 5
+	sys, err := soteria.Train(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := soteria.Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	a, err := sys.Analyze(corpus[0].CFG, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Analyze(corpus[0].CFG, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RE != b.RE || a.Class != b.Class {
+		t.Fatalf("loaded system disagrees: %+v vs %+v", a, b)
+	}
+}
+
+// Example shows the canonical train-and-analyze flow. (No output
+// comparison: training runs for a few seconds, so godoc compiles this
+// example without executing it.)
+func Example() {
+	gen := soteria.NewGenerator(soteria.GeneratorConfig{Seed: 1})
+	corpus, err := gen.Corpus(map[soteria.Class]int{
+		soteria.Benign: 30, soteria.Gafgyt: 50,
+		soteria.Mirai: 25, soteria.Tsunami: 15,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys, err := soteria.Train(corpus, soteria.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	dec, err := sys.Analyze(corpus[0].CFG, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dec.Adversarial, dec.Class)
+}
+
+func TestClassConstants(t *testing.T) {
+	if soteria.NumClasses != 4 || len(soteria.Classes) != 4 {
+		t.Fatal("class constants wrong")
+	}
+	names := []string{"Benign", "Gafgyt", "Mirai", "Tsunami"}
+	for i, c := range soteria.Classes {
+		if c.String() != names[i] {
+			t.Fatalf("class %d = %s, want %s", i, c, names[i])
+		}
+	}
+}
