@@ -21,6 +21,7 @@ import (
 	"soteria/internal/gea"
 	"soteria/internal/labeling"
 	"soteria/internal/malgen"
+	"soteria/internal/ngram"
 	"soteria/internal/walk"
 
 	mrand "math/rand"
@@ -127,6 +128,42 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ext.Extract(s.CFG, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGramCounting64 isolates the packed n-gram counting stage on
+// one walk-length trace (the innermost extraction loop).
+func BenchmarkGramCounting64(b *testing.B) {
+	s := benchSample(b, 64)
+	perm := labeling.DensityBased(s.CFG.G, s.CFG.EntryNode()).Perm
+	rng := mrand.New(mrand.NewSource(1))
+	trace := walk.Random(s.CFG.G, s.CFG.EntryNode(), perm, walk.DefaultLengthFactor*s.CFG.G.NumNodes(), rng)
+	c := ngram.NewGramCounter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		c.AddTrace(trace, ngram.DefaultNs)
+	}
+}
+
+// BenchmarkExtractBatch measures steady-state batch throughput: the
+// pooled scratch buffers and labeling memo make repeat extraction of a
+// corpus near allocation-free.
+func BenchmarkExtractBatch(b *testing.B) {
+	env := benchEnvironment(b)
+	samples := env.TestSamples()
+	ext := env.Pipeline.Extractor
+	cfgs := make([]*disasm.CFG, len(samples))
+	salts := make([]int64, len(samples))
+	for i, s := range samples {
+		cfgs[i] = s.CFG
+		salts[i] = int64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ext.ExtractBatch(cfgs, salts); err != nil {
 			b.Fatal(err)
 		}
 	}

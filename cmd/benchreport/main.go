@@ -1,0 +1,184 @@
+// Command benchreport runs `go test -bench` and distills the output
+// into a machine-readable JSON report, so the performance trajectory of
+// the extraction pipeline stays comparable across PRs (BENCH_<n>.json
+// at the repo root records each PR's numbers).
+//
+// Usage:
+//
+//	benchreport -bench 'Extract|Walk|Gram|Table5' -pkg . -out BENCH_1.json
+//	go test -bench=. -benchmem | benchreport -input - -out BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GeneratedAt string   `json:"generatedAt"`
+	Command     string   `json:"command,omitempty"`
+	GOOS        string   `json:"goos,omitempty"`
+	GOARCH      string   `json:"goarch,omitempty"`
+	CPU         string   `json:"cpu,omitempty"`
+	Pkg         string   `json:"pkg,omitempty"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench = flag.String("bench", "Extract|Walk|Gram|Table5", "go test -bench regexp")
+		pkg   = flag.String("pkg", ".", "package pattern to benchmark")
+		count = flag.Int("count", 1, "benchmark repetition count")
+		out   = flag.String("out", "", "output JSON path (default stdout)")
+		input = flag.String("input", "", "parse an existing `go test -bench` output file instead of running ('-' for stdin)")
+	)
+	flag.Parse()
+
+	var (
+		raw     io.Reader
+		command string
+	)
+	switch *input {
+	case "":
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+			"-count", strconv.Itoa(*count), *pkg}
+		command = "go " + strings.Join(args, " ")
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %s: %v\n", command, err)
+			os.Exit(1)
+		}
+		raw = strings.NewReader(string(outBytes))
+	case "-":
+		raw = os.Stdin
+	default:
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		raw = f
+	}
+
+	rep, err := Parse(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Command = command
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: write: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	}
+}
+
+// Parse reads `go test -bench -benchmem` output and extracts every
+// benchmark line plus the environment header.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkFeatureExtraction-8   920   1396385 ns/op   544020 B/op   17092 allocs/op
+func parseBenchLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("short benchmark line: %q", line)
+	}
+	res := Result{Name: fields[0]}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	res.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, fmt.Errorf("bad ns/op in %q: %w", line, err)
+			}
+		case "B/op":
+			if res.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, fmt.Errorf("bad B/op in %q: %w", line, err)
+			}
+		case "allocs/op":
+			if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: soteria
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable5Features         	       3	 374048166 ns/op	180626053 B/op	 5367817 allocs/op
+BenchmarkRandomWalks64-8        	    7425	    195067 ns/op	  112961 B/op	    3211 allocs/op
+BenchmarkFeatureExtraction      	     920	   1396385.5 ns/op
+PASS
+ok  	soteria	24.312s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "soteria" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkTable5Features" || b0.Iterations != 3 ||
+		b0.NsPerOp != 374048166 || b0.BytesPerOp != 180626053 || b0.AllocsPerOp != 5367817 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Name != "BenchmarkRandomWalks64" || b1.Procs != 8 || b1.AllocsPerOp != 3211 {
+		t.Fatalf("b1 = %+v", b1)
+	}
+	b2 := rep.Benchmarks[2]
+	if b2.NsPerOp != 1396385.5 || b2.BytesPerOp != 0 {
+		t.Fatalf("b2 = %+v", b2)
+	}
+}
+
+func TestParseEmptyErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("no benchmark lines should error")
+	}
+}
+
+func TestParseBadLineErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX abc 5 ns/op\n")); err == nil {
+		t.Fatal("bad iteration count should error")
+	}
+}

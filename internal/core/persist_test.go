@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -47,5 +49,31 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
 		t.Fatal("unknown version should error")
+	}
+}
+
+func TestSeedFormatVocabularyRestoresPacked(t *testing.T) {
+	// The persisted vocabulary layer is unchanged from the seed format:
+	// string gram keys ("a|b|c", decimal labels). A vocabState decoded
+	// from seed-era JSON must restore into a vectorizer that serves both
+	// the string lookups the old code used and the new packed index.
+	raw := `{"vocab": ["0|1", "1|0", "10|2", "3|2|1"], "idf": [1.1, 1.2, 1.3, 0.9], "dim": 6, "l2": true}`
+	var vs vocabState
+	if err := json.Unmarshal([]byte(raw), &vs); err != nil {
+		t.Fatal(err)
+	}
+	v := vs.restore()
+	if !v.PackedReady() {
+		t.Fatal("seed-format vocab should rebuild the packed index")
+	}
+	if !v.Contains("10|2") || v.Contains("2|10") {
+		t.Fatal("string vocabulary lookup broken after restore")
+	}
+	if v.Dim != 6 || !v.L2 {
+		t.Fatalf("restored dim/L2 = %d/%v", v.Dim, v.L2)
+	}
+	// Round-trip: saving the restored vectorizer reproduces the state.
+	if got := vocabOf(v); !reflect.DeepEqual(got, vs) {
+		t.Fatalf("vocab round-trip changed state: %+v vs %+v", got, vs)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"soteria/internal/features"
 	"soteria/internal/malgen"
 	"soteria/internal/nn"
+	"soteria/internal/par"
 )
 
 // Options configures pipeline training. Zero values default to reduced
@@ -29,7 +30,11 @@ type Options struct {
 	ClassifierEpochs int     `json:"classifierEpochs"`
 	BatchSize        int     `json:"batchSize"`
 	LR               float64 `json:"lr"`
-	// Alpha is the detector threshold multiplier (default 1.0).
+	// Alpha is the detector threshold multiplier (default 1.0). An
+	// explicit Alpha of 0 is indistinguishable from unset and is
+	// replaced by the default; a zero multiplier would flag every
+	// sample as adversarial, so use a small positive value instead if
+	// that extreme is really intended.
 	Alpha float64 `json:"alpha"`
 	// Filters and DenseUnits size the CNN (defaults 46 / 512 per paper,
 	// which CI-scale configs shrink).
@@ -134,25 +139,28 @@ func Train(samples []*malgen.Sample, opts Options) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: extract: %w", err)
 	}
+	// Every sample contributes exactly WalkCount per-walk rows, so the
+	// training matrices assemble with fixed per-sample offsets — which
+	// lets the copy fan out across workers deterministically.
+	wc := ext.Config().WalkCount
 	combined := nn.NewMatrix(len(samples), ext.Dim())
-	walkRows := make([][]float64, 0, len(samples)*opts.Features.WalkCount)
-	lblRows := make([][]float64, 0, len(samples)*opts.Features.WalkCount)
-	walkLabels := make([]int, 0, len(samples)*opts.Features.WalkCount)
-	detRows := make([][]float64, 0, len(samples)*opts.Features.WalkCount)
-	detGroups := make([]int, 0, len(samples)*opts.Features.WalkCount)
-	for i, s := range samples {
+	walkRows := make([][]float64, len(samples)*wc)
+	lblRows := make([][]float64, len(samples)*wc)
+	walkLabels := make([]int, len(samples)*wc)
+	detRows := make([][]float64, len(samples)*wc)
+	detGroups := make([]int, len(samples)*wc)
+	par.For(len(samples), func(i int) {
 		v := vecs[i]
 		copy(combined.Row(i), v.Combined)
-		for w := range v.DBL {
-			walkRows = append(walkRows, v.DBL[w])
-			lblRows = append(lblRows, v.LBL[w])
-			walkLabels = append(walkLabels, int(s.Class))
+		for w := 0; w < wc; w++ {
+			r := i*wc + w
+			walkRows[r] = v.DBL[w]
+			lblRows[r] = v.LBL[w]
+			walkLabels[r] = int(samples[i].Class)
+			detRows[r] = v.CombinedWalks[w]
+			detGroups[r] = i
 		}
-		for _, cw := range v.CombinedWalks {
-			detRows = append(detRows, cw)
-			detGroups = append(detGroups, i)
-		}
-	}
+	})
 
 	detCfg := autoenc.DefaultConfig(ext.Dim())
 	detCfg.Epochs = opts.DetectorEpochs
@@ -287,6 +295,9 @@ func fillFrom(opts, def Options) Options {
 	}
 	if opts.DenseUnits == 0 {
 		opts.DenseUnits = def.DenseUnits
+	}
+	if opts.Seed == 0 {
+		opts.Seed = def.Seed
 	}
 	return opts
 }

@@ -7,17 +7,25 @@
 // 1x500 LBL vectors) consumed by the CNN classifier's majority vote, and
 // one combined 1x1000 vector (walk-aggregated DBL ++ LBL) consumed by
 // the autoencoder detector.
+//
+// The hot path is allocation-free in steady state: grams are counted on
+// packed uint64 keys (see ngram.Pack), walk traces and gram counters
+// live in per-worker scratch buffers recycled through a sync.Pool, and
+// per-CFG labelings are memoized so pipelines that fit and then extract
+// the same corpus label each sample once. Samples that cannot pack
+// (|V| > 2^15 or n-gram lengths above 4) fall back to the legacy
+// string-keyed path, which produces bit-identical vectors.
 package features
 
 import (
 	"errors"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"soteria/internal/disasm"
 	"soteria/internal/labeling"
 	"soteria/internal/ngram"
+	"soteria/internal/par"
 	"soteria/internal/walk"
 )
 
@@ -70,11 +78,37 @@ type Vectors struct {
 	CombinedWalks [][]float64
 }
 
+// labelPair holds both labelings of one CFG.
+type labelPair struct {
+	dbl, lbl *labeling.Labels
+}
+
+// labelCacheMax bounds the labeling memo; on overflow the whole cache
+// is dropped (labelings are recomputable, so eviction only costs time).
+const labelCacheMax = 4096
+
+// scratch is one worker's reusable extraction state. Everything here is
+// capacity that survives between samples: the seeded RNG, the walker's
+// adjacency arena, the walk-trace buffer, and the gram counters.
+type scratch struct {
+	rng    *rand.Rand
+	walker walk.Walker
+	trace  []int
+	walk   *ngram.GramCounter
+	agg    *ngram.GramCounter
+}
+
 // Extractor extracts features after being fitted on a training corpus.
+// It is safe for concurrent Extract calls.
 type Extractor struct {
 	cfg Config
 	dbl *ngram.Vectorizer
 	lbl *ngram.Vectorizer
+
+	mu     sync.Mutex
+	labels map[*disasm.CFG]labelPair
+
+	pool sync.Pool // *scratch
 }
 
 // ErrNotFitted is returned by Extract before Fit has been called.
@@ -94,7 +128,18 @@ func NewExtractor(cfg Config) *Extractor {
 	if cfg.TopK <= 0 {
 		cfg.TopK = ngram.DefaultTopK
 	}
-	return &Extractor{cfg: cfg}
+	e := &Extractor{
+		cfg:    cfg,
+		labels: make(map[*disasm.CFG]labelPair),
+	}
+	e.pool.New = func() any {
+		return &scratch{
+			rng:  rand.New(rand.NewSource(1)),
+			walk: ngram.NewGramCounter(),
+			agg:  ngram.NewGramCounter(),
+		}
+	}
+	return e
 }
 
 // Config returns the extractor's effective configuration.
@@ -109,20 +154,83 @@ func (e *Extractor) WalkDim() int { return e.cfg.TopK }
 // Fitted reports whether Fit has been called.
 func (e *Extractor) Fitted() bool { return e.dbl != nil && e.lbl != nil }
 
-// rngFor derives the walk RNG for a sample. salt distinguishes samples;
-// extraction is deterministic per (Seed, salt).
-func (e *Extractor) rngFor(salt int64) *rand.Rand {
+// walkSeed derives the walk RNG seed for a sample. salt distinguishes
+// samples; extraction is deterministic per (Seed, salt).
+func (e *Extractor) walkSeed(salt int64) int64 {
 	const mix = int64(-7046029254386353131) // 0x9E3779B97F4A7C15 as int64
-	return rand.New(rand.NewSource(e.cfg.Seed*mix + salt + 1))
+	return e.cfg.Seed*mix + salt + 1
 }
 
-// sampleGrams runs the labeling + walks + n-gram stages for one sample,
+// rngFor derives the walk RNG for a sample.
+func (e *Extractor) rngFor(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(e.walkSeed(salt)))
+}
+
+// labelsFor returns the sample's memoized DBL and LBL labelings,
+// computing both in one ranking pass on a miss. Memoization makes
+// Fit-then-Extract pipelines (core.Train) label each CFG once instead
+// of twice; CFGs are treated as immutable after disassembly.
+func (e *Extractor) labelsFor(c *disasm.CFG) labelPair {
+	e.mu.Lock()
+	p, ok := e.labels[c]
+	e.mu.Unlock()
+	if ok {
+		return p
+	}
+	dbl, lbl := labeling.Both(c.G, c.EntryNode())
+	p = labelPair{dbl: dbl, lbl: lbl}
+	e.mu.Lock()
+	if len(e.labels) >= labelCacheMax {
+		clear(e.labels)
+	}
+	e.labels[c] = p
+	e.mu.Unlock()
+	return p
+}
+
+// packed reports whether the sample can take the packed-key hot path.
+func (e *Extractor) packed(c *disasm.CFG) bool {
+	return ngram.Packable(c.G.NumNodes()-1, e.cfg.Ns)
+}
+
+func (e *Extractor) getScratch() *scratch { return e.pool.Get().(*scratch) }
+func (e *Extractor) putScratch(s *scratch) {
+	e.pool.Put(s)
+}
+
+// fitGrams runs labeling + walks + packed n-gram counting for one
+// sample at fit time, returning the walk-aggregated counters for each
+// labeling (retained by the caller, so they are freshly allocated).
+func (e *Extractor) fitGrams(c *disasm.CFG, salt int64) (dblAgg, lblAgg *ngram.GramCounter) {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	sc.rng.Seed(e.walkSeed(salt))
+	lp := e.labelsFor(c)
+	sc.walker.Reset(c.G)
+	entry := c.EntryNode()
+	steps := e.cfg.LengthFactor * c.G.NumNodes()
+
+	count := func(perm []int) *ngram.GramCounter {
+		agg := ngram.NewGramCounter()
+		for w := 0; w < e.cfg.WalkCount; w++ {
+			sc.trace = sc.walker.RandomInto(sc.trace, entry, perm, steps, sc.rng)
+			agg.AddTrace(sc.trace, e.cfg.Ns)
+		}
+		return agg
+	}
+	// DBL walks first, then LBL, sharing one RNG stream — the same
+	// consumption order as extraction, so fit and extract see the same
+	// walks for a given (Seed, salt).
+	return count(lp.dbl.Perm), count(lp.lbl.Perm)
+}
+
+// sampleGrams is the legacy string-keyed stage, kept as the fallback
+// for samples that cannot pack: labeling + walks + n-gram counting,
 // returning per-walk gram counts for each labeling.
 func (e *Extractor) sampleGrams(c *disasm.CFG, salt int64) (dblWalks, lblWalks []map[string]int) {
 	rng := e.rngFor(salt)
 	entry := c.EntryNode()
-	dblLabels := labeling.DensityBased(c.G, entry)
-	lblLabels := labeling.LevelBased(c.G, entry)
+	lp := e.labelsFor(c)
 
 	traceGrams := func(perm []int) []map[string]int {
 		traces := walk.Walks(c.G, entry, perm, e.cfg.WalkCount, e.cfg.LengthFactor, rng)
@@ -132,7 +240,7 @@ func (e *Extractor) sampleGrams(c *disasm.CFG, salt int64) (dblWalks, lblWalks [
 		}
 		return out
 	}
-	return traceGrams(dblLabels.Perm), traceGrams(lblLabels.Perm)
+	return traceGrams(lp.dbl.Perm), traceGrams(lp.lbl.Perm)
 }
 
 // aggregate sums per-walk gram counts into one map.
@@ -149,49 +257,38 @@ func aggregate(walks []map[string]int) map[string]int {
 // Fit builds the DBL and LBL vocabularies from a training corpus. The
 // i-th CFG uses salt i, so fitting is deterministic. Per-sample gram
 // extraction runs in parallel; the result is independent of worker
-// scheduling.
+// scheduling. Vocabulary selection is identical on the packed and
+// string paths (top-k by document frequency, ties by total frequency,
+// then by the string form of the gram).
 func (e *Extractor) Fit(cfgs []*disasm.CFG) {
-	dblCorpus := make([]map[string]int, len(cfgs))
-	lblCorpus := make([]map[string]int, len(cfgs))
-	parallelFor(len(cfgs), func(i int) {
-		dw, lw := e.sampleGrams(cfgs[i], int64(i))
-		dblCorpus[i] = aggregate(dw)
-		lblCorpus[i] = aggregate(lw)
-	})
-	e.dbl = ngram.Fit(dblCorpus, e.cfg.TopK)
-	e.lbl = ngram.Fit(lblCorpus, e.cfg.TopK)
+	allPacked := true
+	for _, c := range cfgs {
+		if !e.packed(c) {
+			allPacked = false
+			break
+		}
+	}
+	if allPacked {
+		dblCorpus := make([]*ngram.GramCounter, len(cfgs))
+		lblCorpus := make([]*ngram.GramCounter, len(cfgs))
+		par.For(len(cfgs), func(i int) {
+			dblCorpus[i], lblCorpus[i] = e.fitGrams(cfgs[i], int64(i))
+		})
+		e.dbl = ngram.FitPacked(dblCorpus, e.cfg.TopK)
+		e.lbl = ngram.FitPacked(lblCorpus, e.cfg.TopK)
+	} else {
+		dblCorpus := make([]map[string]int, len(cfgs))
+		lblCorpus := make([]map[string]int, len(cfgs))
+		par.For(len(cfgs), func(i int) {
+			dw, lw := e.sampleGrams(cfgs[i], int64(i))
+			dblCorpus[i] = aggregate(dw)
+			lblCorpus[i] = aggregate(lw)
+		})
+		e.dbl = ngram.Fit(dblCorpus, e.cfg.TopK)
+		e.lbl = ngram.Fit(lblCorpus, e.cfg.TopK)
+	}
 	e.dbl.L2 = !e.cfg.RawMagnitude
 	e.lbl.L2 = !e.cfg.RawMagnitude
-}
-
-// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 // FitVectorizers injects pre-built vocabularies (used when loading a
@@ -208,6 +305,49 @@ func (e *Extractor) Extract(c *disasm.CFG, salt int64) (*Vectors, error) {
 	if !e.Fitted() {
 		return nil, ErrNotFitted
 	}
+	if e.packed(c) && e.dbl.PackedReady() && e.lbl.PackedReady() {
+		return e.extractPacked(c, salt), nil
+	}
+	return e.extractStrings(c, salt), nil
+}
+
+// extractPacked is the allocation-lean hot path: walks append into a
+// pooled trace buffer, grams are counted on packed keys in pooled
+// counters, and only the output vectors are freshly allocated.
+func (e *Extractor) extractPacked(c *disasm.CFG, salt int64) *Vectors {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	sc.rng.Seed(e.walkSeed(salt))
+	lp := e.labelsFor(c)
+	sc.walker.Reset(c.G)
+	entry := c.EntryNode()
+	steps := e.cfg.LengthFactor * c.G.NumNodes()
+
+	wc := e.cfg.WalkCount
+	v := &Vectors{
+		DBL: make([][]float64, wc),
+		LBL: make([][]float64, wc),
+	}
+	runLabeling := func(vec *ngram.Vectorizer, perm []int, out [][]float64) []float64 {
+		sc.agg.Reset()
+		for w := 0; w < wc; w++ {
+			sc.trace = sc.walker.RandomInto(sc.trace, entry, perm, steps, sc.rng)
+			sc.walk.Reset()
+			sc.walk.AddTrace(sc.trace, e.cfg.Ns)
+			out[w] = vec.VectorPacked(sc.walk)
+			sc.agg.Merge(sc.walk)
+		}
+		return vec.VectorPacked(sc.agg)
+	}
+	dblAgg := runLabeling(e.dbl, lp.dbl.Perm, v.DBL)
+	lblAgg := runLabeling(e.lbl, lp.lbl.Perm, v.LBL)
+	fillCombined(v, dblAgg, lblAgg)
+	return v
+}
+
+// extractStrings is the legacy string-keyed path, used when the sample
+// or vocabulary cannot pack. Output is bit-identical to extractPacked.
+func (e *Extractor) extractStrings(c *disasm.CFG, salt int64) *Vectors {
 	dw, lw := e.sampleGrams(c, salt)
 	v := &Vectors{
 		DBL: make([][]float64, len(dw)),
@@ -219,8 +359,13 @@ func (e *Extractor) Extract(c *disasm.CFG, salt int64) (*Vectors, error) {
 	for i, g := range lw {
 		v.LBL[i] = e.lbl.Vector(g)
 	}
-	dblAgg := e.dbl.Vector(aggregate(dw))
-	lblAgg := e.lbl.Vector(aggregate(lw))
+	fillCombined(v, e.dbl.Vector(aggregate(dw)), e.lbl.Vector(aggregate(lw)))
+	return v
+}
+
+// fillCombined populates Combined and CombinedWalks from the per-walk
+// vectors and the two aggregate vectors.
+func fillCombined(v *Vectors, dblAgg, lblAgg []float64) {
 	v.Combined = make([]float64, 0, len(dblAgg)+len(lblAgg))
 	v.Combined = append(v.Combined, dblAgg...)
 	v.Combined = append(v.Combined, lblAgg...)
@@ -236,7 +381,6 @@ func (e *Extractor) Extract(c *disasm.CFG, salt int64) (*Vectors, error) {
 		cw = append(cw, v.LBL[i]...)
 		v.CombinedWalks[i] = cw
 	}
-	return v, nil
 }
 
 // ExtractBatch extracts features for many samples in parallel (the
@@ -251,7 +395,7 @@ func (e *Extractor) ExtractBatch(cfgs []*disasm.CFG, salts []int64) ([]*Vectors,
 	}
 	out := make([]*Vectors, len(cfgs))
 	errs := make([]error, len(cfgs))
-	parallelFor(len(cfgs), func(i int) {
+	par.For(len(cfgs), func(i int) {
 		out[i], errs[i] = e.Extract(cfgs[i], salts[i])
 	})
 	for _, err := range errs {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package features
+
+// raceEnabled reports whether the race detector is active; allocation
+// regression guards are skipped under -race because instrumentation
+// inflates the counts.
+const raceEnabled = false

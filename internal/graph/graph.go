@@ -165,6 +165,44 @@ func (g *Graph) UndirectedNeighbors(u int) []int {
 	return mergeSorted(g.succs[u], g.preds[u])
 }
 
+// AppendUndirectedNeighbors appends u's undirected neighbors (the same
+// list UndirectedNeighbors returns) to dst and returns the extended
+// slice. It allocates only when dst lacks capacity, which lets callers
+// that query many nodes — e.g. the random-walk adjacency cache — reuse
+// one arena instead of allocating per query.
+func (g *Graph) AppendUndirectedNeighbors(dst []int, u int) []int {
+	a, b := g.succs[u], g.preds[u]
+	start := len(dst)
+	push := func(v int) {
+		if n := len(dst); n > start && dst[n-1] == v {
+			return
+		}
+		dst = append(dst, v)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			push(a[i])
+			i++
+		case a[i] > b[j]:
+			push(b[j])
+			j++
+		default:
+			push(a[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		push(a[i])
+	}
+	for ; j < len(b); j++ {
+		push(b[j])
+	}
+	return dst
+}
+
 func (g *Graph) checkNode(u int) error {
 	if u < 0 || u >= len(g.succs) {
 		return fmt.Errorf("graph: node %d out of range [0, %d)", u, len(g.succs))

@@ -229,3 +229,41 @@ func TestDOT(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendUndirectedNeighborsMatchesUndirectedNeighbors(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v)
+			}
+		}
+		// The arena form must reproduce every node's merged list, even
+		// when lists from consecutive nodes share boundary values.
+		var arena []int
+		offsets := []int{0}
+		for u := 0; u < n; u++ {
+			arena = g.AppendUndirectedNeighbors(arena, u)
+			offsets = append(offsets, len(arena))
+		}
+		for u := 0; u < n; u++ {
+			want := g.UndirectedNeighbors(u)
+			got := arena[offsets[u]:offsets[u+1]]
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

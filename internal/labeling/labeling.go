@@ -126,6 +126,18 @@ func LevelBased(g *graph.Graph, entry int) *Labels {
 	return build(keysFor(g, entry), byLevel)
 }
 
+// Both computes the DBL and LBL labelings of g sharing a single pass
+// over the ranking ingredients. Density, centrality factor, and BFS
+// levels dominate labeling cost and are identical for both schemes, so
+// computing them once halves the per-sample labeling work; the results
+// are exactly DensityBased(g, entry) and LevelBased(g, entry).
+func Both(g *graph.Graph, entry int) (dbl, lbl *Labels) {
+	keys := keysFor(g, entry)
+	keys2 := make([]nodeKey, len(keys))
+	copy(keys2, keys)
+	return build(keys, byDensity), build(keys2, byLevel)
+}
+
 // Compute computes the labeling of the requested kind.
 func Compute(k Kind, g *graph.Graph, entry int) *Labels {
 	if k == LBL {

@@ -195,3 +195,17 @@ func TestDeterministic(t *testing.T) {
 		t.Fatal("DBL not deterministic")
 	}
 }
+
+func TestBothMatchesSeparateComputations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 2+rng.Intn(40))
+		wantD := DensityBased(g, 0)
+		wantL := LevelBased(g, 0)
+		gotD, gotL := Both(g, 0)
+		return reflect.DeepEqual(wantD, gotD) && reflect.DeepEqual(wantL, gotL)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -68,6 +68,32 @@ type Vectorizer struct {
 	L2 bool
 
 	index map[string]int
+	// pindex maps the packed form of each vocab entry to its slot; nil
+	// when some entry cannot pack (see Packable), in which case only the
+	// string path is available.
+	pindex map[uint64]int
+}
+
+// idf is the smoothed inverse document frequency shared by every fit
+// path (n = corpus size, df = document frequency of the gram).
+func idf(n float64, df int) float64 {
+	return math.Log(n/(1.0+float64(df))) + 1.0
+}
+
+// normalize L2-normalizes the vector in place, accumulating the norm in
+// index order so results do not depend on map iteration order (float
+// addition is not associative).
+func normalize(out []float64) {
+	var norm float64
+	for _, x := range out {
+		norm += x * x
+	}
+	if norm > 0 {
+		inv := 1.0 / math.Sqrt(norm)
+		for i := range out {
+			out[i] *= inv
+		}
+	}
 }
 
 // Fit selects the top-k grams by document frequency over the corpus
@@ -110,8 +136,9 @@ func Fit(corpus []map[string]int, k int) *Vectorizer {
 	n := float64(len(corpus))
 	for i, g := range grams {
 		v.index[g] = i
-		v.IDF[i] = math.Log(n/(1.0+float64(df[g]))) + 1.0
+		v.IDF[i] = idf(n, df[g])
 	}
+	v.buildPackedIndex()
 	return v
 }
 
@@ -138,18 +165,7 @@ func (v *Vectorizer) Vector(counts map[string]int) []float64 {
 		out[i] = tf * v.IDF[i]
 	}
 	if v.L2 {
-		// Accumulate the norm in index order so results do not depend
-		// on map iteration order (float addition is not associative).
-		var norm float64
-		for _, x := range out {
-			norm += x * x
-		}
-		if norm > 0 {
-			inv := 1.0 / math.Sqrt(norm)
-			for i := range out {
-				out[i] *= inv
-			}
-		}
+		normalize(out)
 	}
 	return out
 }
@@ -173,5 +189,6 @@ func Restore(vocab []string, idf []float64, dim int, l2 bool) *Vectorizer {
 	for i, g := range v.Vocab {
 		v.index[g] = i
 	}
+	v.buildPackedIndex()
 	return v
 }

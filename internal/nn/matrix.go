@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"soteria/internal/par"
 )
 
 // Matrix is a dense row-major matrix.
@@ -167,28 +167,7 @@ func MatMul(a, b *Matrix, aT, bT bool) *Matrix {
 		rowRange(0, ar)
 		return out
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > ar {
-		workers = ar
-	}
-	chunk := (ar + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > ar {
-			hi = ar
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			rowRange(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	par.ForChunked(ar, rowRange)
 	return out
 }
 

@@ -1,0 +1,57 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunkedCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]int32, n)
+		ForChunked(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("n=%d: bad range [%d, %d)", n, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForResultDeterminism(t *testing.T) {
+	// Writing to per-index slots must give identical results regardless
+	// of scheduling.
+	const n = 512
+	ref := make([]int, n)
+	for i := range ref {
+		ref[i] = i * i
+	}
+	for trial := 0; trial < 10; trial++ {
+		out := make([]int, n)
+		For(n, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("trial %d: out[%d] = %d, want %d", trial, i, out[i], ref[i])
+			}
+		}
+	}
+}

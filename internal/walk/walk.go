@@ -5,6 +5,12 @@
 // of length 5·|V| per labeling, and the walk traces are the only thing
 // downstream feature extraction ever sees — the randomization that makes
 // the classifier's effective feature space unpredictable to an adversary.
+//
+// The hot path is allocation-aware: a Walker caches the undirected
+// adjacency of one graph in CSR form (built once, reused by all 20
+// walks of a sample and recyclable across samples), and RandomInto
+// appends into a caller-owned trace buffer. Random/Walks remain as
+// convenience wrappers with identical output.
 package walk
 
 import (
@@ -19,6 +25,68 @@ const DefaultCount = 10
 // DefaultLengthFactor is the paper's walk length multiplier: a walk
 // takes 5·|V| steps.
 const DefaultLengthFactor = 5
+
+// Walker caches one graph's undirected adjacency so that repeated walks
+// do not re-merge successor/predecessor lists at every step (the
+// dominant allocation of the naive path). The zero value is ready to
+// use; Reset re-targets it at another graph while keeping its buffers.
+// Not safe for concurrent use; pool one per worker.
+type Walker struct {
+	g *graph.Graph
+	// CSR view of the undirected adjacency: node u's neighbors are
+	// flat[offsets[u]:offsets[u+1]].
+	offsets []int
+	flat    []int
+}
+
+// NewWalker returns a walker bound to g.
+func NewWalker(g *graph.Graph) *Walker {
+	w := &Walker{}
+	w.Reset(g)
+	return w
+}
+
+// Reset re-targets the walker at g, rebuilding the adjacency cache in
+// the existing buffers.
+func (w *Walker) Reset(g *graph.Graph) {
+	w.g = g
+	n := g.NumNodes()
+	if cap(w.offsets) < n+1 {
+		w.offsets = make([]int, 0, n+1)
+	}
+	w.offsets = w.offsets[:0]
+	w.flat = w.flat[:0]
+	for u := 0; u < n; u++ {
+		w.offsets = append(w.offsets, len(w.flat))
+		w.flat = g.AppendUndirectedNeighbors(w.flat, u)
+	}
+	w.offsets = append(w.offsets, len(w.flat))
+}
+
+// neighbors returns the cached undirected neighbor list of u.
+func (w *Walker) neighbors(u int) []int {
+	return w.flat[w.offsets[u]:w.offsets[u+1]]
+}
+
+// RandomInto performs one random walk of steps steps from entry,
+// appending visited labels to buf[:0] and returning it (steps+1 entries
+// including the start, fewer only if a node with no undirected
+// neighbors is reached). Output is identical to Random for the same rng
+// state.
+func (w *Walker) RandomInto(buf []int, entry int, labels []int, steps int, rng *rand.Rand) []int {
+	trace := buf[:0]
+	cur := entry
+	trace = append(trace, labels[cur])
+	for i := 0; i < steps; i++ {
+		nbrs := w.neighbors(cur)
+		if len(nbrs) == 0 {
+			break
+		}
+		cur = nbrs[rng.Intn(len(nbrs))]
+		trace = append(trace, labels[cur])
+	}
+	return trace
+}
 
 // Random performs one random walk of the given number of steps starting
 // at entry, returning the sequence of visited labels (steps+1 entries
@@ -43,9 +111,10 @@ func Random(g *graph.Graph, entry int, labels []int, steps int, rng *rand.Rand) 
 // their traces.
 func Walks(g *graph.Graph, entry int, labels []int, count, lengthFactor int, rng *rand.Rand) [][]int {
 	steps := lengthFactor * g.NumNodes()
+	w := NewWalker(g)
 	out := make([][]int, count)
 	for i := range out {
-		out[i] = Random(g, entry, labels, steps, rng)
+		out[i] = w.RandomInto(make([]int, 0, steps+1), entry, labels, steps, rng)
 	}
 	return out
 }

@@ -130,3 +130,68 @@ func TestPropertyWalkVisitsOnlyReachableLabels(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWalkerMatchesRandom(t *testing.T) {
+	// The CSR-cached walker must consume the RNG and emit traces exactly
+	// like the naive per-step path.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		g := ring(n)
+		// Add some chords so neighbor lists vary in size.
+		for i := 0; i < n/2; i++ {
+			g.MustAddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		labels := identity(n)
+		steps := 4 * n
+
+		r1 := rand.New(rand.NewSource(seed + 100))
+		want := Random(g, 0, labels, steps, r1)
+
+		r2 := rand.New(rand.NewSource(seed + 100))
+		w := NewWalker(g)
+		got := w.RandomInto(nil, 0, labels, steps, r2)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: walker trace diverges from Random", seed)
+		}
+	}
+}
+
+func TestWalkerResetReusesBuffers(t *testing.T) {
+	a, b := ring(8), ring(5)
+	w := NewWalker(a)
+	rng := rand.New(rand.NewSource(2))
+	buf := w.RandomInto(nil, 0, identity(8), 20, rng)
+	w.Reset(b)
+	// After a reset the walker must serve the new graph's adjacency.
+	rng2 := rand.New(rand.NewSource(3))
+	want := Random(b, 0, identity(5), 15, rand.New(rand.NewSource(3)))
+	got := w.RandomInto(buf, 0, identity(5), 15, rng2)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("walker after Reset diverges from Random on the new graph")
+	}
+}
+
+func TestWalkerSteadyStateAllocFree(t *testing.T) {
+	g := ring(32)
+	labels := identity(32)
+	w := NewWalker(g)
+	rng := rand.New(rand.NewSource(4))
+	buf := w.RandomInto(nil, 0, labels, 200, rng) // warm the buffer
+	allocs := testing.AllocsPerRun(50, func() {
+		w.Reset(g)
+		buf = w.RandomInto(buf, 0, labels, 200, rng)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state walk allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestWalkerDeadEndStopsEarly(t *testing.T) {
+	g := graph.New(2) // two isolated nodes
+	w := NewWalker(g)
+	got := w.RandomInto(nil, 0, identity(2), 10, rand.New(rand.NewSource(1)))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("trace from isolated entry = %v, want [0]", got)
+	}
+}
