@@ -91,20 +91,26 @@ func main() {
 	rep.Command = command
 
 	w := io.Writer(os.Stdout)
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		outFile, w = f, f
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: write: %v\n", err)
 		os.Exit(1)
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: close %s: %v\n", *out, err)
+			os.Exit(1)
+		}
 	}
 	if *out != "" {
 		fmt.Printf("benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)

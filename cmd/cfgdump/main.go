@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"soteria/internal/disasm"
@@ -22,7 +23,7 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cfgdump", flag.ContinueOnError)
 	format := fs.String("format", "text", "output format: text, dot, or json")
 	if err := fs.Parse(args); err != nil {
@@ -55,7 +56,9 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		out.Write(data)
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	default:
 		return fmt.Errorf("unknown format %q", *format)

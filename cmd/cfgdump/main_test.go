@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -28,29 +29,22 @@ func writeSample(t *testing.T) string {
 
 func TestRunFormats(t *testing.T) {
 	p := writeSample(t)
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer null.Close()
 	for _, format := range []string{"text", "dot", "json"} {
-		if err := run([]string{"-format", format, p}, null); err != nil {
+		if err := run([]string{"-format", format, p}, io.Discard); err != nil {
 			t.Fatalf("format %s: %v", format, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	defer null.Close()
-	if err := run(nil, null); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Fatal("missing file should error")
 	}
-	if err := run([]string{"/nonexistent.sotb"}, null); err == nil {
+	if err := run([]string{"/nonexistent.sotb"}, io.Discard); err == nil {
 		t.Fatal("unreadable file should error")
 	}
 	p := writeSample(t)
-	if err := run([]string{"-format", "xml", p}, null); err == nil {
+	if err := run([]string{"-format", "xml", p}, io.Discard); err == nil {
 		t.Fatal("bad format should error")
 	}
 }

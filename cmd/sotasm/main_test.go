@@ -46,7 +46,9 @@ func TestRunErrors(t *testing.T) {
 	}
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.s")
-	os.WriteFile(bad, []byte(".func m\nentry:\n explode\n halt\n"), 0o644)
+	if err := os.WriteFile(bad, []byte(".func m\nentry:\n explode\n halt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	if err := run([]string{"-out", filepath.Join(dir, "x.sotb"), bad}); err == nil {
 		t.Fatal("parse error should propagate")
 	}

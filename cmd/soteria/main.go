@@ -82,7 +82,8 @@ func run(args []string) error {
 			return err
 		}
 		if err := sys.Save(f); err != nil {
-			f.Close()
+			// Save already failed; its error outranks the close result.
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -188,6 +188,7 @@ func AblationWalks(env *Env) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore packedkey "%d|V|" is the paper's walk-length notation (a multiple of |V|), not a gram key
 		r.Lines = append(r.Lines, q.row(fmt.Sprintf("walks=%d len=%d|V|", w.count, w.lf)))
 	}
 	r.addf("(paper uses 10 walks of 5|V|; more walks stabilize the representation)")

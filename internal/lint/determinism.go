@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// determinismScope lists the packages whose output feeds feature
+// vectors, model weights, or the paper's tables — the code where any
+// wall-clock, global-RNG, or iteration-order dependence breaks the
+// bit-identical reproduction guarantee. Test packages of these paths
+// are covered too (a nondeterministic test is a flaky equivalence
+// guard).
+var determinismScope = map[string]bool{
+	"soteria":                      true,
+	"soteria/internal/features":    true,
+	"soteria/internal/ngram":       true,
+	"soteria/internal/labeling":    true,
+	"soteria/internal/walk":        true,
+	"soteria/internal/nn":          true,
+	"soteria/internal/autoenc":     true,
+	"soteria/internal/cnn":         true,
+	"soteria/internal/core":        true,
+	"soteria/internal/pca":         true,
+	"soteria/internal/experiments": true,
+	"soteria/internal/evalx":       true,
+}
+
+// randConstructors are the math/rand entry points that do NOT touch the
+// unseeded global source; everything else in the package does.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// DeterminismAnalyzer enforces the reproduction's bit-identical-output
+// invariant inside model-affecting packages: no wall-clock reads
+// (time.Now/Since/Until), no unseeded global math/rand calls, and no
+// iteration-order-sensitive work under `for range` over a map —
+// floating-point or string accumulation, or appending to an output
+// slice that is never subsequently sorted.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global RNG, and map-iteration-order-" +
+		"dependent accumulation in model-affecting packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !determinismScope[pass.BasePath()] {
+		return
+	}
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkNondetSource(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil && isMap(t) {
+					checkMapRange(pass, n, parents)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkNondetSource(pass *Pass, sel *ast.SelectorExpr) {
+	if name, ok := pkgFunc(pass.Info, sel, "time"); ok {
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; model-affecting code must be a pure function of its inputs and seed", name)
+		}
+		return
+	}
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		name, ok := pkgFunc(pass.Info, sel, path)
+		if !ok {
+			continue
+		}
+		if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+			return // type or const reference (rand.Rand, rand.Source)
+		}
+		if randConstructors[name] {
+			return
+		}
+		pass.Reportf(sel.Pos(), "rand.%s uses the unseeded global source; construct a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead", name)
+		return
+	}
+}
+
+// checkMapRange flags order-sensitive work in the body of a map range:
+// float/string accumulation into state declared outside the loop, and
+// appends to outer slices that are not sorted afterwards in the same
+// function.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, parents map[ast.Node]ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				checkAccum(pass, rs, n.Lhs[0], n.Tok.String())
+			case token.ASSIGN, token.DEFINE:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					checkSelfAccum(pass, rs, n, lhs, n.Rhs[i], parents)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAccum handles compound assignment (x += v and friends) under a
+// map range.
+func checkAccum(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr, op string) {
+	t := pass.Info.TypeOf(lhs)
+	if t == nil || (!isFloat(t) && !isString(t)) {
+		return
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := pass.Info.ObjectOf(root)
+	if obj == nil || declaredWithin(obj, rs) {
+		return // loop-local accumulator: reset every iteration, order-free
+	}
+	kind := "floating-point"
+	if isString(t) {
+		kind = "string"
+	}
+	pass.Reportf(lhs.Pos(), "%s accumulation (%s) under map iteration order is nondeterministic; iterate a sorted key slice instead", kind, op)
+}
+
+// checkSelfAccum handles x = x + v self-accumulation and
+// s = append(s, ...) under a map range.
+func checkSelfAccum(pass *Pass, rs *ast.RangeStmt, stmt *ast.AssignStmt, lhs, rhs ast.Expr, parents map[ast.Node]ast.Node) {
+	info := pass.Info
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := info.ObjectOf(root)
+	if obj == nil || declaredWithin(obj, rs) {
+		return
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" && len(call.Args) > 0 {
+			if argRoot := rootIdent(call.Args[0]); argRoot != nil && info.ObjectOf(argRoot) == obj {
+				if !sortedAfter(pass, rs, obj, parents) {
+					pass.Reportf(stmt.Pos(), "append to %q under map iteration order is nondeterministic; sort the result afterwards or iterate sorted keys", root.Name)
+				}
+			}
+		}
+		return
+	}
+	// x = x + v (float or string): same hazard as +=.
+	if stmt.Tok != token.ASSIGN {
+		return
+	}
+	t := info.TypeOf(lhs)
+	if t == nil || (!isFloat(t) && !isString(t)) {
+		return
+	}
+	if bin, ok := rhs.(*ast.BinaryExpr); ok && usesObject(info, bin, obj) {
+		kind := "floating-point"
+		if isString(t) {
+			kind = "string"
+		}
+		pass.Reportf(stmt.Pos(), "%s accumulation under map iteration order is nondeterministic; iterate a sorted key slice instead", kind)
+	}
+}
+
+// isSortCall matches sort/slices calls that impose a deterministic
+// order on their argument.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if name, ok := pkgFunc(pass.Info, sel, "sort"); ok {
+		switch name {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	}
+	if name, ok := pkgFunc(pass.Info, sel, "slices"); ok {
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the
+// range statement within the enclosing function — the sanctioned
+// "collect then order" pattern for map keys.
+func sortedAfter(pass *Pass, rs *ast.RangeStmt, obj types.Object, parents map[ast.Node]ast.Node) bool {
+	var encl ast.Node
+	for n := ast.Node(rs); n != nil; n = parents[n] {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			encl = fn.Body
+		case *ast.FuncLit:
+			encl = fn.Body
+		}
+		if encl != nil {
+			break
+		}
+	}
+	if encl == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if argRoot := rootIdent(arg); argRoot != nil && pass.Info.ObjectOf(argRoot) == obj {
+				sorted = true
+				break
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Fixture protocol: every file under testdata/<analyzer>/ is loaded as
+// a standalone package and run through that analyzer alone.
+//
+//   - `//fixture:pkgpath <path>` (anywhere in the file) sets the import
+//     path the file is analyzed under, so fixtures can place themselves
+//     in or out of an analyzer's scope. Default:
+//     soteria/internal/lintfixture.
+//   - `// want "substr" ["substr" ...]` on a line declares that exactly
+//     those diagnostics (by message substring) are expected on it.
+//   - Lines without a want comment must produce no diagnostics.
+//
+// Suppression directives (//lint:ignore) are honored, so fixtures also
+// exercise the ignore machinery.
+
+var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+const defaultFixturePath = "soteria/internal/lintfixture"
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if module != "soteria" {
+		t.Fatalf("unexpected module %q", module)
+	}
+	return root
+}
+
+func TestFixtures(t *testing.T) {
+	root := moduleRoot(t)
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatalf("no fixtures for analyzer %s: %v", a.Name, err)
+			}
+			n := 0
+			for _, e := range ents {
+				if !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				n++
+				runFixture(t, root, a, filepath.Join(dir, e.Name()))
+			}
+			if n == 0 {
+				t.Fatalf("no fixtures for analyzer %s", a.Name)
+			}
+		})
+	}
+}
+
+func runFixture(t *testing.T, root string, a *Analyzer, path string) {
+	t.Helper()
+	t.Run(filepath.Base(path), func(t *testing.T) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgPath := defaultFixturePath
+		lines := strings.Split(string(src), "\n")
+		for _, line := range lines {
+			if i := strings.Index(line, "//fixture:pkgpath "); i >= 0 {
+				pkgPath = strings.TrimSpace(line[i+len("//fixture:pkgpath "):])
+			}
+		}
+
+		loader := NewLoader(root, "soteria", true)
+		pkg, err := loader.LoadFile(path, pkgPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range pkg.Errors {
+			t.Errorf("fixture does not type-check: %v", e)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+
+		want := make(map[int][]string) // line -> expected message substrings
+		for i, line := range lines {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range regexp.MustCompile(`"(?:[^"\\]|\\.)*"`).FindAllString(m[1], -1) {
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s", path, i+1, q)
+				}
+				want[i+1] = append(want[i+1], s)
+			}
+		}
+
+		got := make(map[int][]string)
+		for _, d := range RunPackage(pkg, []*Analyzer{a}) {
+			got[d.Pos.Line] = append(got[d.Pos.Line], d.Message)
+		}
+
+		var allLines []int
+		seen := map[int]bool{}
+		for l := range want {
+			if !seen[l] {
+				seen[l] = true
+				allLines = append(allLines, l)
+			}
+		}
+		for l := range got {
+			if !seen[l] {
+				seen[l] = true
+				allLines = append(allLines, l)
+			}
+		}
+		sort.Ints(allLines)
+		for _, l := range allLines {
+			w, g := want[l], got[l]
+			if len(g) != len(w) {
+				t.Errorf("%s:%d: got %d diagnostics %q, want %d matching %q", path, l, len(g), g, len(w), w)
+				continue
+			}
+			for _, sub := range w {
+				found := false
+				for _, msg := range g {
+					if strings.Contains(msg, sub) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s:%d: no diagnostic matching %q in %q", path, l, sub, g)
+				}
+			}
+		}
+	})
+}

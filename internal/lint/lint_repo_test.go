@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsLintClean is the tier-1 gate: it runs the full analyzer
+// suite over every package in the module (tests included) and fails on
+// any diagnostic. A new violation anywhere in the tree breaks
+// `go test ./...`, not just `go run ./cmd/soterialint ./...`.
+func TestRepoIsLintClean(t *testing.T) {
+	root := moduleRoot(t)
+	loader := NewLoader(root, "soteria", true)
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+		if len(pkg.Errors) > 0 {
+			continue
+		}
+		for _, d := range RunPackage(pkg, All()) {
+			rel, err := filepath.Rel(root, d.Pos.Filename)
+			if err != nil {
+				rel = d.Pos.Filename
+			}
+			t.Errorf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestSeededViolationsAreCaught proves the gate has teeth: a synthetic
+// module seeded with one violation per analyzer must produce a
+// diagnostic from each of the four.
+func TestSeededViolationsAreCaught(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/par/par.go", `package par
+
+func For(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func ForChunked(n int, fn func(lo, hi int)) {
+	fn(0, n)
+}
+`)
+	write("internal/features/bad.go", `package features
+
+import (
+	"strings"
+	"time"
+
+	"soteria/internal/par"
+)
+
+func violations(xs []float64) (float64, string) {
+	_ = time.Now()
+	total := 0.0
+	par.For(len(xs), func(i int) {
+		total += xs[i]
+	})
+	return total, strings.Join([]string{"1", "2"}, "|")
+}
+`)
+	write("internal/core/bad.go", `package core
+
+import "os"
+
+func save(path string, data []byte) {
+	f, _ := os.Create(path)
+	f.Write(data)
+	f.Close()
+}
+`)
+
+	loader := NewLoader(root, "soteria", false)
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := map[string]int{}
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("%s: seeded module does not type-check: %v", pkg.Path, pkg.Errors)
+		}
+		for _, d := range RunPackage(pkg, All()) {
+			hits[d.Analyzer]++
+		}
+	}
+	for _, a := range All() {
+		if hits[a.Name] == 0 {
+			t.Errorf("seeded violation for %s not caught (hits: %v)", a.Name, hits)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	as, err := ByName("determinism, packedkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "determinism" || as[1].Name != "packedkey" {
+		t.Fatalf("got %v", as)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("expected error for unknown analyzer")
+	}
+	if as, err := ByName(""); err != nil || len(as) != 0 {
+		t.Fatalf("empty list: got %v, %v", as, err)
+	}
+}
+
+// Malformed and unknown-analyzer directives are themselves reported and
+// do not suppress anything; a well-formed multi-analyzer directive does.
+func TestIgnoreDirectives(t *testing.T) {
+	root := moduleRoot(t)
+	src := `package fixture
+
+import "time"
+
+func a() {
+	//lint:ignore
+	_ = time.Now()
+}
+
+func b() {
+	//lint:ignore nosuch the analyzer name is wrong
+	_ = time.Now()
+}
+
+func c() {
+	//lint:ignore determinism,packedkey wall clock feeds a banner only
+	_ = time.Now()
+}
+`
+	file := filepath.Join(t.TempDir(), "directives.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader(root, "soteria", false).LoadFile(file, "soteria/internal/features")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.Errors)
+	}
+	diags := RunPackage(pkg, All())
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	// Two broken directives report under "ignore"; the two unsuppressed
+	// time.Now calls (in a and b) still report under determinism; the
+	// suppressed call in c does not.
+	if byAnalyzer["ignore"] != 2 {
+		t.Errorf("got %d ignore diagnostics, want 2: %v", byAnalyzer["ignore"], diags)
+	}
+	if byAnalyzer["determinism"] != 2 {
+		t.Errorf("got %d determinism diagnostics, want 2: %v", byAnalyzer["determinism"], diags)
+	}
+	foundMalformed, foundUnknown := false, false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed //lint:ignore") {
+			foundMalformed = true
+		}
+		if strings.Contains(d.Message, "unknown analyzer") {
+			foundUnknown = true
+		}
+	}
+	if !foundMalformed || !foundUnknown {
+		t.Errorf("missing malformed/unknown directive reports in %v", diags)
+	}
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+const ngramPath = "soteria/internal/ngram"
+
+// PackedKeyAnalyzer keeps gram-key construction behind the ngram API.
+// Packed keys have one layout (15-bit label fields plus a length tag)
+// and string keys one grammar ("a|b|c"); hand-rolled bit twiddling or
+// string splicing outside internal/ngram silently diverges the moment
+// the layout changes, which desynchronizes vocabularies from vectors.
+// Flagged outside internal/ngram:
+//
+//   - bitwise expressions over ngram layout constants (PackBits,
+//     MaxPackedLabel, MaxPackedN) — use ngram.Pack/PackAt/Unpack;
+//   - strings.Join/Split/Cut with the "|" separator — use
+//     ngram.Key/ParseKey;
+//   - fmt.Sprintf with "%d|"-style formats that splice gram keys.
+//
+// Comparisons against the constants (e.g. label range checks) remain
+// fine.
+var PackedKeyAnalyzer = &Analyzer{
+	Name: "packedkey",
+	Doc:  "forbid hand-built gram keys outside internal/ngram; use ngram.Pack/ParseKey/Key",
+	Run:  runPackedKey,
+}
+
+var packedBitwiseOps = map[token.Token]bool{
+	token.SHL: true, token.SHR: true, token.AND: true,
+	token.OR: true, token.XOR: true, token.AND_NOT: true,
+}
+
+var ngramLayoutConsts = map[string]bool{
+	"PackBits": true, "MaxPackedLabel": true, "MaxPackedN": true,
+}
+
+func runPackedKey(pass *Pass) {
+	if pass.BasePath() == ngramPath {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if packedBitwiseOps[n.Op] {
+					if c := layoutConstIn(pass, n); c != "" {
+						pass.Reportf(n.Pos(), "manual packed-key bit manipulation via ngram.%s; use ngram.Pack/PackAt/Unpack so the key layout stays in one place", c)
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				checkKeyStrings(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// layoutConstIn returns the name of an ngram layout constant referenced
+// anywhere inside the expression, or "".
+func layoutConstIn(pass *Pass, e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := pkgFunc(pass.Info, sel, ngramPath); ok && ngramLayoutConsts[name] {
+			found = name
+		}
+		return found == ""
+	})
+	return found
+}
+
+// checkKeyStrings flags string-level gram-key splicing: pipe-separated
+// joins, splits, and Sprintf formats.
+func checkKeyStrings(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if name, ok := pkgFunc(pass.Info, sel, "strings"); ok && len(call.Args) == 2 {
+		if lit := stringLit(call.Args[1]); lit == "|" {
+			switch name {
+			case "Join":
+				pass.Reportf(call.Pos(), `strings.Join with "|" builds a gram key by hand; use ngram.Key`)
+			case "Split", "SplitN", "Cut":
+				pass.Reportf(call.Pos(), `strings.%s with "|" parses a gram key by hand; use ngram.ParseKey`, name)
+			}
+		}
+		return
+	}
+	if name, ok := pkgFunc(pass.Info, sel, "fmt"); ok && name == "Sprintf" && len(call.Args) > 0 {
+		format := stringLit(call.Args[0])
+		if strings.Contains(format, "%d|") || strings.Contains(format, "|%d") {
+			pass.Reportf(call.Pos(), "fmt.Sprintf splices a pipe-separated gram key by hand; use ngram.Key")
+		}
+	}
+}
+
+func stringLit(e ast.Expr) string {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}

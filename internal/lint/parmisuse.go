@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const parPath = "soteria/internal/par"
+
+// ParMisuseAnalyzer guards the contract of the shared worker pool
+// (internal/par): a body handed to par.For/par.ForChunked runs
+// concurrently on many goroutines, so it must depend only on its index
+// arguments and write only to per-index slots. The analyzer flags three
+// misuse patterns: capturing an enclosing loop variable instead of
+// using the callback index, writing to shared captured state (bare
+// variables, maps, fields, or slices at indices that do not depend on
+// the worker's item), and calling t.Fatal-family methods off the test
+// goroutine.
+var ParMisuseAnalyzer = &Analyzer{
+	Name: "parmisuse",
+	Doc: "enforce the internal/par contract: bodies depend only on their " +
+		"index arguments, write per-index slots, and never t.Fatal off the test goroutine",
+	Run: runParMisuse,
+}
+
+func runParMisuse(pass *Pass) {
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgFunc(pass.Info, sel, parPath)
+			if !ok || (name != "For" && name != "ForChunked") {
+				return true
+			}
+			lit := resolveFuncLit(pass, f, call.Args[1])
+			if lit == nil {
+				return true
+			}
+			checkLoopVarCapture(pass, lit, parents, name)
+			checkSharedWrites(pass, lit, name)
+			checkTestCalls(pass, lit, name)
+			return true
+		})
+	}
+}
+
+// resolveFuncLit returns the function literal a par call argument
+// denotes: either directly, or through a `body := func(...){...}`
+// binding in the same file.
+func resolveFuncLit(pass *Pass, f *ast.File, arg ast.Expr) *ast.FuncLit {
+	switch e := arg.(type) {
+	case *ast.FuncLit:
+		return e
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			return nil
+		}
+		var lit *ast.FuncLit
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit != nil {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pass.Info.Defs[id] != obj || i >= len(as.Rhs) {
+					continue
+				}
+				if fl, ok := as.Rhs[i].(*ast.FuncLit); ok {
+					lit = fl
+				}
+			}
+			return lit == nil
+		})
+		return lit
+	}
+	return nil
+}
+
+// checkLoopVarCapture flags references inside the par body to loop
+// variables of for/range statements enclosing the body's definition.
+// The worker body must address work through its own index arguments;
+// coupling it to an enclosing iteration variable is the pre-Go-1.22
+// capture hazard and breaks if the pool ever overlaps iterations.
+func checkLoopVarCapture(pass *Pass, lit *ast.FuncLit, parents map[ast.Node]ast.Node, parFn string) {
+	loopVars := make(map[types.Object]string)
+	for n := parents[ast.Node(lit)]; n != nil; n = parents[n] {
+		switch loop := n.(type) {
+		case *ast.RangeStmt:
+			if loop.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{loop.Key, loop.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = id.Name
+						}
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := loop.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = id.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if name, captured := loopVars[pass.Info.Uses[id]]; captured {
+			pass.Reportf(id.Pos(), "par.%s body captures enclosing loop variable %q; parallel bodies must derive work from their own index arguments", parFn, name)
+		}
+		return true
+	})
+}
+
+// checkSharedWrites flags writes from the par body to state captured
+// from outside it, unless the destination is a slice/array slot indexed
+// by something computed inside the body (the sanctioned per-index-slot
+// pattern).
+func checkSharedWrites(pass *Pass, lit *ast.FuncLit, parFn string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkWriteTarget(pass, lit, lhs, parFn)
+			}
+		case *ast.IncDecStmt:
+			checkWriteTarget(pass, lit, n.X, parFn)
+		}
+		return true
+	})
+}
+
+func checkWriteTarget(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, parFn string) {
+	info := pass.Info
+	for {
+		p, ok := lhs.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		lhs = p.X
+	}
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	obj, ok := info.ObjectOf(root).(*types.Var)
+	if !ok || declaredWithin(obj, lit) {
+		return // body-local variable (param or local): private to this worker
+	}
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		pass.Reportf(lhs.Pos(), "par.%s body assigns to captured variable %q shared by every worker; write to a per-index slot instead", parFn, root.Name)
+	case *ast.IndexExpr:
+		if t := info.TypeOf(e.X); t != nil && isMap(t) {
+			pass.Reportf(lhs.Pos(), "par.%s body writes to captured map %q; map writes race across workers — fill a per-index slice and merge after the pool returns", parFn, root.Name)
+			return
+		}
+		if !indexDependsOnBody(pass, lit, e) {
+			pass.Reportf(lhs.Pos(), "par.%s body writes %q at an index that does not depend on the worker's index arguments; workers will collide on the same slot", parFn, root.Name)
+		}
+	case *ast.SelectorExpr:
+		pass.Reportf(lhs.Pos(), "par.%s body writes to field of captured %q shared by every worker; write to a per-index slot instead", parFn, root.Name)
+	case *ast.StarExpr:
+		pass.Reportf(lhs.Pos(), "par.%s body writes through captured pointer %q shared by every worker", parFn, root.Name)
+	}
+}
+
+// indexDependsOnBody reports whether any index on the path from the
+// written element up to the root identifier references a variable
+// declared inside the body (an index argument or something derived
+// from one).
+func indexDependsOnBody(pass *Pass, lit *ast.FuncLit, e *ast.IndexExpr) bool {
+	for {
+		dep := false
+		ast.Inspect(e.Index, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.ObjectOf(id); obj != nil && declaredWithin(obj, lit) {
+					dep = true
+				}
+			}
+			return !dep
+		})
+		if dep {
+			return true
+		}
+		inner, ok := e.X.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		e = inner
+	}
+}
+
+var fatalOffGoroutine = map[string]bool{
+	"Fatal": true, "Fatalf": true, "FailNow": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+}
+
+// checkTestCalls flags t.Fatal-family calls inside the par body:
+// runtime.Goexit from a non-test goroutine deadlocks or silently
+// drops the failure; t.Error/t.Errorf are the safe forms.
+func checkTestCalls(pass *Pass, lit *ast.FuncLit, parFn string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !fatalOffGoroutine[sel.Sel.Name] {
+			return true
+		}
+		if isTestingType(pass.Info.TypeOf(sel.X)) {
+			pass.Reportf(call.Pos(), "%s.%s inside a par.%s body runs off the test goroutine and will not stop the test; use Error/Errorf and return", exprString(sel.X), sel.Sel.Name, parFn)
+		}
+		return true
+	})
+}
+
+func isTestingType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "testing" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "T", "B", "F", "TB":
+		return true
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "t"
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PersistErrAnalyzer enforces checked errors on persistence paths in
+// the packages that read and write models, binaries, and reports
+// (core, disasm, and every cmd tool): a silently failed Save/Encode/
+// Close produces a truncated model file that Load rejects — or worse,
+// loads into a subtly different pipeline. Three rules:
+//
+//  1. a call statement that discards an error returned by a
+//     persist-family function (Close, Flush, Sync, Save*, Load*,
+//     Encode*, Decode*, Write*, Persist*, Marshal*, Unmarshal*,
+//     ReadFrom) is flagged; assign the error or discard it explicitly
+//     with `_ =` plus a //lint:ignore reason when truly irrelevant;
+//  2. deferring a non-Close persist call (defer w.Flush()) discards
+//     its error and is flagged;
+//  3. `defer f.Close()` on a file obtained from os.Create/os.OpenFile
+//     is flagged: on write paths the Close error is the signal that
+//     buffered data hit the disk, so close explicitly and check.
+//
+// Deferred Close on read-only files (os.Open) stays idiomatic and is
+// not flagged. *strings.Builder and *bytes.Buffer writers are exempt
+// (their write errors are documented to be always nil).
+var PersistErrAnalyzer = &Analyzer{
+	Name: "persisterr",
+	Doc:  "forbid discarded errors on save/load/encode/decode/close paths in core, disasm, and cmd tools",
+	Run:  runPersistErr,
+}
+
+func persistErrInScope(base string) bool {
+	return base == "soteria" ||
+		base == "soteria/internal/core" ||
+		base == "soteria/internal/disasm" ||
+		strings.HasPrefix(base, "soteria/cmd/")
+}
+
+var persistExact = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true, "ReadFrom": true,
+}
+
+var persistPrefixes = []string{
+	"Save", "Load", "Encode", "Decode", "Write", "Persist", "Marshal", "Unmarshal",
+}
+
+func persistFamily(name string) bool {
+	if persistExact[name] {
+		return true
+	}
+	for _, p := range persistPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runPersistErr(pass *Pass) {
+	if !persistErrInScope(pass.BasePath()) {
+		return
+	}
+	for _, f := range pass.Files {
+		writers := writeOpenedFiles(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := discardsPersistError(pass, call); ok {
+						pass.Reportf(call.Pos(), "error returned by %s is discarded; check it, or discard explicitly with `_ =` and a //lint:ignore reason", name)
+					}
+				}
+			case *ast.DeferStmt:
+				checkDeferred(pass, n, writers)
+			}
+			return true
+		})
+	}
+}
+
+// discardsPersistError reports whether call returns an error, belongs
+// to the persist family, and is not exempt.
+func discardsPersistError(pass *Pass, call *ast.CallExpr) (string, bool) {
+	name := calleeName(call)
+	if name == "" || !persistFamily(name) {
+		return "", false
+	}
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && alwaysNilErrWriter(pass.Info.TypeOf(sel.X)) {
+		return "", false
+	}
+	return name, true
+}
+
+func checkDeferred(pass *Pass, def *ast.DeferStmt, writers map[types.Object]bool) {
+	call := def.Call
+	name, ok := discardsPersistError(pass, call)
+	if !ok {
+		return
+	}
+	if name != "Close" {
+		pass.Reportf(call.Pos(), "deferred %s discards its error; call it explicitly before returning and check the result", name)
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && writers[pass.Info.ObjectOf(id)] {
+		pass.Reportf(call.Pos(), "deferred Close on %q discards the error that signals whether the written data reached disk; close explicitly and check", id.Name)
+	}
+}
+
+// writeOpenedFiles collects variables bound to os.Create/os.OpenFile
+// results anywhere in the file, keyed by object identity.
+func writeOpenedFiles(pass *Pass, f *ast.File) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name, ok := pkgFunc(pass.Info, sel, "os")
+		if !ok || (name != "Create" && name != "OpenFile") {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return ""
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// alwaysNilErrWriter exempts in-memory writers whose Write/WriteString
+// errors are documented to always be nil.
+func alwaysNilErrWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

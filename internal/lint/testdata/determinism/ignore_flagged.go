@@ -1,0 +1,20 @@
+//fixture:pkgpath soteria/internal/core
+
+package fixture
+
+import "time"
+
+// Valid //lint:ignore directives suppress on the same line or the line
+// below; an unsuppressed control keeps the analyzer honest.
+func suppressedInline() {
+	_ = time.Now() //lint:ignore determinism startup banner timestamp, never reaches the model
+}
+
+func suppressedAbove() {
+	//lint:ignore determinism log line only, not model input
+	_ = time.Now()
+}
+
+func unsuppressed() {
+	_ = time.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,32 @@
+//fixture:pkgpath soteria/internal/evalx
+
+package fixture
+
+// Order-sensitive accumulation under map iteration: float and string
+// accumulators, unsorted output appends, and writes reached through
+// nested loops inside the map-range body.
+func accumulate(m map[string]float64) (float64, string, []string) {
+	sum := 0.0
+	names := ""
+	var keys []string
+	for k, v := range m {
+		sum += v               // want "floating-point accumulation"
+		names = names + k      // want "string accumulation"
+		keys = append(keys, k) // want "append to \"keys\" under map iteration order"
+	}
+	return sum, names, keys
+}
+
+func intoMap(m map[string]float64, totals map[int]float64) {
+	for k, v := range m {
+		totals[len(k)] += v // want "floating-point accumulation"
+	}
+}
+
+func nested(ms map[int][]float64, out []float64) {
+	for _, vs := range ms {
+		for i, v := range vs {
+			out[i%len(out)] *= v // want "floating-point accumulation"
+		}
+	}
+}

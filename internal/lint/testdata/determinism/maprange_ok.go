@@ -1,0 +1,45 @@
+//fixture:pkgpath soteria/internal/ngram
+
+package fixture
+
+import "sort"
+
+// Integer accumulation is order-free.
+func histogram(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// Collect-then-sort is the sanctioned pattern for map iteration.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedPairs(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// A float accumulator declared inside the range body resets every
+// iteration, so its value never depends on map order.
+func rowSums(m map[string][]float64, sums map[string]float64) {
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		sums[k] = s
+	}
+}

@@ -1,0 +1,16 @@
+//fixture:pkgpath soteria/internal/nn
+
+package fixture
+
+import "math/rand"
+
+// Global math/rand calls draw from the unseeded shared source.
+func noise(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rand.Float64() // want "rand.Float64 uses the unseeded global source"
+	}
+	rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] }) // want "rand.Shuffle uses the unseeded global source"
+	_ = rand.Intn(n)                                                           // want "rand.Intn uses the unseeded global source"
+	return out
+}

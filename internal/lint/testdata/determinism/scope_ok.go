@@ -1,0 +1,14 @@
+//fixture:pkgpath soteria/internal/malgen
+
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Out of determinism scope: malgen is not a model-affecting package, so
+// wall-clock and global-rand use is not flagged here.
+func jitter(n int) (time.Time, int) {
+	return time.Now(), rand.Intn(n)
+}

@@ -1,0 +1,16 @@
+//fixture:pkgpath soteria/internal/walk
+
+package fixture
+
+import "math/rand"
+
+// A locally seeded *rand.Rand is the sanctioned source of randomness:
+// only the package-level global functions are flagged.
+func walk(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+//fixture:pkgpath soteria/internal/features
+
+package fixture
+
+import "time"
+
+// Wall-clock reads inside model-affecting code make extraction output
+// depend on when it ran.
+func stamps() time.Duration {
+	start := time.Now()   // want "time.Now reads the wall clock"
+	_ = time.Since(start) // want "time.Since reads the wall clock"
+	_ = time.Until(start) // want "time.Until reads the wall clock"
+	return time.Second
+}

@@ -1,0 +1,30 @@
+//fixture:pkgpath soteria/internal/features
+
+package fixture
+
+import (
+	"fmt"
+	"strings"
+
+	"soteria/internal/ngram"
+)
+
+// The sanctioned API: ngram.Pack / ngram.ParseKey, plain comparisons
+// against the layout constants, and non-pipe string work.
+func sanctioned(labels []int, s string) (uint64, []int, error) {
+	for _, l := range labels {
+		if l > ngram.MaxPackedLabel {
+			return 0, nil, fmt.Errorf("label %d does not pack", l)
+		}
+	}
+	if len(labels) > ngram.MaxPackedN {
+		return 0, nil, fmt.Errorf("gram too long")
+	}
+	parsed, err := ngram.ParseKey(s)
+	if err != nil {
+		return 0, nil, err
+	}
+	_ = strings.Join([]string{"a", "b"}, ",")
+	_ = fmt.Sprintf("%d-%d", len(labels), len(parsed))
+	return ngram.Pack(labels), parsed, nil
+}

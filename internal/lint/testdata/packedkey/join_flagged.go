@@ -1,0 +1,27 @@
+//fixture:pkgpath soteria/internal/labeling
+
+package fixture
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Splicing or splitting pipe-separated gram keys by hand bypasses
+// ngram's canonical key form.
+func keyOf(labels []int) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = strconv.Itoa(l)
+	}
+	return strings.Join(parts, "|") // want "strings.Join with \"|\""
+}
+
+func splitKey(s string) []string {
+	return strings.Split(s, "|") // want "strings.Split with \"|\""
+}
+
+func headOf(s string) string {
+	head, _, _ := strings.Cut(s, "|") // want "strings.Cut with \"|\""
+	return head
+}

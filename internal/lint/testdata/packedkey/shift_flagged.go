@@ -1,0 +1,23 @@
+//fixture:pkgpath soteria/internal/features
+
+package fixture
+
+import "soteria/internal/ngram"
+
+// Hand-rolled packing/unpacking against ngram's layout constants must go
+// through ngram.Pack / ngram.Unpack instead.
+func handPack(labels []int) uint64 {
+	var key uint64
+	for j, lab := range labels {
+		key |= uint64(lab) << (uint(j) * ngram.PackBits) // want "manual packed-key bit manipulation"
+	}
+	return key
+}
+
+func handUnpack(key uint64) []int {
+	out := make([]int, 0, ngram.MaxPackedN)
+	for j := 0; j < ngram.MaxPackedN; j++ {
+		out = append(out, int(key>>(uint(j)*ngram.PackBits))&ngram.MaxPackedLabel) // want "manual packed-key bit manipulation"
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+//fixture:pkgpath soteria/internal/walk
+
+package fixture
+
+import "fmt"
+
+// A %d|%d format string splices a pipe-separated gram key by hand.
+func gramID(a, b, c int) string {
+	return fmt.Sprintf("%d|%d|%d", a, b, c) // want "splices a pipe-separated gram key"
+}

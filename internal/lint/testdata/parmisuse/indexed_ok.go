@@ -1,0 +1,22 @@
+package fixture
+
+import "soteria/internal/par"
+
+// Per-index-slot writes are the sanctioned pattern: every write lands in
+// a slot addressed through the worker's own arguments (or locals derived
+// from them), so workers never collide.
+func good(xs, out []float64, rows [][]float64, wc int) {
+	par.For(len(xs), func(i int) {
+		out[i] = xs[i] * 2
+		for w := 0; w < wc; w++ {
+			r := i*wc + w
+			rows[r%len(rows)][0] = xs[i]
+		}
+	})
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] += xs[i]
+		}
+	}
+	par.ForChunked(len(xs), body)
+}

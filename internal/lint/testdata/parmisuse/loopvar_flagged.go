@@ -1,0 +1,34 @@
+package fixture
+
+import "soteria/internal/par"
+
+// Loop variables of enclosing for/range statements captured inside a
+// par.For/ForChunked body race with the outer loop's next iteration.
+func perRow(rows [][]float64) {
+	for ri := range rows {
+		par.For(len(rows[ri]), func(j int) {
+			rows[ri][j] *= 2 // want "captures enclosing loop variable \"ri\""
+		})
+	}
+}
+
+func epochs(data []float64) {
+	for e := 0; e < 3; e++ {
+		par.ForChunked(len(data), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				data[i] += float64(e) // want "captures enclosing loop variable \"e\""
+			}
+		})
+	}
+}
+
+func scale(mats [][]float64, factors []float64) {
+	for _, f := range factors {
+		par.For(len(mats), func(i int) {
+			row := mats[i]
+			for j := range row {
+				row[j] *= f // want "captures enclosing loop variable \"f\""
+			}
+		})
+	}
+}

@@ -1,0 +1,23 @@
+package fixture
+
+import "soteria/internal/par"
+
+type stats struct{ total float64 }
+
+// Writes to captured state that are not routed through the worker's own
+// index arguments race across workers.
+func bad(xs []float64, out []float64, counts map[int]int, st *stats) {
+	sum := 0.0
+	par.For(len(xs), func(i int) {
+		sum += xs[i]     // want "assigns to captured variable \"sum\""
+		counts[i%4]++    // want "writes to captured map \"counts\""
+		out[0] = xs[i]   // want "does not depend on the worker's index arguments"
+		st.total = xs[i] // want "writes to field of captured \"st\""
+	})
+}
+
+func badPtr(xs []float64, total *float64) {
+	par.ForChunked(len(xs), func(lo, hi int) {
+		*total = xs[lo] // want "writes through captured pointer \"total\""
+	})
+}

@@ -1,0 +1,28 @@
+package fixture
+
+import (
+	"testing"
+
+	"soteria/internal/par"
+)
+
+// t.Errorf is goroutine-safe and allowed inside par bodies; t.Fatal is
+// fine outside them. Collect-then-Fatal is the sanctioned pattern.
+func okErrors(t *testing.T, xs []int) {
+	t.Helper()
+	if len(xs) == 0 {
+		t.Fatal("empty input")
+	}
+	errs := make([]error, len(xs))
+	par.For(len(xs), func(i int) {
+		if xs[i] < 0 {
+			t.Errorf("negative at %d", i)
+		}
+		errs[i] = nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package fixture
+
+import (
+	"testing"
+
+	"soteria/internal/par"
+)
+
+// t.Fatal and friends must run on the test goroutine; inside a par body
+// they only kill the worker.
+func parallelCheck(t *testing.T, xs []int) {
+	par.For(len(xs), func(i int) {
+		if xs[i] < 0 {
+			t.Fatalf("negative at %d", i) // want "t.Fatalf inside a par.For body"
+		}
+		if xs[i] > 100 {
+			t.Skip("out of range") // want "t.Skip inside a par.For body"
+		}
+	})
+}
+
+func chunkCheck(b *testing.B, xs []int) {
+	par.ForChunked(len(xs), func(lo, hi int) {
+		if lo > hi {
+			b.FailNow() // want "b.FailNow inside a par.ForChunked body"
+		}
+	})
+}

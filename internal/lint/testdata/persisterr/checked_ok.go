@@ -1,0 +1,44 @@
+//fixture:pkgpath soteria/internal/core
+
+package fixture
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+)
+
+// The sanctioned shapes: checked Close on the write path, explicit
+// `_ =` discard when a prior error outranks it, defer Close on a
+// read-only file, and always-nil in-memory writers.
+func saveGood(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(v); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadGood(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}
+
+func render(items []string) string {
+	var sb strings.Builder
+	var buf bytes.Buffer
+	for _, it := range items {
+		sb.WriteString(it)
+		buf.WriteString(it)
+	}
+	return sb.String() + buf.String()
+}

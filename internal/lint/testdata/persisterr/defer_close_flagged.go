@@ -1,0 +1,32 @@
+//fixture:pkgpath soteria/internal/disasm
+
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// defer f.Close() on a file opened for writing: the Close error is the
+// only signal that buffered data reached the disk.
+func export(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred Close on \"f\" discards the error"
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return nil
+}
+
+func exportAppend(path, line string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred Close on \"f\" discards the error"
+	_, err = fmt.Fprintln(f, line)
+	return err
+}

@@ -1,0 +1,17 @@
+//fixture:pkgpath soteria/internal/core
+
+package fixture
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Discarded errors on the save path: a full disk or closed pipe would
+// pass silently and leave a truncated model on disk.
+func saveBad(path string, v any) {
+	f, _ := os.Create(path)
+	enc := json.NewEncoder(f)
+	enc.Encode(v) // want "error returned by Encode is discarded"
+	f.Close()     // want "error returned by Close is discarded"
+}

@@ -1,0 +1,18 @@
+//fixture:pkgpath soteria/cmd/fixturetool
+
+package fixture
+
+import (
+	"bufio"
+	"os"
+)
+
+// Deferred Flush always discards its error, and WriteString on a bufio
+// writer reports downstream failures that must be checked.
+func dump(lines []string) {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush() // want "deferred Flush discards its error"
+	for _, l := range lines {
+		w.WriteString(l) // want "error returned by WriteString is discarded"
+	}
+}
