@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// BenchDiff compares one benchmark between a baseline report and the
+// current run. Ratios are current/baseline, so values above 1 are
+// slowdowns.
+type BenchDiff struct {
+	Name        string  `json:"name"`
+	BaseNsPerOp float64 `json:"baseNsPerOp"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	NsRatio     float64 `json:"nsRatio"`
+	BaseAllocs  int64   `json:"baseAllocsPerOp"`
+	Allocs      int64   `json:"allocsPerOp"`
+	Regressed   bool    `json:"regressed"`
+}
+
+// allocNoise is the absolute allocs/op slack allowed on top of the
+// ratio gate for nonzero-alloc baselines. Benchmarks whose per-op alloc
+// count is tiny but not pinned to zero wobble by an allocation or two
+// when the GC clears a sync.Pool between iterations; a ±2 jitter on a
+// 3-alloc baseline is noise, not a leak. Zero-alloc baselines get no
+// slack — those are all-or-nothing guarantees.
+const allocNoise = 2
+
+// Diff aligns the two reports' benchmarks by name and computes per-name
+// deltas. A benchmark regresses when its ns/op ratio exceeds maxRegress,
+// or when its allocs/op grew beyond the same ratio plus an absolute
+// slack of allocNoise (with any growth from a zero-alloc baseline
+// counting as a regression — zero-alloc guarantees are all-or-nothing).
+// Names present in only one report are returned separately and never
+// regress: a renamed or added benchmark should be reviewed, not fail
+// the gate.
+func Diff(base, cur *Report, maxRegress float64) (diffs []BenchDiff, onlyBase, onlyCur []string) {
+	baseByName := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+	matched := make(map[string]bool)
+	for _, c := range cur.Benchmarks {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			onlyCur = append(onlyCur, c.Name)
+			continue
+		}
+		matched[c.Name] = true
+		d := BenchDiff{
+			Name:        c.Name,
+			BaseNsPerOp: b.NsPerOp,
+			NsPerOp:     c.NsPerOp,
+			BaseAllocs:  b.AllocsPerOp,
+			Allocs:      c.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			d.NsRatio = c.NsPerOp / b.NsPerOp
+			if d.NsRatio > maxRegress {
+				d.Regressed = true
+			}
+		}
+		switch {
+		case b.AllocsPerOp == 0:
+			if c.AllocsPerOp > 0 {
+				d.Regressed = true
+			}
+		case float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*maxRegress+allocNoise:
+			d.Regressed = true
+		}
+		diffs = append(diffs, d)
+	}
+	for name := range baseByName {
+		if !matched[name] {
+			onlyBase = append(onlyBase, name)
+		}
+	}
+	sort.Strings(onlyBase)
+	return diffs, onlyBase, onlyCur
+}
+
+// writeDiffs renders the comparison as an aligned table plus notes on
+// unmatched names, and reports whether any benchmark regressed.
+func writeDiffs(w io.Writer, diffs []BenchDiff, onlyBase, onlyCur []string) bool {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\t")
+	regressed := false
+	for _, d := range diffs {
+		delta := "n/a"
+		if d.BaseNsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (d.NsRatio-1)*100)
+		}
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%d\t%d\t%s\n",
+			d.Name, d.BaseNsPerOp, d.NsPerOp, delta, d.BaseAllocs, d.Allocs, mark)
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintf(w, "benchreport: render diff table: %v\n", err)
+	}
+	for _, name := range onlyBase {
+		fmt.Fprintf(w, "only in baseline: %s\n", name)
+	}
+	for _, name := range onlyCur {
+		fmt.Fprintf(w, "only in current run: %s\n", name)
+	}
+	return regressed
+}

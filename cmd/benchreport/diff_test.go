@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(results ...Result) *Report {
+	return &Report{Benchmarks: results}
+}
+
+func TestDiffImprovementAndRegression(t *testing.T) {
+	base := report(
+		Result{Name: "BenchmarkFit", NsPerOp: 1000, AllocsPerOp: 100},
+		Result{Name: "BenchmarkScore", NsPerOp: 200, AllocsPerOp: 10},
+	)
+	cur := report(
+		Result{Name: "BenchmarkFit", NsPerOp: 400, AllocsPerOp: 5},
+		Result{Name: "BenchmarkScore", NsPerOp: 300, AllocsPerOp: 10},
+	)
+	diffs, onlyBase, onlyCur := Diff(base, cur, 1.10)
+	if len(diffs) != 2 || len(onlyBase) != 0 || len(onlyCur) != 0 {
+		t.Fatalf("diffs=%d onlyBase=%v onlyCur=%v", len(diffs), onlyBase, onlyCur)
+	}
+	fit := diffs[0]
+	if fit.Name != "BenchmarkFit" || fit.Regressed || fit.NsRatio != 0.4 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	score := diffs[1]
+	if !score.Regressed || score.NsRatio != 1.5 {
+		t.Fatalf("score should regress at 1.5x: %+v", score)
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	base := report(Result{Name: "BenchmarkScore", NsPerOp: 100, AllocsPerOp: 10})
+	cur := report(Result{Name: "BenchmarkScore", NsPerOp: 100, AllocsPerOp: 20})
+	diffs, _, _ := Diff(base, cur, 1.10)
+	if !diffs[0].Regressed {
+		t.Fatal("doubling allocs/op at equal speed should regress")
+	}
+}
+
+func TestDiffAllocNoiseSlack(t *testing.T) {
+	// Tiny nonzero baselines wobble by an alloc or two when the GC
+	// clears a sync.Pool mid-benchmark; the absolute slack absorbs
+	// that without opening the gate to real growth.
+	base := report(Result{Name: "BenchmarkGrad", NsPerOp: 100, AllocsPerOp: 3})
+	cur := report(Result{Name: "BenchmarkGrad", NsPerOp: 100, AllocsPerOp: 4})
+	diffs, _, _ := Diff(base, cur, 1.10)
+	if diffs[0].Regressed {
+		t.Fatalf("3 -> 4 allocs/op is pool jitter, not a regression: %+v", diffs[0])
+	}
+	cur.Benchmarks[0].AllocsPerOp = 6
+	diffs, _, _ = Diff(base, cur, 1.10)
+	if !diffs[0].Regressed {
+		t.Fatal("3 -> 6 allocs/op exceeds the noise slack and should regress")
+	}
+}
+
+func TestDiffZeroAllocBaselineIsAllOrNothing(t *testing.T) {
+	base := report(Result{Name: "BenchmarkInfer", NsPerOp: 100, AllocsPerOp: 0})
+	cur := report(Result{Name: "BenchmarkInfer", NsPerOp: 100, AllocsPerOp: 1})
+	diffs, _, _ := Diff(base, cur, 2.0)
+	if !diffs[0].Regressed {
+		t.Fatal("any allocation against a zero-alloc baseline should regress")
+	}
+	cur.Benchmarks[0].AllocsPerOp = 0
+	diffs, _, _ = Diff(base, cur, 2.0)
+	if diffs[0].Regressed {
+		t.Fatalf("unchanged zero-alloc benchmark regressed: %+v", diffs[0])
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	base := report(Result{Name: "BenchmarkFit", NsPerOp: 1000, AllocsPerOp: 100})
+	cur := report(Result{Name: "BenchmarkFit", NsPerOp: 1090, AllocsPerOp: 105})
+	diffs, _, _ := Diff(base, cur, 1.10)
+	if diffs[0].Regressed {
+		t.Fatalf("9%% slowdown under a 1.10 threshold regressed: %+v", diffs[0])
+	}
+}
+
+func TestDiffUnmatchedNamesNeverRegress(t *testing.T) {
+	base := report(
+		Result{Name: "BenchmarkOld", NsPerOp: 100},
+		Result{Name: "BenchmarkShared", NsPerOp: 100},
+	)
+	cur := report(
+		Result{Name: "BenchmarkShared", NsPerOp: 100},
+		Result{Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: 1 << 20},
+	)
+	diffs, onlyBase, onlyCur := Diff(base, cur, 1.10)
+	if len(diffs) != 1 || diffs[0].Name != "BenchmarkShared" {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "BenchmarkOld" {
+		t.Fatalf("onlyBase = %v", onlyBase)
+	}
+	if len(onlyCur) != 1 || onlyCur[0] != "BenchmarkNew" {
+		t.Fatalf("onlyCur = %v", onlyCur)
+	}
+}
+
+func TestWriteDiffs(t *testing.T) {
+	diffs := []BenchDiff{
+		{Name: "BenchmarkFit", BaseNsPerOp: 1000, NsPerOp: 400, NsRatio: 0.4, BaseAllocs: 100, Allocs: 5},
+		{Name: "BenchmarkScore", BaseNsPerOp: 200, NsPerOp: 300, NsRatio: 1.5, BaseAllocs: 10, Allocs: 10, Regressed: true},
+	}
+	var sb strings.Builder
+	regressed := writeDiffs(&sb, diffs, []string{"BenchmarkOld"}, []string{"BenchmarkNew"})
+	if !regressed {
+		t.Fatal("writeDiffs should report the regression")
+	}
+	out := sb.String()
+	for _, want := range []string{"-60.0%", "+50.0%", "REGRESSED", "only in baseline: BenchmarkOld", "only in current run: BenchmarkNew"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

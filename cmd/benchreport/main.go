@@ -7,6 +7,14 @@
 //
 //	benchreport -bench 'Extract|Walk|Gram|Table5' -pkg . -out BENCH_1.json
 //	go test -bench=. -benchmem | benchreport -input - -out BENCH_1.json
+//
+// With -baseline the run is also diffed against a previous report:
+// per-benchmark ns/op and allocs/op deltas go to stdout, and the exit
+// status is nonzero when any shared benchmark slowed down (or grew its
+// allocation count) by more than -max-regress allows:
+//
+//	benchreport -bench 'Fit|Epoch|MatMul' -pkg ./internal/... \
+//	    -baseline BENCH_2.json -max-regress 1.15
 package main
 
 import (
@@ -45,11 +53,13 @@ type Report struct {
 
 func main() {
 	var (
-		bench = flag.String("bench", "Extract|Walk|Gram|Table5", "go test -bench regexp")
-		pkg   = flag.String("pkg", ".", "package pattern to benchmark")
-		count = flag.Int("count", 1, "benchmark repetition count")
-		out   = flag.String("out", "", "output JSON path (default stdout)")
-		input = flag.String("input", "", "parse an existing `go test -bench` output file instead of running ('-' for stdin)")
+		bench      = flag.String("bench", "Extract|Walk|Gram|Table5", "go test -bench regexp")
+		pkg        = flag.String("pkg", ".", "package pattern to benchmark")
+		count      = flag.Int("count", 1, "benchmark repetition count")
+		out        = flag.String("out", "", "output JSON path (default stdout)")
+		input      = flag.String("input", "", "parse an existing `go test -bench` output file instead of running ('-' for stdin)")
+		baseline   = flag.String("baseline", "", "previous report (BENCH_<n>.json) to diff against")
+		maxRegress = flag.Float64("max-regress", 1.10, "max allowed current/baseline ratio before a benchmark counts as regressed")
 	)
 	flag.Parse()
 
@@ -115,6 +125,35 @@ func main() {
 	if *out != "" {
 		fmt.Printf("benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
 	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		diffs, onlyBase, onlyCur := Diff(base, rep, *maxRegress)
+		if writeDiffs(os.Stdout, diffs, onlyBase, onlyCur) {
+			fmt.Fprintf(os.Stderr, "benchreport: regression beyond %.2fx vs %s\n", *maxRegress, *baseline)
+			os.Exit(1)
+		}
+	}
+}
+
+// readReport loads a previously emitted BENCH_<n>.json.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s contains no benchmarks", path)
+	}
+	return &rep, nil
 }
 
 // Parse reads `go test -bench -benchmem` output and extracts every

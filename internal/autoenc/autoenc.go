@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"soteria/internal/nn"
 )
@@ -117,18 +118,80 @@ type Detector struct {
 	// in-vocabulary mass of a GEA sample into large negative z-scores
 	// across many features, which reconstruct poorly.
 	featMean, featStd []float64
+
+	// scratch recycles per-call scoring buffers; each concurrent scorer
+	// borrows its own set, so scoring a shared detector is race-free
+	// and, at steady state, allocation-free.
+	scratch sync.Pool
+}
+
+// scoreScratch is one scorer's working set: the standardized input,
+// its reconstruction, and the per-row error vector.
+type scoreScratch struct {
+	z, rec *nn.Matrix
+	res    []float64
+}
+
+func (d *Detector) getScratch() *scoreScratch {
+	if s, ok := d.scratch.Get().(*scoreScratch); ok {
+		return s
+	}
+	return new(scoreScratch)
+}
+
+// ensureMat resizes *m to rows x cols, reusing the backing storage
+// when possible. Contents are unspecified.
+func ensureMat(m **nn.Matrix, rows, cols int) *nn.Matrix {
+	if *m == nil || cap((*m).Data) < rows*cols {
+		*m = nn.NewMatrix(rows, cols)
+		return *m
+	}
+	(*m).Rows, (*m).Cols, (*m).Data = rows, cols, (*m).Data[:rows*cols]
+	return *m
 }
 
 // standardize maps raw feature rows into z-score space.
 func (d *Detector) standardize(x *nn.Matrix) *nn.Matrix {
 	out := x.Clone()
-	for i := 0; i < out.Rows; i++ {
-		row := out.Row(i)
+	d.standardizeInPlace(out)
+	return out
+}
+
+func (d *Detector) standardizeInPlace(x *nn.Matrix) {
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
 		for j := range row {
 			row[j] = (row[j] - d.featMean[j]) / d.featStd[j]
 		}
 	}
-	return out
+}
+
+// standardizeRowsInto writes the z-scored rows into the scratch matrix
+// s.z and returns it.
+func (d *Detector) standardizeRowsInto(s *scoreScratch, rows [][]float64) *nn.Matrix {
+	z := ensureMat(&s.z, len(rows), d.cfg.InputDim)
+	for i, r := range rows {
+		if len(r) != z.Cols {
+			panic(fmt.Sprintf("autoenc: feature vector %d has %d entries, want %d", i, len(r), z.Cols))
+		}
+		dst := z.Row(i)
+		for j, v := range r {
+			dst[j] = (v - d.featMean[j]) / d.featStd[j]
+		}
+	}
+	return z
+}
+
+// scoreInto standardizes, reconstructs, and writes per-row RMSEs into
+// s.res (returned). The heavy lifting reuses s's buffers.
+func (d *Detector) scoreInto(s *scoreScratch, z *nn.Matrix) []float64 {
+	rec := ensureMat(&s.rec, z.Rows, z.Cols)
+	d.net.PredictInto(rec, z)
+	if cap(s.res) < z.Rows {
+		s.res = make([]float64, z.Rows)
+	}
+	s.res = s.res[:z.Rows]
+	return nn.RMSEInto(s.res, rec, z)
 }
 
 // ErrNoTrainingData is returned when Train receives an empty matrix.
@@ -295,16 +358,34 @@ func buildNet(cfg Config, rng *rand.Rand) *nn.Network {
 }
 
 // ReconstructionErrors returns the per-row RMSE between the
-// standardized input and its reconstruction.
+// standardized input and its reconstruction. Safe for concurrent use
+// on a shared trained detector.
 func (d *Detector) ReconstructionErrors(x *nn.Matrix) []float64 {
-	z := d.standardize(x)
-	return nn.RMSE(d.net.Predict(z), z)
+	s := d.getScratch()
+	z := ensureMat(&s.z, x.Rows, x.Cols)
+	copy(z.Data, x.Data)
+	d.standardizeInPlace(z)
+	out := make([]float64, x.Rows)
+	copy(out, d.scoreInto(s, z))
+	d.scratch.Put(s)
+	return out
 }
 
-// ReconstructionError returns the RMSE of one feature vector.
+// ReconstructionError returns the RMSE of one feature vector. The call
+// is allocation-free at steady state and safe for concurrent use.
 func (d *Detector) ReconstructionError(vec []float64) float64 {
-	x := nn.FromRows([][]float64{vec})
-	return d.ReconstructionErrors(x)[0]
+	s := d.getScratch()
+	z := ensureMat(&s.z, 1, d.cfg.InputDim)
+	if len(vec) != z.Cols {
+		panic(fmt.Sprintf("autoenc: feature vector has %d entries, want %d", len(vec), z.Cols))
+	}
+	row := z.Row(0)
+	for j, v := range vec {
+		row[j] = (v - d.featMean[j]) / d.featStd[j]
+	}
+	re := d.scoreInto(s, z)[0]
+	d.scratch.Put(s)
+	return re
 }
 
 // Threshold returns the calibrated detection threshold
@@ -335,16 +416,20 @@ func (d *Detector) IsAdversarial(vec []float64) bool {
 }
 
 // SampleError returns the sample-level detection statistic: the mean
-// reconstruction error over the sample's per-walk feature vectors.
+// reconstruction error over the sample's per-walk feature vectors. The
+// call is allocation-free at steady state and safe for concurrent use.
 func (d *Detector) SampleError(walks [][]float64) float64 {
 	if len(walks) == 0 {
 		return 0
 	}
-	res := d.ReconstructionErrors(nn.FromRows(walks))
+	s := d.getScratch()
+	z := d.standardizeRowsInto(s, walks)
+	res := d.scoreInto(s, z)
 	var sum float64
 	for _, r := range res {
 		sum += r
 	}
+	d.scratch.Put(s)
 	return sum / float64(len(res))
 }
 

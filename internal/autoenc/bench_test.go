@@ -1,0 +1,62 @@
+package autoenc
+
+import (
+	"math/rand"
+	"testing"
+
+	"soteria/internal/nn"
+)
+
+// BenchmarkAutoencFit measures one full detector training run at a
+// reduced scale that keeps the paper's 1x/2x/3x/2x/1x layer geometry:
+// the per-op cost is dominated by the dense forward/backward GEMMs,
+// so it tracks the nn compute-kernel trajectory across PRs.
+func BenchmarkAutoencFit(b *testing.B) {
+	const (
+		dim  = 96
+		rows = 64
+	)
+	rng := rand.New(rand.NewSource(7))
+	x := nn.NewMatrix(rows, dim)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	cfg := DefaultConfig(dim)
+	cfg.Epochs = 2
+	cfg.BatchSize = 32
+	cfg.Seed = 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorScore measures steady-state inference on a fitted
+// detector: one combined feature vector through standardization, the
+// five dense layers, and the RMSE reduction.
+func BenchmarkDetectorScore(b *testing.B) {
+	const (
+		dim  = 96
+		rows = 48
+	)
+	rng := rand.New(rand.NewSource(11))
+	x := nn.NewMatrix(rows, dim)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	cfg := DefaultConfig(dim)
+	cfg.Epochs = 2
+	cfg.BatchSize = 32
+	cfg.Seed = 11
+	d, err := Train(x, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ReconstructionError(vec)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package autoenc
+
+const raceEnabled = false

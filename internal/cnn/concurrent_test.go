@@ -1,0 +1,94 @@
+package cnn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"soteria/internal/nn"
+)
+
+// smallEnsemble trains a tiny two-model ensemble for concurrency tests.
+func smallEnsemble(t testing.TB) (*Ensemble, [][]float64, [][]float64) {
+	t.Helper()
+	const (
+		dim     = 24
+		classes = 3
+		rows    = 36
+	)
+	rng := rand.New(rand.NewSource(51))
+	dblX := nn.NewMatrix(rows, dim)
+	lblX := nn.NewMatrix(rows, dim)
+	labels := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		labels[i] = i % classes
+		for j := 0; j < dim; j++ {
+			dblX.Set(i, j, rng.Float64()+float64(labels[i]))
+			lblX.Set(i, j, rng.Float64()-float64(labels[i]))
+		}
+	}
+	cfg := DefaultConfig(dim, classes)
+	cfg.Filters = 4
+	cfg.DenseUnits = 16
+	cfg.Epochs = 1
+	cfg.BatchSize = 12
+	cfg.Seed = 51
+	ens, err := TrainEnsemble(dblX, lblX, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dblWalks := [][]float64{dblX.Row(0), dblX.Row(1)}
+	lblWalks := [][]float64{lblX.Row(0), lblX.Row(1)}
+	return ens, dblWalks, lblWalks
+}
+
+// TestConcurrentEnsembleVote runs ensemble voting from many goroutines
+// over the same two trained models; with -race this pins the whole
+// conv/pool/dense inference path's freedom from shared mutable state,
+// and every vote must match the serial reference.
+func TestConcurrentEnsembleVote(t *testing.T) {
+	ens, dblWalks, lblWalks := smallEnsemble(t)
+	want, err := ens.Vote(dblWalks, lblWalks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProbs := ens.DBL.Probs(nn.FromRows(dblWalks))
+
+	var wg sync.WaitGroup
+	errc := make(chan string, 64)
+	fail := func(msg string) {
+		select {
+		case errc <- msg:
+		default:
+		}
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				if g%2 == 0 {
+					got, err := ens.Vote(dblWalks, lblWalks)
+					if err != nil || got != want {
+						fail("ensemble vote diverged under concurrency")
+						return
+					}
+				} else {
+					probs := ens.DBL.Probs(nn.FromRows(dblWalks))
+					for i := range probs.Data {
+						if probs.Data[i] != wantProbs.Data[i] {
+							fail("classifier probs diverged under concurrency")
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+}

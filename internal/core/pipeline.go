@@ -226,16 +226,20 @@ func (p *Pipeline) Analyze(c *disasm.CFG, salt int64) (*Decision, error) {
 	}, nil
 }
 
-// AnalyzeBatch analyzes many CFGs, parallelizing the feature-extraction
-// stage (the dominant cost). Results equal per-sample Analyze calls
-// with the same salts.
+// AnalyzeBatch analyzes many CFGs, parallelizing both the
+// feature-extraction stage (the dominant cost) and the scoring stage
+// (detector reconstruction errors and ensemble votes are race-safe on
+// shared trained models). Results equal per-sample Analyze calls with
+// the same salts.
 func (p *Pipeline) AnalyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision, error) {
 	vecs, err := p.Extractor.ExtractBatch(cfgs, salts)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Decision, len(vecs))
-	for i, v := range vecs {
+	errs := make([]error, len(vecs))
+	par.For(len(vecs), func(i int) {
+		v := vecs[i]
 		var re float64
 		if p.opts.PerWalkDetector {
 			re = p.Detector.SampleError(v.CombinedWalks)
@@ -244,12 +248,18 @@ func (p *Pipeline) AnalyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision,
 		}
 		cls, err := p.Ensemble.Vote(v.DBL, v.LBL)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		out[i] = &Decision{
 			Adversarial: re > p.Detector.Threshold(),
 			RE:          re,
 			Class:       malgen.Class(cls),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

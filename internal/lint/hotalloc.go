@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const nnPath = "soteria/internal/nn"
+
+// HotAllocAnalyzer guards the zero-allocation contract of the neural
+// compute kernel (internal/nn): Forward and Backward run once per layer
+// per minibatch, so a fresh NewMatrix or Matrix.Clone inside them turns
+// into megabytes of garbage per epoch and defeats the package's
+// workspace discipline (persistent `ensure` buffers for training,
+// Arena slots for inference — see internal/nn/workspace.go). The
+// analyzer flags both allocators inside any Forward/Backward body in
+// internal/nn; deliberate standalone-eval allocations carry a
+// //lint:ignore hotalloc justification in place.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag NewMatrix/Matrix.Clone calls inside internal/nn Forward/Backward " +
+		"bodies that bypass the workspace arena (use ensure or Arena.take)",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	if pass.BasePath() != nnPath {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if name != "Forward" && name != "Backward" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch allocKind(pass.Info, call) {
+				case "NewMatrix":
+					pass.Reportf(call.Pos(), "NewMatrix inside %s allocates on every pass; reuse a persistent workspace buffer (ensure) or an Arena slot, or justify with //lint:ignore hotalloc", name)
+				case "Clone":
+					pass.Reportf(call.Pos(), "Matrix.Clone inside %s allocates on every pass; copy into a persistent workspace buffer (ensure) or an Arena slot, or justify with //lint:ignore hotalloc", name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// allocKind classifies call as one of the hot-path allocators defined by
+// internal/nn — the package-level NewMatrix constructor or the
+// Matrix.Clone method — and returns "" for anything else.
+func allocKind(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != nnPath {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	switch fn.Name() {
+	case "NewMatrix":
+		if sig.Recv() == nil {
+			return "NewMatrix"
+		}
+	case "Clone":
+		if recv := sig.Recv(); recv != nil && isNNMatrix(recv.Type()) {
+			return "Clone"
+		}
+	}
+	return ""
+}
+
+func isNNMatrix(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Matrix" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == nnPath
+}

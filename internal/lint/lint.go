@@ -83,6 +83,7 @@ func All() []*Analyzer {
 		ParMisuseAnalyzer,
 		PersistErrAnalyzer,
 		PackedKeyAnalyzer,
+		HotAllocAnalyzer,
 	}
 }
 

@@ -39,7 +39,7 @@ func TestRepoIsLintClean(t *testing.T) {
 
 // TestSeededViolationsAreCaught proves the gate has teeth: a synthetic
 // module seeded with one violation per analyzer must produce a
-// diagnostic from each of the four.
+// diagnostic from every analyzer in the suite.
 func TestSeededViolationsAreCaught(t *testing.T) {
 	root := t.TempDir()
 	write := func(rel, src string) {
@@ -80,6 +80,23 @@ func violations(xs []float64) (float64, string) {
 		total += xs[i]
 	})
 	return total, strings.Join([]string{"1", "2"}, "|")
+}
+`)
+	write("internal/nn/bad.go", `package nn
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+type layer struct{}
+
+func (l *layer) Forward(x *Matrix, train bool) *Matrix {
+	return NewMatrix(x.Rows, x.Cols)
 }
 `)
 	write("internal/core/bad.go", `package core

@@ -29,7 +29,7 @@ func runParMisuse(pass *Pass) {
 		parents := parentMap(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) != 2 {
+			if !ok {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -37,10 +37,21 @@ func runParMisuse(pass *Pass) {
 				return true
 			}
 			name, ok := pkgFunc(pass.Info, sel, parPath)
-			if !ok || (name != "For" && name != "ForChunked") {
+			if !ok {
 				return true
 			}
-			lit := resolveFuncLit(pass, f, call.Args[1])
+			// The body is the last argument: For/ForChunked(n, fn),
+			// ForChunkedGrain(n, minGrain, fn).
+			var fnArg ast.Expr
+			switch {
+			case (name == "For" || name == "ForChunked") && len(call.Args) == 2:
+				fnArg = call.Args[1]
+			case name == "ForChunkedGrain" && len(call.Args) == 3:
+				fnArg = call.Args[2]
+			default:
+				return true
+			}
+			lit := resolveFuncLit(pass, f, fnArg)
 			if lit == nil {
 				return true
 			}

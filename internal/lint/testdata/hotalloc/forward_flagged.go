@@ -1,0 +1,44 @@
+//fixture:pkgpath soteria/internal/nn
+
+// Self-contained stand-ins for the real nn package: what matters to the
+// analyzer is that NewMatrix and Matrix.Clone resolve to objects in
+// package path soteria/internal/nn.
+package nn
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Clone is itself built on NewMatrix; it is not a Forward/Backward body,
+// so the constructor call inside it is fine.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+type leakyLayer struct {
+	out *Matrix
+}
+
+func (l *leakyLayer) Forward(x *Matrix, train bool) *Matrix {
+	if !train {
+		return NewMatrix(x.Rows, x.Cols) // want "NewMatrix inside Forward"
+	}
+	return x.Clone() // want "Matrix.Clone inside Forward"
+}
+
+func (l *leakyLayer) Backward(grad *Matrix) *Matrix {
+	return NewMatrix(grad.Rows, grad.Cols) // want "NewMatrix inside Backward"
+}
+
+// newScratch is a helper, not a hot-path body: allocating here is the
+// caller's problem, not this analyzer's.
+func (l *leakyLayer) newScratch(rows, cols int) *Matrix {
+	return NewMatrix(rows, cols)
+}

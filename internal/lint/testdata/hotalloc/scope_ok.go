@@ -1,0 +1,23 @@
+// No pkgpath directive: this file analyzes under the default fixture
+// path, outside internal/nn, where Forward/Backward carry no workspace
+// contract and the analyzer stays silent.
+package fixture
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+type outsideLayer struct{}
+
+func (o *outsideLayer) Forward(x *Matrix, train bool) *Matrix {
+	return NewMatrix(x.Rows, x.Cols)
+}
+
+func (o *outsideLayer) Backward(grad *Matrix) *Matrix {
+	return NewMatrix(grad.Rows, grad.Cols)
+}

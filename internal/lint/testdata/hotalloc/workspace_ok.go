@@ -1,0 +1,39 @@
+//fixture:pkgpath soteria/internal/nn
+
+package nn
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+func ensure(slot **Matrix, rows, cols int) *Matrix {
+	if *slot == nil || (*slot).Rows != rows || (*slot).Cols != cols {
+		*slot = NewMatrix(rows, cols)
+	}
+	return *slot
+}
+
+type wsLayer struct {
+	out *Matrix
+	dx  *Matrix
+}
+
+// The sanctioned pattern: training passes reuse persistent workspace
+// buffers through ensure, which amortizes its one NewMatrix across
+// every subsequent minibatch.
+func (l *wsLayer) Forward(x *Matrix, train bool) *Matrix {
+	if !train {
+		//lint:ignore hotalloc standalone eval outside a Network allocates by design; the pooled path is PredictInto
+		return NewMatrix(x.Rows, x.Cols)
+	}
+	return ensure(&l.out, x.Rows, x.Cols)
+}
+
+func (l *wsLayer) Backward(grad *Matrix) *Matrix {
+	return ensure(&l.dx, grad.Rows, grad.Cols)
+}

@@ -1,0 +1,24 @@
+package fixture
+
+import "soteria/internal/par"
+
+// ForChunkedGrain bodies are checked exactly like ForChunked bodies:
+// the function argument moves to the third position but the contract is
+// the same.
+func grainSharedSum(xs []float64) float64 {
+	sum := 0.0
+	par.ForChunkedGrain(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want "assigns to captured variable \"sum\""
+		}
+	})
+	return sum
+}
+
+func grainPerIndex(xs, out []float64) {
+	par.ForChunkedGrain(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i] * 2
+		}
+	})
+}

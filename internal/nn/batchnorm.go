@@ -20,9 +20,14 @@ type BatchNorm struct {
 	runMean []float64
 	runVar  []float64
 
-	// Cached values from the last training forward pass.
+	// Training workspace, reused across minibatches.
 	lastXHat *Matrix
 	lastStd  []float64
+	out      *Matrix
+	dx       *Matrix
+	mean     []float64
+	variance []float64
+	sums     []float64 // backward reductions, 4*Dim
 }
 
 // NewBatchNorm creates a batch-normalization layer for Dim features.
@@ -43,28 +48,45 @@ func NewBatchNorm(dim int) *BatchNorm {
 	return b
 }
 
-// Forward implements Layer.
-func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
+func (b *BatchNorm) checkIn(x *Matrix) {
 	if x.Cols != b.Dim {
 		panic(fmt.Sprintf("nn: BatchNorm expected %d cols, got %d", b.Dim, x.Cols))
 	}
-	out := NewMatrix(x.Rows, x.Cols)
-	if !train || x.Rows < 2 {
-		// Inference (or degenerate batch): running statistics.
-		for i := 0; i < x.Rows; i++ {
-			src, dst := x.Row(i), out.Row(i)
-			for j := range src {
-				xh := (src[j] - b.runMean[j]) / math.Sqrt(b.runVar[j]+b.Eps)
-				dst[j] = b.Gamma.W.Data[j]*xh + b.Beta.W.Data[j]
-			}
+}
+
+// normRunningInto applies the running-statistics affine map — the
+// inference transform — reading only immutable layer state.
+func (b *BatchNorm) normRunningInto(out, x *Matrix) *Matrix {
+	for i := 0; i < x.Rows; i++ {
+		src, dst := x.Row(i), out.Row(i)
+		for j := range src {
+			xh := (src[j] - b.runMean[j]) / math.Sqrt(b.runVar[j]+b.Eps)
+			dst[j] = b.Gamma.W.Data[j]*xh + b.Beta.W.Data[j]
 		}
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
+	b.checkIn(x)
+	if !train {
+		return b.infer(x, new(Arena))
+	}
+	out := ensure(&b.out, x.Rows, x.Cols)
+	if x.Rows < 2 {
+		// Degenerate batch: fall back to running statistics; Backward
+		// then takes the per-feature affine branch.
 		b.lastXHat = nil
-		return out
+		return b.normRunningInto(out, x)
 	}
 
 	n := float64(x.Rows)
-	mean := make([]float64, b.Dim)
-	variance := make([]float64, b.Dim)
+	mean := ensureF64(&b.mean, b.Dim)
+	variance := ensureF64(&b.variance, b.Dim)
+	for j := range mean {
+		mean[j], variance[j] = 0, 0
+	}
 	for i := 0; i < x.Rows; i++ {
 		for j, v := range x.Row(i) {
 			mean[j] += v
@@ -83,20 +105,17 @@ func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
 		variance[j] /= n
 	}
 
-	b.lastXHat = NewMatrix(x.Rows, x.Cols)
-	if cap(b.lastStd) < b.Dim {
-		b.lastStd = make([]float64, b.Dim)
-	}
-	b.lastStd = b.lastStd[:b.Dim]
+	xHat := ensure(&b.lastXHat, x.Rows, x.Cols)
+	std := ensureF64(&b.lastStd, b.Dim)
 	for j := range variance {
-		b.lastStd[j] = math.Sqrt(variance[j] + b.Eps)
+		std[j] = math.Sqrt(variance[j] + b.Eps)
 	}
 	for i := 0; i < x.Rows; i++ {
 		src := x.Row(i)
-		xh := b.lastXHat.Row(i)
+		xh := xHat.Row(i)
 		dst := out.Row(i)
 		for j := range src {
-			xh[j] = (src[j] - mean[j]) / b.lastStd[j]
+			xh[j] = (src[j] - mean[j]) / std[j]
 			dst[j] = b.Gamma.W.Data[j]*xh[j] + b.Beta.W.Data[j]
 		}
 	}
@@ -107,26 +126,35 @@ func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
 	return out
 }
 
+func (b *BatchNorm) infer(x *Matrix, ws *Arena) *Matrix {
+	b.checkIn(x)
+	return b.normRunningInto(ws.take(x.Rows, x.Cols), x)
+}
+
 // Backward implements Layer. The gradient follows the standard
 // batch-norm derivation, coupling every row of the batch through the
 // shared mean and variance.
 func (b *BatchNorm) Backward(grad *Matrix) *Matrix {
+	out := ensure(&b.dx, grad.Rows, grad.Cols)
 	if b.lastXHat == nil {
-		// Inference-mode backward: per-feature affine map.
-		out := grad.Clone()
-		for i := 0; i < out.Rows; i++ {
-			row := out.Row(i)
-			for j := range row {
-				row[j] *= b.Gamma.W.Data[j] / math.Sqrt(b.runVar[j]+b.Eps)
+		// Degenerate-batch backward: per-feature affine map.
+		for i := 0; i < grad.Rows; i++ {
+			src, dst := grad.Row(i), out.Row(i)
+			for j := range src {
+				dst[j] = src[j] * b.Gamma.W.Data[j] / math.Sqrt(b.runVar[j]+b.Eps)
 			}
 		}
 		return out
 	}
 	n := float64(grad.Rows)
-	dGamma := make([]float64, b.Dim)
-	dBeta := make([]float64, b.Dim)
-	sumDy := make([]float64, b.Dim)
-	sumDyXh := make([]float64, b.Dim)
+	sums := ensureF64(&b.sums, 4*b.Dim)
+	for j := range sums {
+		sums[j] = 0
+	}
+	dGamma := sums[:b.Dim]
+	dBeta := sums[b.Dim : 2*b.Dim]
+	sumDy := sums[2*b.Dim : 3*b.Dim]
+	sumDyXh := sums[3*b.Dim:]
 	for i := 0; i < grad.Rows; i++ {
 		g := grad.Row(i)
 		xh := b.lastXHat.Row(i)
@@ -141,7 +169,6 @@ func (b *BatchNorm) Backward(grad *Matrix) *Matrix {
 		b.Gamma.G.Data[j] += dGamma[j]
 		b.Beta.G.Data[j] += dBeta[j]
 	}
-	out := NewMatrix(grad.Rows, grad.Cols)
 	for i := 0; i < grad.Rows; i++ {
 		g := grad.Row(i)
 		xh := b.lastXHat.Row(i)
@@ -157,4 +184,7 @@ func (b *BatchNorm) Backward(grad *Matrix) *Matrix {
 // Params implements Layer.
 func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 
-var _ Layer = (*BatchNorm)(nil)
+var (
+	_ Layer      = (*BatchNorm)(nil)
+	_ inferLayer = (*BatchNorm)(nil)
+)

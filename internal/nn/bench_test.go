@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Training-path kernel benchmarks. BenchmarkMatMul1000x2000 is the
+// autoencoder's widest forward product at paper scale (a 64-row
+// minibatch through the 1000 -> 2000 layer); the AT/BT variants are the
+// two backward products of the same layer (weight gradient and input
+// gradient), which exercise the transposed-operand paths.
+
+func benchRand(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMatMul1000x2000(b *testing.B) {
+	x := benchRand(64, 1000, 1)
+	w := benchRand(1000, 2000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, w, false, false)
+	}
+}
+
+func BenchmarkMatMulGradWeightAT(b *testing.B) {
+	x := benchRand(64, 1000, 1)
+	g := benchRand(64, 2000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, g, true, false) // x^T @ grad: weight gradient
+	}
+}
+
+func BenchmarkMatMulGradInputBT(b *testing.B) {
+	g := benchRand(64, 2000, 1)
+	w := benchRand(1000, 2000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(g, w, false, true) // grad @ W^T: input gradient
+	}
+}

@@ -10,6 +10,12 @@ import (
 // of length L*InCh is interpreted as L positions of InCh channels; the
 // output row has OutLen()*OutCh elements, with valid padding and the
 // given stride. Implemented with im2col + matmul.
+//
+// The (batch*outLen) x OutCh matmul product and the batch x
+// (outLen*OutCh) output have byte-identical row-major layouts, so the
+// GEMM writes straight into the output matrix through a reshaped
+// header — no unpacking copy — and the bias is fused into the GEMM
+// epilogue.
 type Conv1D struct {
 	InLen, InCh int
 	OutCh       int
@@ -18,8 +24,13 @@ type Conv1D struct {
 	Weight      *Param // (Kernel*InCh) x OutCh
 	Bias        *Param // 1 x OutCh
 
+	// Training workspace, reused across minibatches.
 	lastCols *Matrix // im2col of last input: (batch*outLen) x (Kernel*InCh)
 	lastRows int
+	out      *Matrix
+	prodHdr  Matrix // reshaped view of out for the GEMM
+	colGrad  *Matrix
+	dx       *Matrix
 }
 
 // NewConv1D creates a convolution layer with He-initialized kernels.
@@ -39,14 +50,16 @@ func NewConv1D(inLen, inCh, outCh, kernel, stride int, rng *rand.Rand) *Conv1D {
 // OutLen returns the output sequence length.
 func (c *Conv1D) OutLen() int { return (c.InLen-c.Kernel)/c.Stride + 1 }
 
-// Forward implements Layer.
-func (c *Conv1D) Forward(x *Matrix, _ bool) *Matrix {
+func (c *Conv1D) checkIn(x *Matrix) {
 	if x.Cols != c.InLen*c.InCh {
 		panic(fmt.Sprintf("nn: Conv1D expected %d cols, got %d", c.InLen*c.InCh, x.Cols))
 	}
+}
+
+// im2col writes every kernel window of x as one row of cols.
+func (c *Conv1D) im2col(cols, x *Matrix) {
 	outLen := c.OutLen()
 	kc := c.Kernel * c.InCh
-	cols := NewMatrix(x.Rows*outLen, kc)
 	for b := 0; b < x.Rows; b++ {
 		row := x.Row(b)
 		for p := 0; p < outLen; p++ {
@@ -54,41 +67,59 @@ func (c *Conv1D) Forward(x *Matrix, _ bool) *Matrix {
 			copy(cols.Row(b*outLen+p), row[start:start+kc])
 		}
 	}
-	c.lastCols = cols
+}
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *Matrix, train bool) *Matrix {
+	c.checkIn(x)
+	if !train {
+		return c.infer(x, new(Arena))
+	}
+	outLen := c.OutLen()
+	cols := ensure(&c.lastCols, x.Rows*outLen, c.Kernel*c.InCh)
+	c.im2col(cols, x)
 	c.lastRows = x.Rows
 
-	prod := MatMul(cols, c.Weight.W, false, false) // (batch*outLen) x OutCh
-	out := NewMatrix(x.Rows, outLen*c.OutCh)
-	for b := 0; b < x.Rows; b++ {
-		dst := out.Row(b)
-		for p := 0; p < outLen; p++ {
-			src := prod.Row(b*outLen + p)
-			for ch := 0; ch < c.OutCh; ch++ {
-				dst[p*c.OutCh+ch] = src[ch] + c.Bias.W.Data[ch]
-			}
-		}
-	}
+	out := ensure(&c.out, x.Rows, outLen*c.OutCh)
+	c.prodHdr = Matrix{Rows: x.Rows * outLen, Cols: c.OutCh, Data: out.Data}
+	gemm(&c.prodHdr, cols, c.Weight.W, false, false, false, c.Bias.W.Data, false)
 	return out
+}
+
+func (c *Conv1D) infer(x *Matrix, ws *Arena) *Matrix {
+	c.checkIn(x)
+	outLen := c.OutLen()
+	cols := ws.take(x.Rows*outLen, c.Kernel*c.InCh)
+	c.im2col(cols, x)
+	out := ws.take(x.Rows, outLen*c.OutCh)
+	prod := Matrix{Rows: x.Rows * outLen, Cols: c.OutCh, Data: out.Data}
+	gemm(&prod, cols, c.Weight.W, false, false, false, c.Bias.W.Data, false)
+	return out
+}
+
+// backwardParams accumulates the weight and bias gradients only,
+// skipping the column-gradient GEMM and scatter — the cheap form the
+// network uses when this is the first layer and the input gradient has
+// no consumer.
+func (c *Conv1D) backwardParams(grad *Matrix) {
+	// grad (batch x outLen*OutCh) reshaped to (batch*outLen) x OutCh is
+	// the same flat layout: share its storage instead of copying.
+	g := Matrix{Rows: c.lastRows * c.OutLen(), Cols: c.OutCh, Data: grad.Data}
+	MatMulAddInto(c.Weight.G, c.lastCols, &g, true, false)
+	g.addColSumsInto(c.Bias.G.Data)
 }
 
 // Backward implements Layer.
 func (c *Conv1D) Backward(grad *Matrix) *Matrix {
+	c.backwardParams(grad)
 	outLen := c.OutLen()
 	kc := c.Kernel * c.InCh
-	// Reshape grad into (batch*outLen) x OutCh.
-	g := NewMatrix(c.lastRows*outLen, c.OutCh)
-	for b := 0; b < c.lastRows; b++ {
-		src := grad.Row(b)
-		for p := 0; p < outLen; p++ {
-			copy(g.Row(b*outLen+p), src[p*c.OutCh:(p+1)*c.OutCh])
-		}
-	}
-	c.Weight.G.AddInPlace(MatMul(c.lastCols, g, true, false))
-	c.Bias.G.AddInPlace(g.ColSums())
+	g := Matrix{Rows: c.lastRows * outLen, Cols: c.OutCh, Data: grad.Data}
 
 	// Column gradient scattered back to input positions.
-	colGrad := MatMul(g, c.Weight.W, false, true) // (batch*outLen) x kc
-	dx := NewMatrix(c.lastRows, c.InLen*c.InCh)
+	colGrad := ensure(&c.colGrad, c.lastRows*outLen, kc)
+	MatMulInto(colGrad, &g, c.Weight.W, false, true)
+	dx := ensureZero(&c.dx, c.lastRows, c.InLen*c.InCh)
 	for b := 0; b < c.lastRows; b++ {
 		dst := dx.Row(b)
 		for p := 0; p < outLen; p++ {
@@ -113,6 +144,8 @@ type MaxPool1D struct {
 
 	argmax   []int
 	lastRows int
+	out      *Matrix
+	dx       *Matrix
 }
 
 // NewMaxPool1D creates a max-pooling layer.
@@ -126,18 +159,18 @@ func NewMaxPool1D(inLen, ch, window, stride int) *MaxPool1D {
 // OutLen returns the output sequence length.
 func (m *MaxPool1D) OutLen() int { return (m.InLen-m.Window)/m.Stride + 1 }
 
-// Forward implements Layer.
-func (m *MaxPool1D) Forward(x *Matrix, _ bool) *Matrix {
+func (m *MaxPool1D) checkIn(x *Matrix) {
 	if x.Cols != m.InLen*m.Ch {
 		panic(fmt.Sprintf("nn: MaxPool1D expected %d cols, got %d", m.InLen*m.Ch, x.Cols))
 	}
+}
+
+// pool writes the pooled sequence into out; when argmax is non-nil it
+// also records the winning input index per output element (the
+// training path needs it for Backward, the inference path skips it so
+// concurrent passes never write layer state).
+func (m *MaxPool1D) pool(out, x *Matrix, argmax []int) {
 	outLen := m.OutLen()
-	out := NewMatrix(x.Rows, outLen*m.Ch)
-	if cap(m.argmax) < x.Rows*outLen*m.Ch {
-		m.argmax = make([]int, x.Rows*outLen*m.Ch)
-	}
-	m.argmax = m.argmax[:x.Rows*outLen*m.Ch]
-	m.lastRows = x.Rows
 	for b := 0; b < x.Rows; b++ {
 		row := x.Row(b)
 		dst := out.Row(b)
@@ -153,17 +186,39 @@ func (m *MaxPool1D) Forward(x *Matrix, _ bool) *Matrix {
 					}
 				}
 				dst[p*m.Ch+ch] = best
-				m.argmax[(b*outLen+p)*m.Ch+ch] = bestIdx
+				if argmax != nil {
+					argmax[(b*outLen+p)*m.Ch+ch] = bestIdx
+				}
 			}
 		}
 	}
+}
+
+// Forward implements Layer.
+func (m *MaxPool1D) Forward(x *Matrix, train bool) *Matrix {
+	m.checkIn(x)
+	if !train {
+		return m.infer(x, new(Arena))
+	}
+	outLen := m.OutLen()
+	out := ensure(&m.out, x.Rows, outLen*m.Ch)
+	m.argmax = ensureInt(m.argmax, x.Rows*outLen*m.Ch)
+	m.lastRows = x.Rows
+	m.pool(out, x, m.argmax)
+	return out
+}
+
+func (m *MaxPool1D) infer(x *Matrix, ws *Arena) *Matrix {
+	m.checkIn(x)
+	out := ws.take(x.Rows, m.OutLen()*m.Ch)
+	m.pool(out, x, nil)
 	return out
 }
 
 // Backward implements Layer.
 func (m *MaxPool1D) Backward(grad *Matrix) *Matrix {
 	outLen := m.OutLen()
-	dx := NewMatrix(m.lastRows, m.InLen*m.Ch)
+	dx := ensureZero(&m.dx, m.lastRows, m.InLen*m.Ch)
 	for b := 0; b < m.lastRows; b++ {
 		src := grad.Row(b)
 		dst := dx.Row(b)
@@ -179,7 +234,17 @@ func (m *MaxPool1D) Backward(grad *Matrix) *Matrix {
 // Params implements Layer.
 func (m *MaxPool1D) Params() []*Param { return nil }
 
+// ensureInt resizes an int slice, reusing capacity.
+func ensureInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 var (
-	_ Layer = (*Conv1D)(nil)
-	_ Layer = (*MaxPool1D)(nil)
+	_ Layer      = (*Conv1D)(nil)
+	_ Layer      = (*MaxPool1D)(nil)
+	_ inferLayer = (*Conv1D)(nil)
+	_ inferLayer = (*MaxPool1D)(nil)
 )

@@ -9,7 +9,9 @@ import (
 // Conv2D is a 2-D convolution over channels-last images. A batch row of
 // length H*W*InCh is interpreted as an HxW image with InCh channels;
 // output rows have OutH()*OutW()*OutCh elements, valid padding, equal
-// stride in both dimensions. Implemented with im2col + matmul.
+// stride in both dimensions. Implemented with im2col + matmul; like
+// Conv1D, the matmul writes through a reshaped header straight into
+// the output matrix with the bias fused into the GEMM epilogue.
 type Conv2D struct {
 	H, W, InCh int
 	OutCh      int
@@ -18,8 +20,13 @@ type Conv2D struct {
 	Weight     *Param // (Kernel*Kernel*InCh) x OutCh
 	Bias       *Param // 1 x OutCh
 
+	// Training workspace, reused across minibatches.
 	lastCols *Matrix
 	lastRows int
+	out      *Matrix
+	prodHdr  Matrix
+	colGrad  *Matrix
+	dx       *Matrix
 }
 
 // NewConv2D creates a 2-D convolution with He-initialized kernels.
@@ -44,14 +51,15 @@ func (c *Conv2D) OutW() int { return (c.W-c.Kernel)/c.Stride + 1 }
 
 func (c *Conv2D) inIdx(y, x, ch int) int { return (y*c.W+x)*c.InCh + ch }
 
-// Forward implements Layer.
-func (c *Conv2D) Forward(x *Matrix, _ bool) *Matrix {
+func (c *Conv2D) checkIn(x *Matrix) {
 	if x.Cols != c.H*c.W*c.InCh {
 		panic(fmt.Sprintf("nn: Conv2D expected %d cols, got %d", c.H*c.W*c.InCh, x.Cols))
 	}
+}
+
+// im2col writes every kernel window of x as one row of cols.
+func (c *Conv2D) im2col(cols, x *Matrix) {
 	oh, ow := c.OutH(), c.OutW()
-	kk := c.Kernel * c.Kernel * c.InCh
-	cols := NewMatrix(x.Rows*oh*ow, kk)
 	for b := 0; b < x.Rows; b++ {
 		row := x.Row(b)
 		for py := 0; py < oh; py++ {
@@ -66,39 +74,57 @@ func (c *Conv2D) Forward(x *Matrix, _ bool) *Matrix {
 			}
 		}
 	}
-	c.lastCols = cols
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Matrix, train bool) *Matrix {
+	c.checkIn(x)
+	if !train {
+		return c.infer(x, new(Arena))
+	}
+	oh, ow := c.OutH(), c.OutW()
+	cols := ensure(&c.lastCols, x.Rows*oh*ow, c.Kernel*c.Kernel*c.InCh)
+	c.im2col(cols, x)
 	c.lastRows = x.Rows
 
-	prod := MatMul(cols, c.Weight.W, false, false)
-	out := NewMatrix(x.Rows, oh*ow*c.OutCh)
-	for b := 0; b < x.Rows; b++ {
-		dst := out.Row(b)
-		for p := 0; p < oh*ow; p++ {
-			src := prod.Row(b*oh*ow + p)
-			for ch := 0; ch < c.OutCh; ch++ {
-				dst[p*c.OutCh+ch] = src[ch] + c.Bias.W.Data[ch]
-			}
-		}
-	}
+	out := ensure(&c.out, x.Rows, oh*ow*c.OutCh)
+	c.prodHdr = Matrix{Rows: x.Rows * oh * ow, Cols: c.OutCh, Data: out.Data}
+	gemm(&c.prodHdr, cols, c.Weight.W, false, false, false, c.Bias.W.Data, false)
 	return out
+}
+
+func (c *Conv2D) infer(x *Matrix, ws *Arena) *Matrix {
+	c.checkIn(x)
+	oh, ow := c.OutH(), c.OutW()
+	cols := ws.take(x.Rows*oh*ow, c.Kernel*c.Kernel*c.InCh)
+	c.im2col(cols, x)
+	out := ws.take(x.Rows, oh*ow*c.OutCh)
+	prod := Matrix{Rows: x.Rows * oh * ow, Cols: c.OutCh, Data: out.Data}
+	gemm(&prod, cols, c.Weight.W, false, false, false, c.Bias.W.Data, false)
+	return out
+}
+
+// backwardParams accumulates the weight and bias gradients only,
+// skipping the column-gradient GEMM and scatter — used when this is
+// the network's first layer and the input gradient has no consumer.
+func (c *Conv2D) backwardParams(grad *Matrix) {
+	// Reshaping grad to (batch*oh*ow) x OutCh preserves the flat
+	// layout: share its storage instead of copying.
+	g := Matrix{Rows: c.lastRows * c.OutH() * c.OutW(), Cols: c.OutCh, Data: grad.Data}
+	MatMulAddInto(c.Weight.G, c.lastCols, &g, true, false)
+	g.addColSumsInto(c.Bias.G.Data)
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *Matrix) *Matrix {
+	c.backwardParams(grad)
 	oh, ow := c.OutH(), c.OutW()
 	kk := c.Kernel * c.Kernel * c.InCh
-	g := NewMatrix(c.lastRows*oh*ow, c.OutCh)
-	for b := 0; b < c.lastRows; b++ {
-		src := grad.Row(b)
-		for p := 0; p < oh*ow; p++ {
-			copy(g.Row(b*oh*ow+p), src[p*c.OutCh:(p+1)*c.OutCh])
-		}
-	}
-	c.Weight.G.AddInPlace(MatMul(c.lastCols, g, true, false))
-	c.Bias.G.AddInPlace(g.ColSums())
+	g := Matrix{Rows: c.lastRows * oh * ow, Cols: c.OutCh, Data: grad.Data}
 
-	colGrad := MatMul(g, c.Weight.W, false, true)
-	dx := NewMatrix(c.lastRows, c.H*c.W*c.InCh)
+	colGrad := ensure(&c.colGrad, c.lastRows*oh*ow, kk)
+	MatMulInto(colGrad, &g, c.Weight.W, false, true)
+	dx := ensureZero(&c.dx, c.lastRows, c.H*c.W*c.InCh)
 	for b := 0; b < c.lastRows; b++ {
 		dst := dx.Row(b)
 		for py := 0; py < oh; py++ {
@@ -115,7 +141,6 @@ func (c *Conv2D) Backward(grad *Matrix) *Matrix {
 			}
 		}
 	}
-	_ = kk
 	return dx
 }
 
@@ -129,6 +154,8 @@ type MaxPool2D struct {
 
 	argmax   []int
 	lastRows int
+	out      *Matrix
+	dx       *Matrix
 }
 
 // NewMaxPool2D creates a 2-D max-pooling layer.
@@ -145,19 +172,16 @@ func (m *MaxPool2D) OutH() int { return (m.H-m.Window)/m.Stride + 1 }
 // OutW returns the output width.
 func (m *MaxPool2D) OutW() int { return (m.W-m.Window)/m.Stride + 1 }
 
-// Forward implements Layer.
-func (m *MaxPool2D) Forward(x *Matrix, _ bool) *Matrix {
+func (m *MaxPool2D) checkIn(x *Matrix) {
 	if x.Cols != m.H*m.W*m.Ch {
 		panic(fmt.Sprintf("nn: MaxPool2D expected %d cols, got %d", m.H*m.W*m.Ch, x.Cols))
 	}
+}
+
+// pool writes the pooled image into out; argmax (when non-nil)
+// records the winning input index per output element for Backward.
+func (m *MaxPool2D) pool(out, x *Matrix, argmax []int) {
 	oh, ow := m.OutH(), m.OutW()
-	out := NewMatrix(x.Rows, oh*ow*m.Ch)
-	need := x.Rows * oh * ow * m.Ch
-	if cap(m.argmax) < need {
-		m.argmax = make([]int, need)
-	}
-	m.argmax = m.argmax[:need]
-	m.lastRows = x.Rows
 	idx := func(y, xx, ch int) int { return (y*m.W+xx)*m.Ch + ch }
 	for b := 0; b < x.Rows; b++ {
 		row := x.Row(b)
@@ -177,18 +201,40 @@ func (m *MaxPool2D) Forward(x *Matrix, _ bool) *Matrix {
 					}
 					o := (py*ow+px)*m.Ch + ch
 					dst[o] = best
-					m.argmax[(b*oh*ow+py*ow+px)*m.Ch+ch] = bestIdx
+					if argmax != nil {
+						argmax[(b*oh*ow+py*ow+px)*m.Ch+ch] = bestIdx
+					}
 				}
 			}
 		}
 	}
+}
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *Matrix, train bool) *Matrix {
+	m.checkIn(x)
+	if !train {
+		return m.infer(x, new(Arena))
+	}
+	oh, ow := m.OutH(), m.OutW()
+	out := ensure(&m.out, x.Rows, oh*ow*m.Ch)
+	m.argmax = ensureInt(m.argmax, x.Rows*oh*ow*m.Ch)
+	m.lastRows = x.Rows
+	m.pool(out, x, m.argmax)
+	return out
+}
+
+func (m *MaxPool2D) infer(x *Matrix, ws *Arena) *Matrix {
+	m.checkIn(x)
+	out := ws.take(x.Rows, m.OutH()*m.OutW()*m.Ch)
+	m.pool(out, x, nil)
 	return out
 }
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(grad *Matrix) *Matrix {
 	oh, ow := m.OutH(), m.OutW()
-	dx := NewMatrix(m.lastRows, m.H*m.W*m.Ch)
+	dx := ensureZero(&m.dx, m.lastRows, m.H*m.W*m.Ch)
 	for b := 0; b < m.lastRows; b++ {
 		src := grad.Row(b)
 		dst := dx.Row(b)
@@ -205,6 +251,8 @@ func (m *MaxPool2D) Backward(grad *Matrix) *Matrix {
 func (m *MaxPool2D) Params() []*Param { return nil }
 
 var (
-	_ Layer = (*Conv2D)(nil)
-	_ Layer = (*MaxPool2D)(nil)
+	_ Layer      = (*Conv2D)(nil)
+	_ Layer      = (*MaxPool2D)(nil)
+	_ inferLayer = (*Conv2D)(nil)
+	_ inferLayer = (*MaxPool2D)(nil)
 )

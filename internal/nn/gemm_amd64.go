@@ -1,0 +1,34 @@
+//go:build amd64
+
+package nn
+
+// useAVX gates the vector micro-kernels in gemm_amd64.s. The AVX path
+// performs the same multiplies and adds, per output element and in the
+// same order, as the scalar loops — vector lanes are just adjacent
+// output elements, and the kernels use separate multiply and add
+// instructions (never FMA, which rounds once instead of twice) — so
+// results are bit-identical between the vector and scalar paths and
+// therefore across machines.
+var useAVX = cpuHasAVX()
+
+// cpuHasAVX reports whether the CPU and OS support AVX (CPUID feature
+// flag plus XGETBV confirmation that the OS preserves YMM state).
+func cpuHasAVX() bool
+
+// pairQuadAVX accumulates four B rows into two destination rows:
+//
+//	d0[z] += a[0]*b0[z] + a[1]*b1[z] + a[2]*b2[z] + a[3]*b3[z]
+//	d1[z] += a[4]*b0[z] + a[5]*b1[z] + a[6]*b2[z] + a[7]*b3[z]
+//
+// for z in [0, n), with the sum reduced left to right exactly like the
+// scalar expression.
+//
+//go:noescape
+func pairQuadAVX(d0, d1, b0, b1, b2, b3 *float64, n int, a *[8]float64)
+
+// rowQuadAVX is the one-destination-row form:
+//
+//	d[z] += a[0]*b0[z] + a[1]*b1[z] + a[2]*b2[z] + a[3]*b3[z]
+//
+//go:noescape
+func rowQuadAVX(d, b0, b1, b2, b3 *float64, n int, a *[4]float64)

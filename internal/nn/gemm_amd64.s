@@ -1,0 +1,202 @@
+// AVX micro-kernels for the blocked GEMM in gemm.go.
+//
+// Determinism contract: every output element receives exactly the same
+// sequence of IEEE-754 operations as the scalar Go loops — four
+// multiplies reduced left to right by three adds, then one add into the
+// destination. The kernels therefore use separate VMULPD/VADDPD and
+// never FMA (which rounds once instead of twice), and vector lanes map
+// to adjacent output elements, so vector width does not change any
+// element's arithmetic. Results are bit-identical to the scalar path.
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	// Need OSXSAVE (ECX bit 27) and AVX (ECX bit 28).
+	MOVL CX, AX
+	ANDL $(1<<27 | 1<<28), AX
+	CMPL AX, $(1<<27 | 1<<28)
+	JNE  noavx
+	// XCR0 bits 1 and 2: OS preserves XMM and YMM state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func pairQuadAVX(d0, d1, b0, b1, b2, b3 *float64, n int, a *[8]float64)
+//
+// d0[z] += a[0]*b0[z] + a[1]*b1[z] + a[2]*b2[z] + a[3]*b3[z]
+// d1[z] += a[4]*b0[z] + a[5]*b1[z] + a[6]*b2[z] + a[7]*b3[z]
+TEXT ·pairQuadAVX(SB), NOSPLIT, $0-64
+	MOVQ d0+0(FP), DI
+	MOVQ d1+8(FP), SI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ n+48(FP), CX
+	MOVQ a+56(FP), DX
+
+	VBROADCASTSD 0(DX), Y0  // a00
+	VBROADCASTSD 8(DX), Y1  // a01
+	VBROADCASTSD 16(DX), Y2 // a02
+	VBROADCASTSD 24(DX), Y3 // a03
+	VBROADCASTSD 32(DX), Y4 // a10
+	VBROADCASTSD 40(DX), Y5 // a11
+	VBROADCASTSD 48(DX), Y6 // a12
+	VBROADCASTSD 56(DX), Y7 // a13
+
+	XORQ R12, R12
+	MOVQ CX, R13
+	SUBQ $3, R13 // vector step valid while R12 < n-3
+	JLE  ptail
+
+pvec:
+	CMPQ R12, R13
+	JGE  ptail
+	VMOVUPD (R8)(R12*8), Y8
+	VMOVUPD (R9)(R12*8), Y9
+	VMOVUPD (R10)(R12*8), Y10
+	VMOVUPD (R11)(R12*8), Y11
+
+	// Row 0: ((a00*b0 + a01*b1) + a02*b2) + a03*b3, then d0 += sum.
+	VMULPD  Y8, Y0, Y12
+	VMULPD  Y9, Y1, Y13
+	VADDPD  Y13, Y12, Y12
+	VMULPD  Y10, Y2, Y13
+	VADDPD  Y13, Y12, Y12
+	VMULPD  Y11, Y3, Y13
+	VADDPD  Y13, Y12, Y12
+	VMOVUPD (DI)(R12*8), Y14
+	VADDPD  Y12, Y14, Y14
+	VMOVUPD Y14, (DI)(R12*8)
+
+	// Row 1.
+	VMULPD  Y8, Y4, Y12
+	VMULPD  Y9, Y5, Y13
+	VADDPD  Y13, Y12, Y12
+	VMULPD  Y10, Y6, Y13
+	VADDPD  Y13, Y12, Y12
+	VMULPD  Y11, Y7, Y13
+	VADDPD  Y13, Y12, Y12
+	VMOVUPD (SI)(R12*8), Y14
+	VADDPD  Y12, Y14, Y14
+	VMOVUPD Y14, (SI)(R12*8)
+
+	ADDQ $4, R12
+	JMP  pvec
+
+ptail:
+	CMPQ R12, CX
+	JGE  pdone
+	VMOVSD (R8)(R12*8), X8
+	VMOVSD (R9)(R12*8), X9
+	VMOVSD (R10)(R12*8), X10
+	VMOVSD (R11)(R12*8), X11
+
+	VMULSD X8, X0, X12
+	VMULSD X9, X1, X13
+	VADDSD X13, X12, X12
+	VMULSD X10, X2, X13
+	VADDSD X13, X12, X12
+	VMULSD X11, X3, X13
+	VADDSD X13, X12, X12
+	VMOVSD (DI)(R12*8), X14
+	VADDSD X12, X14, X14
+	VMOVSD X14, (DI)(R12*8)
+
+	VMULSD X8, X4, X12
+	VMULSD X9, X5, X13
+	VADDSD X13, X12, X12
+	VMULSD X10, X6, X13
+	VADDSD X13, X12, X12
+	VMULSD X11, X7, X13
+	VADDSD X13, X12, X12
+	VMOVSD (SI)(R12*8), X14
+	VADDSD X12, X14, X14
+	VMOVSD X14, (SI)(R12*8)
+
+	INCQ R12
+	JMP  ptail
+
+pdone:
+	VZEROUPPER
+	RET
+
+// func rowQuadAVX(d, b0, b1, b2, b3 *float64, n int, a *[4]float64)
+//
+// d[z] += a[0]*b0[z] + a[1]*b1[z] + a[2]*b2[z] + a[3]*b3[z]
+TEXT ·rowQuadAVX(SB), NOSPLIT, $0-56
+	MOVQ d+0(FP), DI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ n+40(FP), CX
+	MOVQ a+48(FP), DX
+
+	VBROADCASTSD 0(DX), Y0
+	VBROADCASTSD 8(DX), Y1
+	VBROADCASTSD 16(DX), Y2
+	VBROADCASTSD 24(DX), Y3
+
+	XORQ R12, R12
+	MOVQ CX, R13
+	SUBQ $3, R13
+	JLE  rtail
+
+rvec:
+	CMPQ R12, R13
+	JGE  rtail
+	VMOVUPD (R8)(R12*8), Y8
+	VMOVUPD (R9)(R12*8), Y9
+	VMOVUPD (R10)(R12*8), Y10
+	VMOVUPD (R11)(R12*8), Y11
+
+	VMULPD  Y8, Y0, Y12
+	VMULPD  Y9, Y1, Y13
+	VADDPD  Y13, Y12, Y12
+	VMULPD  Y10, Y2, Y13
+	VADDPD  Y13, Y12, Y12
+	VMULPD  Y11, Y3, Y13
+	VADDPD  Y13, Y12, Y12
+	VMOVUPD (DI)(R12*8), Y14
+	VADDPD  Y12, Y14, Y14
+	VMOVUPD Y14, (DI)(R12*8)
+
+	ADDQ $4, R12
+	JMP  rvec
+
+rtail:
+	CMPQ R12, CX
+	JGE  rdone
+	VMOVSD (R8)(R12*8), X8
+	VMOVSD (R9)(R12*8), X9
+	VMOVSD (R10)(R12*8), X10
+	VMOVSD (R11)(R12*8), X11
+
+	VMULSD X8, X0, X12
+	VMULSD X9, X1, X13
+	VADDSD X13, X12, X12
+	VMULSD X10, X2, X13
+	VADDSD X13, X12, X12
+	VMULSD X11, X3, X13
+	VADDSD X13, X12, X12
+	VMOVSD (DI)(R12*8), X14
+	VADDSD X12, X14, X14
+	VMOVSD X14, (DI)(R12*8)
+
+	INCQ R12
+	JMP  rtail
+
+rdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package nn
+
+// useAVX is constant-false off amd64, so the calls below are
+// dead-code-eliminated and the scalar loops in gemm.go run instead.
+const useAVX = false
+
+func pairQuadAVX(d0, d1, b0, b1, b2, b3 *float64, n int, a *[8]float64) {}
+
+func rowQuadAVX(d, b0, b1, b2, b3 *float64, n int, a *[4]float64) {}

@@ -24,12 +24,15 @@ func numericGrad(n *Network, l Loss, x, y *Matrix) *Matrix {
 }
 
 // analyticGrads runs one forward/backward pass and returns the input
-// gradient; parameter gradients accumulate into the layers.
+// gradient; parameter gradients accumulate into the layers. The
+// forward pass must be a training pass (Backward consumes the caches
+// it leaves behind); none of the checked stacks contain dropout, so
+// the outputs match the inference path exactly.
 func analyticGrads(n *Network, l Loss, x, y *Matrix) *Matrix {
 	for _, p := range n.Params() {
 		p.G.Zero()
 	}
-	pred := n.Forward(x, false)
+	pred := n.Forward(x, true)
 	_, grad := l.Compute(pred, y)
 	var dx *Matrix
 	g := grad

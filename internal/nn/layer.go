@@ -24,11 +24,35 @@ func newParam(rows, cols int) *Param {
 // matrix; Backward consumes the gradient w.r.t. the forward output and
 // returns the gradient w.r.t. the forward input, accumulating parameter
 // gradients along the way. Backward must be called after the matching
-// Forward (layers cache activations).
+// Forward(x, true) (layers cache activations during training).
+//
+// Training calls (Forward with train=true, and Backward) reuse
+// persistent per-layer workspace buffers: the returned matrices are
+// owned by the layer and overwritten by the next pass, and at most one
+// goroutine may train a given layer at a time. Forward with
+// train=false touches no shared layer state, so any number of
+// goroutines may run inference on one trained model concurrently.
 type Layer interface {
 	Forward(x *Matrix, train bool) *Matrix
 	Backward(grad *Matrix) *Matrix
 	Params() []*Param
+}
+
+// inferLayer is the allocation-free inference path: infer writes the
+// layer's output into scratch taken from ws (or returns x unchanged for
+// identity layers) without mutating the layer. Network.PredictInto uses
+// it for every built-in layer; external Layer implementations fall back
+// to Forward(x, false).
+type inferLayer interface {
+	infer(x *Matrix, ws *Arena) *Matrix
+}
+
+// paramBackward is implemented by layers whose Backward spends a full
+// GEMM (and for convolutions a scatter pass) producing the input
+// gradient. Network.Backward calls backwardParams on its first layer
+// instead, where that gradient has no consumer.
+type paramBackward interface {
+	backwardParams(grad *Matrix)
 }
 
 // --- Dense --------------------------------------------------------------
@@ -39,7 +63,9 @@ type Dense struct {
 	Weight  *Param
 	Bias    *Param
 
-	lastX *Matrix
+	lastX *Matrix // borrowed input of the last training forward
+	out   *Matrix // training forward output workspace
+	dx    *Matrix // training backward input-gradient workspace
 }
 
 // NewDense creates a dense layer with He-initialized weights.
@@ -49,27 +75,50 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 	return d
 }
 
-// Forward implements Layer.
-func (d *Dense) Forward(x *Matrix, _ bool) *Matrix {
+func (d *Dense) checkIn(x *Matrix) {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: Dense(%d->%d) got input with %d cols", d.In, d.Out, x.Cols))
 	}
-	d.lastX = x
-	out := MatMul(x, d.Weight.W, false, false)
-	for i := 0; i < out.Rows; i++ {
-		row := out.Row(i)
-		for j := range row {
-			row[j] += d.Bias.W.Data[j]
-		}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Matrix, train bool) *Matrix {
+	d.checkIn(x)
+	if !train {
+		//lint:ignore hotalloc standalone layer eval must not share workspace across goroutines; Network inference pools arenas via PredictInto
+		return d.inferInto(NewMatrix(x.Rows, d.Out), x, false)
 	}
+	d.lastX = x
+	out := ensure(&d.out, x.Rows, d.Out)
+	gemm(out, x, d.Weight.W, false, false, false, d.Bias.W.Data, false)
 	return out
+}
+
+// inferInto writes x@W + b into dst — with the ReLU fused into the
+// product's epilogue when relu is set — touching no layer state.
+func (d *Dense) inferInto(dst, x *Matrix, relu bool) *Matrix {
+	gemm(dst, x, d.Weight.W, false, false, false, d.Bias.W.Data, relu)
+	return dst
+}
+
+func (d *Dense) infer(x *Matrix, ws *Arena) *Matrix {
+	d.checkIn(x)
+	return d.inferInto(ws.take(x.Rows, d.Out), x, false)
+}
+
+// backwardParams accumulates the weight and bias gradients only,
+// skipping the input-gradient GEMM — used when this is the network's
+// first layer and the input gradient has no consumer.
+func (d *Dense) backwardParams(grad *Matrix) {
+	MatMulAddInto(d.Weight.G, d.lastX, grad, true, false)
+	grad.addColSumsInto(d.Bias.G.Data)
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *Matrix) *Matrix {
-	d.Weight.G.AddInPlace(MatMul(d.lastX, grad, true, false))
-	d.Bias.G.AddInPlace(grad.ColSums())
-	return MatMul(grad, d.Weight.W, false, true)
+	d.backwardParams(grad)
+	dx := ensure(&d.dx, grad.Rows, d.In)
+	return MatMulInto(dx, grad, d.Weight.W, false, true)
 }
 
 // Params implements Layer.
@@ -79,39 +128,49 @@ func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
+	out *Matrix // training output; its sign doubles as the backward mask
+	dx  *Matrix
 }
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward implements Layer.
-func (r *ReLU) Forward(x *Matrix, _ bool) *Matrix {
-	out := x.Clone()
-	if cap(r.mask) < len(out.Data) {
-		r.mask = make([]bool, len(out.Data))
-	}
-	r.mask = r.mask[:len(out.Data)]
-	for i, v := range out.Data {
+func reluInto(dst, x *Matrix) *Matrix {
+	for i, v := range x.Data {
 		if v > 0 {
-			r.mask[i] = true
+			dst.Data[i] = v
 		} else {
-			r.mask[i] = false
-			out.Data[i] = 0
+			dst.Data[i] = 0
 		}
 	}
-	return out
+	return dst
 }
 
-// Backward implements Layer.
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Matrix, train bool) *Matrix {
+	if !train {
+		//lint:ignore hotalloc standalone layer eval must not share workspace across goroutines; Network inference pools arenas via PredictInto
+		return reluInto(NewMatrix(x.Rows, x.Cols), x)
+	}
+	return reluInto(ensure(&r.out, x.Rows, x.Cols), x)
+}
+
+func (r *ReLU) infer(x *Matrix, ws *Arena) *Matrix {
+	return reluInto(ws.take(x.Rows, x.Cols), x)
+}
+
+// Backward implements Layer. The cached output's sign is the mask:
+// out > 0 exactly when the input was > 0.
 func (r *ReLU) Backward(grad *Matrix) *Matrix {
-	out := grad.Clone()
-	for i := range out.Data {
-		if !r.mask[i] {
-			out.Data[i] = 0
+	dx := ensure(&r.dx, grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		if r.out.Data[i] > 0 {
+			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
-	return out
+	return dx
 }
 
 // Params implements Layer.
@@ -121,30 +180,41 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Sigmoid is the logistic activation.
 type Sigmoid struct {
-	lastY *Matrix
+	out *Matrix // training output, reused by Backward
+	dx  *Matrix
 }
 
 // NewSigmoid returns a sigmoid activation layer.
 func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
-// Forward implements Layer.
-func (s *Sigmoid) Forward(x *Matrix, _ bool) *Matrix {
-	out := x.Clone()
-	for i, v := range out.Data {
-		out.Data[i] = 1.0 / (1.0 + math.Exp(-v))
+func sigmoidInto(dst, x *Matrix) *Matrix {
+	for i, v := range x.Data {
+		dst.Data[i] = 1.0 / (1.0 + math.Exp(-v))
 	}
-	s.lastY = out
-	return out
+	return dst
+}
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *Matrix, train bool) *Matrix {
+	if !train {
+		//lint:ignore hotalloc standalone layer eval must not share workspace across goroutines; Network inference pools arenas via PredictInto
+		return sigmoidInto(NewMatrix(x.Rows, x.Cols), x)
+	}
+	return sigmoidInto(ensure(&s.out, x.Rows, x.Cols), x)
+}
+
+func (s *Sigmoid) infer(x *Matrix, ws *Arena) *Matrix {
+	return sigmoidInto(ws.take(x.Rows, x.Cols), x)
 }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad *Matrix) *Matrix {
-	out := grad.Clone()
-	for i := range out.Data {
-		y := s.lastY.Data[i]
-		out.Data[i] *= y * (1 - y)
+	dx := ensure(&s.dx, grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		y := s.out.Data[i]
+		dx.Data[i] = v * y * (1 - y)
 	}
-	return out
+	return dx
 }
 
 // Params implements Layer.
@@ -160,6 +230,8 @@ type Dropout struct {
 	rng *rand.Rand
 
 	mask []float64
+	out  *Matrix
+	dx   *Matrix
 }
 
 // NewDropout creates a dropout layer with drop probability p.
@@ -176,34 +248,33 @@ func (d *Dropout) Forward(x *Matrix, train bool) *Matrix {
 		d.mask = nil
 		return x
 	}
-	out := x.Clone()
-	if cap(d.mask) < len(out.Data) {
-		d.mask = make([]float64, len(out.Data))
-	}
-	d.mask = d.mask[:len(out.Data)]
+	out := ensure(&d.out, x.Rows, x.Cols)
+	mask := ensureF64(&d.mask, len(x.Data))
 	keep := 1.0 / (1.0 - d.P)
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < d.P {
-			d.mask[i] = 0
+			mask[i] = 0
 			out.Data[i] = 0
 		} else {
-			d.mask[i] = keep
-			out.Data[i] *= keep
+			mask[i] = keep
+			out.Data[i] = v * keep
 		}
 	}
 	return out
 }
+
+func (d *Dropout) infer(x *Matrix, _ *Arena) *Matrix { return x }
 
 // Backward implements Layer.
 func (d *Dropout) Backward(grad *Matrix) *Matrix {
 	if d.mask == nil {
 		return grad
 	}
-	out := grad.Clone()
-	for i := range out.Data {
-		out.Data[i] *= d.mask[i]
+	dx := ensure(&d.dx, grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		dx.Data[i] = v * d.mask[i]
 	}
-	return out
+	return dx
 }
 
 // Params implements Layer.
@@ -211,8 +282,16 @@ func (d *Dropout) Params() []*Param { return nil }
 
 // Interface checks.
 var (
-	_ Layer = (*Dense)(nil)
-	_ Layer = (*ReLU)(nil)
-	_ Layer = (*Sigmoid)(nil)
-	_ Layer = (*Dropout)(nil)
+	_ Layer      = (*Dense)(nil)
+	_ Layer      = (*ReLU)(nil)
+	_ Layer      = (*Sigmoid)(nil)
+	_ Layer      = (*Dropout)(nil)
+	_ inferLayer = (*Dense)(nil)
+	_ inferLayer = (*ReLU)(nil)
+	_ inferLayer = (*Sigmoid)(nil)
+	_ inferLayer = (*Dropout)(nil)
+
+	_ paramBackward = (*Dense)(nil)
+	_ paramBackward = (*Conv1D)(nil)
+	_ paramBackward = (*Conv2D)(nil)
 )

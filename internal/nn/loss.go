@@ -12,14 +12,27 @@ type Loss interface {
 	Compute(pred, target *Matrix) (float64, *Matrix)
 }
 
+// lossInto is the allocation-free form of Loss: the gradient is
+// written into a caller-provided matrix of pred's shape. The Trainer
+// uses it to reuse one gradient buffer across every minibatch.
+type lossInto interface {
+	ComputeInto(pred, target, grad *Matrix) float64
+}
+
 // MSE is mean squared error, the autoencoder's reconstruction
 // objective.
 type MSE struct{}
 
 // Compute implements Loss.
-func (MSE) Compute(pred, target *Matrix) (float64, *Matrix) {
-	pred.sameShape(target, "MSE")
+func (l MSE) Compute(pred, target *Matrix) (float64, *Matrix) {
 	grad := NewMatrix(pred.Rows, pred.Cols)
+	return l.ComputeInto(pred, target, grad), grad
+}
+
+// ComputeInto computes the mean loss, writing dL/dpred into grad.
+func (MSE) ComputeInto(pred, target, grad *Matrix) float64 {
+	pred.sameShape(target, "MSE")
+	pred.sameShape(grad, "MSE grad")
 	var sum float64
 	n := float64(len(pred.Data))
 	for i := range pred.Data {
@@ -27,7 +40,7 @@ func (MSE) Compute(pred, target *Matrix) (float64, *Matrix) {
 		sum += d * d
 		grad.Data[i] = 2 * d / n
 	}
-	return sum / n, grad
+	return sum / n
 }
 
 // SoftmaxCrossEntropy applies a softmax to the network's logits and
@@ -36,46 +49,57 @@ func (MSE) Compute(pred, target *Matrix) (float64, *Matrix) {
 type SoftmaxCrossEntropy struct{}
 
 // Compute implements Loss.
-func (SoftmaxCrossEntropy) Compute(logits, target *Matrix) (float64, *Matrix) {
-	logits.sameShape(target, "SoftmaxCrossEntropy")
-	probs := Softmax(logits)
+func (l SoftmaxCrossEntropy) Compute(logits, target *Matrix) (float64, *Matrix) {
 	grad := NewMatrix(logits.Rows, logits.Cols)
+	return l.ComputeInto(logits, target, grad), grad
+}
+
+// ComputeInto computes the mean loss, writing dL/dlogits into grad.
+// Each grad row holds the softmax probabilities transiently before
+// being overwritten with (p - target) / batch, so no intermediate
+// probability matrix is allocated.
+func (SoftmaxCrossEntropy) ComputeInto(logits, target, grad *Matrix) float64 {
+	logits.sameShape(target, "SoftmaxCrossEntropy")
+	logits.sameShape(grad, "SoftmaxCrossEntropy grad")
 	var loss float64
 	batch := float64(logits.Rows)
 	for i := 0; i < logits.Rows; i++ {
-		p := probs.Row(i)
-		tgt := target.Row(i)
 		g := grad.Row(i)
-		for j := range p {
-			g[j] = (p[j] - tgt[j]) / batch
+		softmaxRowInto(g, logits.Row(i))
+		tgt := target.Row(i)
+		for j, p := range g {
+			g[j] = (p - tgt[j]) / batch
 			if tgt[j] > 0 {
-				loss -= tgt[j] * math.Log(math.Max(p[j], 1e-12))
+				loss -= tgt[j] * math.Log(math.Max(p, 1e-12))
 			}
 		}
 	}
-	return loss / batch, grad
+	return loss / batch
+}
+
+// softmaxRowInto writes the softmax of row into dst (same length).
+func softmaxRowInto(dst, row []float64) {
+	maxV := math.Inf(-1)
+	for _, v := range row {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for j, v := range row {
+		dst[j] = math.Exp(v - maxV)
+		sum += dst[j]
+	}
+	for j := range dst {
+		dst[j] /= sum
+	}
 }
 
 // Softmax returns the row-wise softmax of logits.
 func Softmax(logits *Matrix) *Matrix {
 	out := NewMatrix(logits.Rows, logits.Cols)
 	for i := 0; i < logits.Rows; i++ {
-		row := logits.Row(i)
-		dst := out.Row(i)
-		maxV := math.Inf(-1)
-		for _, v := range row {
-			if v > maxV {
-				maxV = v
-			}
-		}
-		var sum float64
-		for j, v := range row {
-			dst[j] = math.Exp(v - maxV)
-			sum += dst[j]
-		}
-		for j := range dst {
-			dst[j] /= sum
-		}
+		softmaxRowInto(out.Row(i), logits.Row(i))
 	}
 	return out
 }
@@ -111,8 +135,16 @@ func Argmax(m *Matrix) []int {
 // RMSE returns the per-row root mean squared error between two
 // matrices — the autoencoder detector's reconstruction error.
 func RMSE(pred, target *Matrix) []float64 {
+	return RMSEInto(make([]float64, pred.Rows), pred, target)
+}
+
+// RMSEInto is RMSE written into a caller-provided slice of length
+// pred.Rows, for allocation-free scoring loops.
+func RMSEInto(dst []float64, pred, target *Matrix) []float64 {
 	pred.sameShape(target, "RMSE")
-	out := make([]float64, pred.Rows)
+	if len(dst) != pred.Rows {
+		panic(fmt.Sprintf("nn: RMSEInto dst has len %d, want %d", len(dst), pred.Rows))
+	}
 	for i := 0; i < pred.Rows; i++ {
 		p, t := pred.Row(i), target.Row(i)
 		var sum float64
@@ -120,7 +152,7 @@ func RMSE(pred, target *Matrix) []float64 {
 			d := p[j] - t[j]
 			sum += d * d
 		}
-		out[i] = math.Sqrt(sum / float64(pred.Cols))
+		dst[i] = math.Sqrt(sum / float64(pred.Cols))
 	}
-	return out
+	return dst
 }

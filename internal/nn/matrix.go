@@ -15,8 +15,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-
-	"soteria/internal/par"
 )
 
 // Matrix is a dense row-major matrix.
@@ -120,65 +118,20 @@ func (m *Matrix) sameShape(other *Matrix, op string) {
 // stays single-threaded.
 const parallelThreshold = 1 << 16
 
-// MatMul computes a@b (with optional transposes) into a new matrix. It
-// parallelizes across output rows for large products.
-func MatMul(a, b *Matrix, aT, bT bool) *Matrix {
-	ar, ac := a.Rows, a.Cols
-	if aT {
-		ar, ac = ac, ar
-	}
-	br, bc := b.Rows, b.Cols
-	if bT {
-		br, bc = bc, br
-	}
-	if ac != br {
-		panic(fmt.Sprintf("nn: MatMul inner dim mismatch: %d vs %d (aT=%v bT=%v)", ac, br, aT, bT))
-	}
-	out := NewMatrix(ar, bc)
-	work := ar * ac * bc
-	rowRange := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			outRow := out.Data[i*bc : (i+1)*bc]
-			for k := 0; k < ac; k++ {
-				var av float64
-				if aT {
-					av = a.Data[k*a.Cols+i]
-				} else {
-					av = a.Data[i*a.Cols+k]
-				}
-				if av == 0 {
-					continue
-				}
-				if bT {
-					// b^T[k][j] = b[j][k]: strided, no inner slice.
-					for j := 0; j < bc; j++ {
-						outRow[j] += av * b.Data[j*b.Cols+k]
-					}
-				} else {
-					bRow := b.Data[k*b.Cols : (k+1)*b.Cols]
-					for j := 0; j < bc; j++ {
-						outRow[j] += av * bRow[j]
-					}
-				}
-			}
-		}
-	}
-	if work < parallelThreshold || ar < 2 {
-		rowRange(0, ar)
-		return out
-	}
-	par.ForChunked(ar, rowRange)
-	return out
-}
-
 // ColSums returns a 1 x Cols matrix of column sums.
 func (m *Matrix) ColSums() *Matrix {
 	out := NewMatrix(1, m.Cols)
+	m.addColSumsInto(out.Data)
+	return out
+}
+
+// addColSumsInto accumulates the matrix's column sums onto dst (len
+// Cols) — the allocation-free form used by the bias-gradient path.
+func (m *Matrix) addColSumsInto(dst []float64) {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			out.Data[j] += v
+			dst[j] += v
 		}
 	}
-	return out
 }

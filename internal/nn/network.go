@@ -4,31 +4,97 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Network is an ordered stack of layers.
 type Network struct {
 	Layers []Layer
+
+	// arenas recycles inference scratch across Predict calls; each
+	// concurrent caller borrows its own Arena, so inference on a shared
+	// trained network is race-free and allocation-free at steady state.
+	arenas sync.Pool
 }
 
 // NewNetwork builds a network from layers.
 func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
 
 // Forward runs the stack; train enables dropout and other
-// training-only behaviour.
+// training-only behaviour. Training passes reuse per-layer workspace
+// buffers and must come from a single goroutine; inference passes
+// (train=false) touch no layer state and may run concurrently.
 func (n *Network) Forward(x *Matrix, train bool) *Matrix {
+	if !train {
+		return n.PredictInto(nil, x)
+	}
 	for _, l := range n.Layers {
-		x = l.Forward(x, train)
+		x = l.Forward(x, true)
 	}
 	return x
 }
 
+// inferArena runs the stack's inference path on scratch from ws. A
+// Dense layer immediately followed by a ReLU is fused into one pass
+// (the GEMM epilogue clamps the output while it is cache-hot), which
+// is exact: ReLU(x) = max(x, 0) involves no arithmetic.
+func (n *Network) inferArena(x *Matrix, ws *Arena) *Matrix {
+	for i := 0; i < len(n.Layers); i++ {
+		if d, ok := n.Layers[i].(*Dense); ok && i+1 < len(n.Layers) {
+			if _, isReLU := n.Layers[i+1].(*ReLU); isReLU {
+				d.checkIn(x)
+				x = d.inferInto(ws.take(x.Rows, d.Out), x, true)
+				i++
+				continue
+			}
+		}
+		if il, ok := n.Layers[i].(inferLayer); ok {
+			x = il.infer(x, ws)
+		} else {
+			x = n.Layers[i].Forward(x, false)
+		}
+	}
+	return x
+}
+
+// PredictInto runs inference and copies the output into dst, which
+// must have the output's shape (or be nil, in which case a fresh
+// matrix is allocated). With a caller-reused dst, a steady-state call
+// performs no allocation. Safe for concurrent use on a shared trained
+// network.
+func (n *Network) PredictInto(dst, x *Matrix) *Matrix {
+	ws, _ := n.arenas.Get().(*Arena)
+	if ws == nil {
+		ws = new(Arena)
+	}
+	y := n.inferArena(x, ws)
+	if dst == nil {
+		dst = NewMatrix(y.Rows, y.Cols)
+	} else if dst.Rows != y.Rows || dst.Cols != y.Cols {
+		panic(fmt.Sprintf("nn: PredictInto dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, y.Rows, y.Cols))
+	}
+	copy(dst.Data, y.Data)
+	ws.reset()
+	n.arenas.Put(ws)
+	return dst
+}
+
 // Backward propagates the output gradient through the stack,
-// accumulating parameter gradients.
+// accumulating parameter gradients. The first layer's input gradient
+// has no consumer, so layers that can skip producing it (paramBackward)
+// do.
 func (n *Network) Backward(grad *Matrix) {
-	for i := len(n.Layers) - 1; i >= 0; i-- {
+	for i := len(n.Layers) - 1; i > 0; i-- {
 		grad = n.Layers[i].Backward(grad)
 	}
+	if len(n.Layers) == 0 {
+		return
+	}
+	if pb, ok := n.Layers[0].(paramBackward); ok {
+		pb.backwardParams(grad)
+		return
+	}
+	n.Layers[0].Backward(grad)
 }
 
 // Params returns every trainable parameter in the stack.
@@ -73,6 +139,21 @@ type Trainer struct {
 	Net  *Network
 	Loss Loss
 	Opt  Optimizer
+
+	// Minibatch gather and loss-gradient buffers, reused across
+	// batches so a steady-state epoch allocates nothing.
+	bx, by *Matrix
+	grad   *Matrix
+}
+
+// computeLoss evaluates the objective, reusing the trainer's gradient
+// buffer when the loss supports the allocation-free path.
+func (t *Trainer) computeLoss(pred, target *Matrix) (float64, *Matrix) {
+	if li, ok := t.Loss.(lossInto); ok {
+		grad := ensure(&t.grad, pred.Rows, pred.Cols)
+		return li.ComputeInto(pred, target, grad), grad
+	}
+	return t.Loss.Compute(pred, target)
 }
 
 // Fit trains on (X, Y) and returns the mean loss per epoch.
@@ -127,10 +208,10 @@ func (t *Trainer) Fit(x, y *Matrix, cfg TrainConfig) ([]float64, error) {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			bx := gatherRows(x, idx[start:end])
-			by := gatherRows(y, idx[start:end])
+			bx := gatherRowsInto(&t.bx, x, idx[start:end])
+			by := gatherRowsInto(&t.by, y, idx[start:end])
 			pred := t.Net.Forward(bx, true)
-			loss, grad := t.Loss.Compute(pred, by)
+			loss, grad := t.computeLoss(pred, by)
 			t.Net.Backward(grad)
 			t.Opt.Step(params)
 			epochLoss += loss
@@ -142,7 +223,7 @@ func (t *Trainer) Fit(x, y *Matrix, cfg TrainConfig) ([]float64, error) {
 			break
 		}
 		if valX != nil {
-			valLoss, _ := t.Loss.Compute(t.Net.Predict(valX), valY)
+			valLoss, _ := t.computeLoss(t.Net.Predict(valX), valY)
 			if valLoss < bestVal {
 				bestVal = valLoss
 				bestWeights = t.Net.SaveWeights()
@@ -165,6 +246,15 @@ func (n *Network) Predict(x *Matrix) *Matrix { return n.Forward(x, false) }
 
 func gatherRows(m *Matrix, idx []int) *Matrix {
 	out := NewMatrix(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// gatherRowsInto is gatherRows onto a reusable buffer.
+func gatherRowsInto(dst **Matrix, m *Matrix, idx []int) *Matrix {
+	out := ensure(dst, len(idx), m.Cols)
 	for i, r := range idx {
 		copy(out.Row(i), m.Row(r))
 	}

@@ -61,25 +61,33 @@ func NewAdamW(lr, weightDecay float64) *Adam {
 	return a
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The loop body is the textbook update with
+// the slice headers and the weight-decay branch hoisted; every
+// floating-point expression matches the naive form operation for
+// operation, so hoisting changes nothing numerically.
 func (a *Adam) Step(params []*Param) {
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	k1 := 1 - a.Beta1
+	k2 := 1 - a.Beta2
 	for _, p := range params {
 		if p.M == nil {
 			p.M = NewMatrix(p.W.Rows, p.W.Cols)
 			p.V = NewMatrix(p.W.Rows, p.W.Cols)
 		}
-		for i := range p.W.Data {
-			g := p.G.Data[i]
-			p.M.Data[i] = a.Beta1*p.M.Data[i] + (1-a.Beta1)*g
-			p.V.Data[i] = a.Beta2*p.V.Data[i] + (1-a.Beta2)*g*g
-			mHat := p.M.Data[i] / c1
-			vHat := p.V.Data[i] / c2
-			p.W.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
-			if a.WeightDecay > 0 {
-				p.W.Data[i] -= a.LR * a.WeightDecay * p.W.Data[i]
+		w, g, m, v := p.W.Data, p.G.Data, p.M.Data, p.V.Data
+		for i := range w {
+			gi := g[i]
+			mi := a.Beta1*m[i] + k1*gi
+			vi := a.Beta2*v[i] + k2*gi*gi
+			m[i], v[i] = mi, vi
+			w[i] -= a.LR * (mi / c1) / (math.Sqrt(vi/c2) + a.Eps)
+		}
+		if a.WeightDecay > 0 {
+			decay := a.LR * a.WeightDecay
+			for i := range w {
+				w[i] -= decay * w[i]
 			}
 		}
 		p.G.Zero()

@@ -4,81 +4,31 @@
 // goroutines; centralizing the loop here keeps the scheduling policy
 // (and its determinism guarantees) in one place.
 //
-// Both helpers block until every item has run, and both are
+// All helpers block until every item has run, and all are
 // result-deterministic as long as fn writes only to per-index slots:
-// scheduling order varies, outcomes do not.
+// scheduling order varies, outcomes do not. The work runs on one
+// persistent process-wide Pool (workers are reused across calls, not
+// spawned per call), and the submitting goroutine always participates,
+// so nested parallel calls degrade to serial execution instead of
+// deadlocking.
 package par
-
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
 
 // For runs fn(i) for every i in [0, n) on up to GOMAXPROCS workers.
 // Items are handed out dynamically (work stealing via a shared atomic
 // cursor), which balances uneven per-item cost — e.g. CFGs of very
 // different sizes during feature extraction.
-func For(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
+func For(n int, fn func(i int)) { shared.For(n, fn) }
 
 // ForChunked partitions [0, n) into at most GOMAXPROCS contiguous
-// ranges and runs fn(lo, hi) for each range on its own worker. Use it
-// when per-item cost is uniform and the body benefits from processing a
-// contiguous span (e.g. row blocks of a matrix product).
-func ForChunked(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		if n > 0 {
-			fn(0, n)
-		}
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+// ranges and runs fn(lo, hi) for each range. Use it when per-item cost
+// is uniform and the body benefits from processing a contiguous span
+// (e.g. row blocks of a matrix product).
+func ForChunked(n int, fn func(lo, hi int)) { shared.ForChunked(n, fn) }
+
+// ForChunkedGrain is ForChunked with a minimum range size: no range
+// covers fewer than minGrain indices, so trivially small bodies are not
+// fanned across every core. When minGrain >= n the body runs serially
+// on the caller as a single fn(0, n) call.
+func ForChunkedGrain(n, minGrain int, fn func(lo, hi int)) {
+	shared.ForChunkedGrain(n, minGrain, fn)
 }

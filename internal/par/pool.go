@@ -1,0 +1,185 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// job is one parallel loop in flight: a body, the index space it covers,
+// and the hand-out state. Jobs are recycled through jobPool, so a
+// steady-state training loop submits thousands of parallel products
+// without allocating.
+type job struct {
+	fn     func(lo, hi int)
+	n      int
+	grain  int
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// run pulls chunks of at least grain indices off the shared cursor until
+// the index space is exhausted. Chunk boundaries depend only on grain,
+// never on which worker claims a chunk, so bodies that write per-index
+// slots produce identical results under any scheduling.
+func (j *job) run() {
+	g := int64(j.grain)
+	for {
+		lo := j.cursor.Add(g) - g
+		if lo >= int64(j.n) {
+			return
+		}
+		hi := int(lo) + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(int(lo), hi)
+	}
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// Pool is a persistent worker pool: a fixed set of daemon goroutines
+// that execute submitted loop bodies, so hot paths that fan out
+// thousands of small parallel loops per second (one training epoch
+// issues several matrix products per batch) stop paying goroutine
+// spawn cost on every call.
+//
+// Workers are started lazily on first use and live for the lifetime of
+// the pool; there is no Stop. One worker slot belongs to the caller —
+// a pool created with `workers` parallelism starts workers-1 helper
+// goroutines and the submitting goroutine always executes part of the
+// loop itself. Helpers are recruited with non-blocking sends, so a body
+// that itself submits to the pool (nested parallelism) can never
+// deadlock: when every helper is busy, the inner loop simply runs
+// serially on its caller.
+type Pool struct {
+	helpers int
+	submit  chan *job
+	start   sync.Once
+}
+
+// NewPool creates a pool with the given parallelism (caller plus
+// helpers). workers <= 0 means GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{helpers: workers - 1, submit: make(chan *job)}
+}
+
+// Workers returns the pool's parallelism (caller plus helpers).
+func (p *Pool) Workers() int { return p.helpers + 1 }
+
+func (p *Pool) startWorkers() {
+	for i := 0; i < p.helpers; i++ {
+		go func() {
+			for j := range p.submit {
+				j.run()
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// run executes fn over [0, n) in cursor-handed chunks of at least grain
+// indices, recruiting at most helpers idle workers and participating
+// itself. It blocks until every index has run.
+func (p *Pool) run(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	helpers := p.helpers
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	if helpers <= 0 {
+		fn(0, n)
+		return
+	}
+	p.start.Do(p.startWorkers)
+
+	j := jobPool.Get().(*job)
+	j.fn = fn
+	j.n = n
+	j.grain = grain
+	j.cursor.Store(0)
+	for recruited := 0; recruited < helpers; recruited++ {
+		j.wg.Add(1)
+		select {
+		case p.submit <- j:
+		default:
+			// No idle helper: degrade to fewer workers rather than
+			// block (the caller may itself be a pool worker).
+			j.wg.Done()
+			recruited = helpers
+		}
+	}
+	j.run()
+	j.wg.Wait()
+	j.fn = nil
+	jobPool.Put(j)
+}
+
+// For runs fn(i) for every i in [0, n) on the pool. Items are handed
+// out one at a time (work stealing via a shared atomic cursor), which
+// balances uneven per-item cost — e.g. CFGs of very different sizes
+// during feature extraction.
+func (p *Pool) For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := n
+	helpers := p.helpers
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	if helpers <= 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.run(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunked partitions [0, n) into contiguous ranges of roughly
+// n/Workers() indices and runs fn(lo, hi) for each range. Use it when
+// per-item cost is uniform and the body benefits from processing a
+// contiguous span (e.g. row blocks of a matrix product).
+func (p *Pool) ForChunked(n int, fn func(lo, hi int)) {
+	p.ForChunkedGrain(n, 1, fn)
+}
+
+// ForChunkedGrain is ForChunked with a floor on the range size: no
+// range is smaller than minGrain indices (except the final remainder of
+// the index space). With tiny n and many workers this caps the number
+// of ranges at ceil(n/minGrain) instead of fanning trivially small
+// bodies across every core; when one range covers the whole space the
+// body runs serially on the caller as a single fn(0, n) call.
+func (p *Pool) ForChunkedGrain(n, minGrain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.helpers + 1
+	grain := (n + workers - 1) / workers
+	if grain < minGrain {
+		grain = minGrain
+	}
+	p.run(n, grain, fn)
+}
+
+// shared is the package-level pool behind For/ForChunked/
+// ForChunkedGrain, sized to GOMAXPROCS at init.
+var shared = NewPool(0)
+
+// Workers returns the parallelism of the shared pool.
+func Workers() int { return shared.Workers() }

@@ -1,0 +1,122 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForChunkedGrainCoversEveryIndexOnce(t *testing.T) {
+	p := NewPool(8)
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		for _, grain := range []int{1, 3, 64, 1000, 5000} {
+			hits := make([]int32, n)
+			p.ForChunkedGrain(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("n=%d grain=%d: bad range [%d, %d)", n, grain, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d grain=%d: index %d ran %d times", n, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestForChunkedGrainSerialFallback pins the single-threaded contract:
+// when the minimum grain covers the whole index space, the body runs
+// exactly once, as fn(0, n), on the calling goroutine — even on a pool
+// with many workers.
+func TestForChunkedGrainSerialFallback(t *testing.T) {
+	p := NewPool(8)
+	for _, n := range []int{1, 5, 100} {
+		for _, grain := range []int{n, n + 1, 10 * n} {
+			var calls atomic.Int32
+			var lo0, hi0 atomic.Int32
+			p.ForChunkedGrain(n, grain, func(lo, hi int) {
+				calls.Add(1)
+				lo0.Store(int32(lo))
+				hi0.Store(int32(hi))
+			})
+			if c := calls.Load(); c != 1 {
+				t.Fatalf("n=%d grain=%d: body ran %d times, want exactly 1", n, grain, c)
+			}
+			if lo0.Load() != 0 || int(hi0.Load()) != n {
+				t.Fatalf("n=%d grain=%d: got range [%d, %d), want [0, %d)", n, grain, lo0.Load(), hi0.Load(), n)
+			}
+		}
+	}
+}
+
+// TestForChunkedGrainRangeFloor checks that no range (except possibly
+// the final remainder) is smaller than the requested minimum grain.
+func TestForChunkedGrainRangeFloor(t *testing.T) {
+	p := NewPool(8)
+	const n, grain = 1000, 300
+	var small atomic.Int32
+	var covered atomic.Int32
+	p.ForChunkedGrain(n, grain, func(lo, hi int) {
+		if hi-lo < grain && hi != n {
+			small.Add(1)
+		}
+		covered.Add(int32(hi - lo))
+	})
+	if small.Load() != 0 {
+		t.Fatalf("%d non-final ranges smaller than grain %d", small.Load(), grain)
+	}
+	if covered.Load() != n {
+		t.Fatalf("covered %d indices, want %d", covered.Load(), n)
+	}
+}
+
+// TestNestedSubmissionDoesNotDeadlock exercises a pool body that itself
+// submits to the same pool: inner loops must degrade to (partly) serial
+// execution rather than wait for workers that are already busy.
+func TestNestedSubmissionDoesNotDeadlock(t *testing.T) {
+	p := NewPool(4)
+	const outer, inner = 16, 64
+	hits := make([]int32, outer*inner)
+	p.For(outer, func(i int) {
+		p.For(inner, func(j int) {
+			atomic.AddInt32(&hits[i*inner+j], 1)
+		})
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("slot %d ran %d times", i, h)
+		}
+	}
+}
+
+// TestPoolReusedAcrossManyCalls drives the pool through many loops so
+// job recycling and the persistent workers get exercised under -race.
+func TestPoolReusedAcrossManyCalls(t *testing.T) {
+	p := NewPool(4)
+	out := make([]int, 256)
+	for round := 0; round < 200; round++ {
+		p.ForChunked(len(out), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = round + i
+			}
+		})
+		for i := range out {
+			if out[i] != round+i {
+				t.Fatalf("round %d: out[%d] = %d", round, i, out[i])
+			}
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := NewPool(6).Workers(); w != 6 {
+		t.Fatalf("Workers() = %d, want 6", w)
+	}
+	if w := Workers(); w < 1 {
+		t.Fatalf("shared Workers() = %d", w)
+	}
+}
