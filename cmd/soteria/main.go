@@ -92,15 +92,36 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "saved model to %s\n", *savePath)
 	}
 
+	// Parse and disassemble per file (so an unreadable file is named
+	// precisely), then score the whole set in one batched pass — the
+	// salt stays the file's position, so decisions match the former
+	// one-at-a-time loop exactly.
+	cfgs := make([]*soteria.CFG, len(files))
+	salts := make([]int64, len(files))
 	for i, f := range files {
 		raw, err := os.ReadFile(f)
 		if err != nil {
 			return err
 		}
-		dec, err := sys.AnalyzeBinary(raw, int64(i))
+		bin, err := soteria.ParseBinary(raw)
 		if err != nil {
 			return fmt.Errorf("%s: %w", f, err)
 		}
+		cfgs[i], err = soteria.Disassemble(bin)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		salts[i] = int64(i)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	decs, err := sys.AnalyzeBatch(cfgs, salts)
+	if err != nil {
+		return err
+	}
+	for i, f := range files {
+		dec := decs[i]
 		verdict := "clean"
 		if dec.Adversarial {
 			verdict = "ADVERSARIAL"

@@ -126,10 +126,13 @@ type Detector struct {
 }
 
 // scoreScratch is one scorer's working set: the standardized input,
-// its reconstruction, and the per-row error vector.
+// the per-row error vector, and the per-group row counts of the
+// batched sample statistic. (The reconstruction itself needs no
+// buffer — it is read straight from the network's inference arena.)
 type scoreScratch struct {
-	z, rec *nn.Matrix
+	z      *nn.Matrix
 	res    []float64
+	counts []int
 }
 
 func (d *Detector) getScratch() *scoreScratch {
@@ -137,6 +140,26 @@ func (d *Detector) getScratch() *scoreScratch {
 		return s
 	}
 	return new(scoreScratch)
+}
+
+// ensureF64 resizes a float64 slice, reusing capacity. Contents are
+// unspecified.
+func ensureF64(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// ensureInts resizes an int slice, reusing capacity. Contents are
+// unspecified.
+func ensureInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }
 
 // ensureMat resizes *m to rows x cols, reusing the backing storage
@@ -182,16 +205,26 @@ func (d *Detector) standardizeRowsInto(s *scoreScratch, rows [][]float64) *nn.Ma
 	return z
 }
 
-// scoreInto standardizes, reconstructs, and writes per-row RMSEs into
-// s.res (returned). The heavy lifting reuses s's buffers.
-func (d *Detector) scoreInto(s *scoreScratch, z *nn.Matrix) []float64 {
-	rec := ensureMat(&s.rec, z.Rows, z.Cols)
-	d.net.PredictInto(rec, z)
-	if cap(s.res) < z.Rows {
-		s.res = make([]float64, z.Rows)
+// scoreInto reconstructs the already-standardized rows of z and writes
+// each row's RMSE into dst (length z.Rows). The reconstruction is read
+// straight from the network's inference arena, so the pass makes no
+// output copy and no allocation.
+func (d *Detector) scoreInto(dst []float64, z *nn.Matrix) {
+	d.net.PredictApply(z, func(rec *nn.Matrix) {
+		nn.RMSEInto(dst, rec, z)
+	})
+}
+
+// standardizeCopy copies x into the scratch matrix s.z and z-scores it,
+// leaving the caller's input untouched.
+func (d *Detector) standardizeCopy(s *scoreScratch, x *nn.Matrix) *nn.Matrix {
+	if x.Cols != d.cfg.InputDim {
+		panic(fmt.Sprintf("autoenc: input has %d features, want %d", x.Cols, d.cfg.InputDim))
 	}
-	s.res = s.res[:z.Rows]
-	return nn.RMSEInto(s.res, rec, z)
+	z := ensureMat(&s.z, x.Rows, x.Cols)
+	copy(z.Data, x.Data)
+	d.standardizeInPlace(z)
+	return z
 }
 
 // ErrNoTrainingData is returned when Train receives an empty matrix.
@@ -359,16 +392,28 @@ func buildNet(cfg Config, rng *rand.Rand) *nn.Network {
 
 // ReconstructionErrors returns the per-row RMSE between the
 // standardized input and its reconstruction. Safe for concurrent use
-// on a shared trained detector.
+// on a shared trained detector; the returned slice is the call's only
+// allocation.
 func (d *Detector) ReconstructionErrors(x *nn.Matrix) []float64 {
+	return d.ReconstructionErrorsInto(make([]float64, x.Rows), x)
+}
+
+// ReconstructionErrorsInto is ReconstructionErrors written into a
+// caller-provided slice of length x.Rows: one batched
+// standardize+forward+RMSE pass, allocation-free at steady state and
+// safe for concurrent use.
+func (d *Detector) ReconstructionErrorsInto(dst []float64, x *nn.Matrix) []float64 {
+	if len(dst) != x.Rows {
+		panic(fmt.Sprintf("autoenc: ReconstructionErrorsInto dst has len %d, want %d", len(dst), x.Rows))
+	}
+	if x.Rows == 0 {
+		return dst
+	}
 	s := d.getScratch()
-	z := ensureMat(&s.z, x.Rows, x.Cols)
-	copy(z.Data, x.Data)
-	d.standardizeInPlace(z)
-	out := make([]float64, x.Rows)
-	copy(out, d.scoreInto(s, z))
+	z := d.standardizeCopy(s, x)
+	d.scoreInto(dst, z)
 	d.scratch.Put(s)
-	return out
+	return dst
 }
 
 // ReconstructionError returns the RMSE of one feature vector. The call
@@ -383,7 +428,9 @@ func (d *Detector) ReconstructionError(vec []float64) float64 {
 	for j, v := range vec {
 		row[j] = (v - d.featMean[j]) / d.featStd[j]
 	}
-	re := d.scoreInto(s, z)[0]
+	res := ensureF64(&s.res, 1)
+	d.scoreInto(res, z)
+	re := res[0]
 	d.scratch.Put(s)
 	return re
 }
@@ -424,7 +471,8 @@ func (d *Detector) SampleError(walks [][]float64) float64 {
 	}
 	s := d.getScratch()
 	z := d.standardizeRowsInto(s, walks)
-	res := d.scoreInto(s, z)
+	res := ensureF64(&s.res, z.Rows)
+	d.scoreInto(res, z)
 	var sum float64
 	for _, r := range res {
 		sum += r
@@ -433,20 +481,81 @@ func (d *Detector) SampleError(walks [][]float64) float64 {
 	return sum / float64(len(res))
 }
 
+// SampleErrors computes the sample-level detection statistic for a
+// whole batch of per-walk feature rows in a single
+// standardize+forward+RMSE pass: groups[i] assigns row i of x to a
+// sample, and entry g of the result (length max(groups)+1) holds that
+// sample's mean reconstruction error. Equivalent to one SampleError
+// call per sample over that sample's rows — each group's mean
+// accumulates its rows in ascending row order, so results are
+// bit-identical.
+func (d *Detector) SampleErrors(x *nn.Matrix, groups []int) []float64 {
+	n := 0
+	for _, g := range groups {
+		if g >= n {
+			n = g + 1
+		}
+	}
+	return d.SampleErrorsInto(make([]float64, n), x, groups)
+}
+
+// SampleErrorsInto is SampleErrors with caller-provided storage:
+// dst[g] receives group g's mean reconstruction error (0 for groups
+// with no rows). Allocation-free at steady state and safe for
+// concurrent use.
+func (d *Detector) SampleErrorsInto(dst []float64, x *nn.Matrix, groups []int) []float64 {
+	if x.Rows != len(groups) {
+		panic(fmt.Sprintf("autoenc: %d rows but %d group labels", x.Rows, len(groups)))
+	}
+	for g := range dst {
+		dst[g] = 0
+	}
+	if x.Rows == 0 {
+		return dst
+	}
+	s := d.getScratch()
+	z := d.standardizeCopy(s, x)
+	res := ensureF64(&s.res, x.Rows)
+	d.scoreInto(res, z)
+	counts := ensureInts(&s.counts, len(dst))
+	for g := range counts {
+		counts[g] = 0
+	}
+	for i, g := range groups {
+		dst[g] += res[i]
+		counts[g]++
+	}
+	for g, c := range counts {
+		if c > 0 {
+			dst[g] /= float64(c)
+		}
+	}
+	d.scratch.Put(s)
+	return dst
+}
+
 // IsAdversarialSample applies the threshold to the sample-level
 // statistic over per-walk vectors.
 func (d *Detector) IsAdversarialSample(walks [][]float64) bool {
 	return d.SampleError(walks) > d.Threshold()
 }
 
-// DetectBatch flags every row of x whose RE exceeds the threshold.
+// DetectBatch flags every row of x whose RE exceeds the threshold. The
+// returned slice is the call's only allocation.
 func (d *Detector) DetectBatch(x *nn.Matrix) []bool {
-	res := d.ReconstructionErrors(x)
-	out := make([]bool, len(res))
+	out := make([]bool, x.Rows)
+	if x.Rows == 0 {
+		return out
+	}
+	s := d.getScratch()
+	z := d.standardizeCopy(s, x)
+	res := ensureF64(&s.res, x.Rows)
+	d.scoreInto(res, z)
 	th := d.Threshold()
 	for i, r := range res {
 		out[i] = r > th
 	}
+	d.scratch.Put(s)
 	return out
 }
 

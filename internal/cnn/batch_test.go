@@ -1,0 +1,113 @@
+package cnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"soteria/internal/nn"
+)
+
+// voteWalkMatrices builds paired walk-row matrices for batch voting
+// tests: samples x wps rows per labeling, varied enough that different
+// samples land on different classes.
+func voteWalkMatrices(rng *rand.Rand, samples, wps, dim int) (dblX, lblX *nn.Matrix) {
+	dblX = nn.NewMatrix(samples*wps, dim)
+	lblX = nn.NewMatrix(samples*wps, dim)
+	for i := range dblX.Data {
+		dblX.Data[i] = rng.Float64() + float64((i/dim/wps)%3)
+		lblX.Data[i] = rng.Float64() - float64((i/dim/wps)%3)
+	}
+	return dblX, lblX
+}
+
+// TestVoteBatchMatchesVote pins the tentpole equivalence: one forward
+// per labeling over all samples' walk rows must reproduce every
+// per-sample Vote decision exactly, across walk counts and batch
+// sizes.
+func TestVoteBatchMatchesVote(t *testing.T) {
+	ens, _, _ := smallEnsemble(t)
+	const dim = 24
+	rng := rand.New(rand.NewSource(77))
+	for _, wps := range []int{1, 2, 5} {
+		for _, samples := range []int{1, 3, 8} {
+			dblX, lblX := voteWalkMatrices(rng, samples, wps, dim)
+			got := ens.VoteBatch(dblX, lblX, wps)
+			if len(got) != samples {
+				t.Fatalf("wps=%d samples=%d: VoteBatch returned %d decisions", wps, samples, len(got))
+			}
+			dw := make([][]float64, wps)
+			lw := make([][]float64, wps)
+			for s := 0; s < samples; s++ {
+				for w := 0; w < wps; w++ {
+					dw[w] = dblX.Row(s*wps + w)
+					lw[w] = lblX.Row(s*wps + w)
+				}
+				want, err := ens.Vote(dw, lw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[s] != want {
+					t.Fatalf("wps=%d samples=%d sample %d: VoteBatch = %d, Vote = %d",
+						wps, samples, s, got[s], want)
+				}
+			}
+		}
+	}
+}
+
+// TestVoteBatchShapePanics pins the contract violations that indicate
+// programming errors rather than input errors.
+func TestVoteBatchShapePanics(t *testing.T) {
+	ens, _, _ := smallEnsemble(t)
+	rng := rand.New(rand.NewSource(78))
+	dblX, lblX := voteWalkMatrices(rng, 2, 2, 24)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("non-positive walks", func() { ens.VoteBatch(dblX, lblX, 0) })
+	mustPanic("ragged row counts", func() {
+		short := &nn.Matrix{Rows: 2, Cols: 24, Data: lblX.Data[:48]}
+		ens.VoteBatch(dblX, short, 2)
+	})
+	mustPanic("indivisible rows", func() { ens.VoteBatch(dblX, lblX, 3) })
+	mustPanic("wrong dst length", func() { ens.VoteBatchInto(make([]int, 3), dblX, lblX, 2) })
+	mustPanic("incomplete ensemble", func() {
+		half := &Ensemble{DBL: ens.DBL}
+		half.VoteBatchInto(make([]int, 2), dblX, lblX, 2)
+	})
+}
+
+// TestVotingZeroAllocSteadyState guards both voting entry points: with
+// warm scratch, per-sample Vote and batched VoteBatchInto allocate
+// nothing.
+func TestVotingZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	ens, dblWalks, lblWalks := smallEnsemble(t)
+	rng := rand.New(rand.NewSource(79))
+	dblX, lblX := voteWalkMatrices(rng, 4, 2, 24)
+	dst := make([]int, 4)
+	for i := 0; i < 3; i++ { // warm scratch pools
+		if _, err := ens.Vote(dblWalks, lblWalks); err != nil {
+			t.Fatal(err)
+		}
+		ens.VoteBatchInto(dst, dblX, lblX, 2)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := ens.Vote(dblWalks, lblWalks); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Vote allocates %v objects per call at steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { ens.VoteBatchInto(dst, dblX, lblX, 2) }); avg != 0 {
+		t.Errorf("VoteBatchInto allocates %v objects per call at steady state, want 0", avg)
+	}
+}

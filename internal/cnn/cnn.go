@@ -155,7 +155,9 @@ func Train(x *nn.Matrix, labels []int, cfg Config) (*Classifier, error) {
 
 // Probs returns class probabilities for each row of x.
 func (c *Classifier) Probs(x *nn.Matrix) *nn.Matrix {
-	return nn.Softmax(c.net.Predict(x))
+	probs := c.net.Predict(x)
+	nn.SoftmaxInPlace(probs)
+	return probs
 }
 
 // Predict returns the argmax class of each row of x.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cnn
+
+const raceEnabled = false

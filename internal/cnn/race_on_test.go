@@ -1,0 +1,7 @@
+//go:build race
+
+package cnn
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation-count guards skip under it.
+const raceEnabled = true

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"soteria/internal/disasm"
+	"soteria/internal/features"
+	"soteria/internal/malgen"
+)
+
+var (
+	batchOnce     sync.Once
+	batchTrainErr error
+	batchPipes    map[bool]*Pipeline // keyed by PerWalkDetector
+	batchCorpus   []*malgen.Sample
+)
+
+// batchEnv trains two tiny pipelines (per-walk detector off and on)
+// once for every batched-equivalence test in the package.
+func batchEnv(t *testing.T) (map[bool]*Pipeline, []*malgen.Sample) {
+	t.Helper()
+	batchOnce.Do(func() {
+		g := malgen.NewGenerator(malgen.Config{Seed: 13})
+		for _, c := range malgen.Classes {
+			for i := 0; i < 3; i++ {
+				s, err := g.Sample(c)
+				if err != nil {
+					batchTrainErr = err
+					return
+				}
+				batchCorpus = append(batchCorpus, s)
+			}
+		}
+		batchPipes = make(map[bool]*Pipeline)
+		for _, perWalk := range []bool{false, true} {
+			opts := testOptions()
+			opts.Features.WalkCount = 3
+			opts.DetectorEpochs = 8
+			opts.ClassifierEpochs = 8
+			opts.Filters = 4
+			opts.DenseUnits = 16
+			opts.PerWalkDetector = perWalk
+			p, err := Train(batchCorpus, opts)
+			if err != nil {
+				batchTrainErr = err
+				return
+			}
+			batchPipes[perWalk] = p
+		}
+	})
+	if batchTrainErr != nil {
+		t.Fatal(batchTrainErr)
+	}
+	return batchPipes, batchCorpus
+}
+
+// TestAnalyzeBatchMatchesAnalyze pins the tentpole equivalence: the
+// chunked two-stage batch path must reproduce every per-sample Analyze
+// decision bit for bit — RE included — with the per-walk detector both
+// off and on, across batch sizes.
+func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
+	pipes, corpus := batchEnv(t)
+	for _, perWalk := range []bool{false, true} {
+		p := pipes[perWalk]
+		for _, n := range []int{1, 5, len(corpus)} {
+			cfgs := make([]*disasm.CFG, n)
+			salts := make([]int64, n)
+			for i := 0; i < n; i++ {
+				cfgs[i] = corpus[i].CFG
+				salts[i] = int64(3000 + i)
+			}
+			decs, err := p.AnalyzeBatch(cfgs, salts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				want, err := p.Analyze(cfgs[i], salts[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := decs[i]
+				if got.RE != want.RE || got.Adversarial != want.Adversarial || got.Class != want.Class {
+					t.Fatalf("perWalk=%v n=%d sample %d: batch {%v %v %v} != analyze {%v %v %v}",
+						perWalk, n, i, got.Adversarial, got.RE, got.Class,
+						want.Adversarial, want.RE, want.Class)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeBatchErrors pins input validation and per-sample error
+// indexing: mismatched lengths fail up front, and an extraction
+// failure names the offending sample. An unfitted pipeline with a nil
+// detector must fail cleanly rather than dereference it.
+func TestAnalyzeBatchErrors(t *testing.T) {
+	pipes, corpus := batchEnv(t)
+	p := pipes[false]
+	if _, err := p.AnalyzeBatch(make([]*disasm.CFG, 2), make([]int64, 3)); err == nil ||
+		!strings.Contains(err.Error(), "2 cfgs but 3 salts") {
+		t.Fatalf("length mismatch error = %v", err)
+	}
+
+	unfitted := &Pipeline{Extractor: features.NewExtractor(features.Config{})}
+	cfgs := []*disasm.CFG{corpus[0].CFG, corpus[1].CFG}
+	_, err := unfitted.AnalyzeBatch(cfgs, []int64{0, 1})
+	if !errors.Is(err, features.ErrNotFitted) {
+		t.Fatalf("unfitted batch error = %v, want ErrNotFitted", err)
+	}
+	if !strings.Contains(err.Error(), "sample 0") {
+		t.Fatalf("error does not name the failing sample: %v", err)
+	}
+}
+
+// TestBatcherMatchesAnalyze drives the micro-batching front door from
+// many concurrent submitters (run it with -race) and requires every
+// coalesced decision to be bit-identical to a lone Analyze call with
+// the same salt.
+func TestBatcherMatchesAnalyze(t *testing.T) {
+	pipes, corpus := batchEnv(t)
+	p := pipes[false]
+	b := NewBatcher(p, BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	failures := make([]string, len(corpus)*2)
+	for g := 0; g < len(corpus)*2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g % len(corpus)
+			salt := int64(5000 + i)
+			got, err := b.Submit(corpus[i].CFG, salt)
+			if err != nil {
+				failures[g] = err.Error()
+				return
+			}
+			want, err := p.Analyze(corpus[i].CFG, salt)
+			if err != nil {
+				failures[g] = err.Error()
+				return
+			}
+			if got.RE != want.RE || got.Adversarial != want.Adversarial || got.Class != want.Class {
+				failures[g] = "decision diverges from Analyze"
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, f := range failures {
+		if f != "" {
+			t.Fatalf("submitter %d: %s", g, f)
+		}
+	}
+}
+
+// TestBatcherPropagatesPerRequestErrors pins that a failing sample
+// fails only its own submitter and leaves the batcher serving.
+func TestBatcherPropagatesPerRequestErrors(t *testing.T) {
+	_, corpus := batchEnv(t)
+	unfitted := &Pipeline{Extractor: features.NewExtractor(features.Config{})}
+	b := NewBatcher(unfitted, BatcherConfig{MaxBatch: 2, MaxWait: time.Millisecond})
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := b.Submit(corpus[0].CFG, int64(i)); !errors.Is(err, features.ErrNotFitted) {
+			t.Fatalf("submit %d: err = %v, want ErrNotFitted", i, err)
+		}
+	}
+}
+
+// TestBatcherCloseMidFlight pins the shutdown contract: Submits racing
+// Close return either a real decision or ErrBatcherClosed — never a
+// hang and never a zero decision — and Submit after Close (and double
+// Close) are safe.
+func TestBatcherCloseMidFlight(t *testing.T) {
+	pipes, corpus := batchEnv(t)
+	p := pipes[false]
+	b := NewBatcher(p, BatcherConfig{MaxBatch: 3, MaxWait: 100 * time.Microsecond})
+
+	var wg sync.WaitGroup
+	failures := make([]string, 16)
+	for g := 0; g < len(failures); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; ; iter++ {
+				i := (g + iter) % len(corpus)
+				dec, err := b.Submit(corpus[i].CFG, int64(i))
+				if err != nil {
+					if !errors.Is(err, ErrBatcherClosed) {
+						failures[g] = err.Error()
+					}
+					return
+				}
+				if dec == nil {
+					failures[g] = "nil decision without error"
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	b.Close()
+	wg.Wait()
+	for g, f := range failures {
+		if f != "" {
+			t.Fatalf("submitter %d: %s", g, f)
+		}
+	}
+	if _, err := b.Submit(corpus[0].CFG, 0); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrBatcherClosed", err)
+	}
+	b.Close() // double Close must not panic or hang
+}

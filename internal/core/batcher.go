@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"soteria/internal/disasm"
+)
+
+// BatcherConfig tunes the micro-batching front door.
+type BatcherConfig struct {
+	// MaxBatch caps how many requests coalesce into one batched scoring
+	// pass. Default analyzeChunkSize, so a full batch is exactly one
+	// chunk of the analyze pipeline.
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch is flushed (default 2ms). Lower values
+	// favor tail latency, higher values throughput; batch composition
+	// never affects results, only speed.
+	MaxWait time.Duration
+}
+
+func (c *BatcherConfig) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = analyzeChunkSize
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+}
+
+// ErrBatcherClosed is returned by Submit once Close has begun.
+var ErrBatcherClosed = errors.New("core: batcher closed")
+
+// request is one caller's unit of work: the input, a completion signal,
+// and the slots the collector fills before signaling.
+type request struct {
+	cfg  *disasm.CFG
+	salt int64
+	dec  *Decision
+	err  error
+	done chan struct{}
+}
+
+// Batcher is a micro-batching front door for concurrent analyze
+// traffic: callers Submit one CFG each, and a collector goroutine
+// coalesces up to MaxBatch requests (or as many as arrive within
+// MaxWait of the first) into shared batched forwards through the
+// pipeline's chunked scoring stage. Coalescing changes only
+// throughput, never results: scoring is row-independent and each
+// sample's rows land at fixed offsets, so a decision is bit-identical
+// to a lone Analyze call with the same salt regardless of which
+// requests shared its batch. Errors propagate per request — one
+// unparseable sample fails only its submitter.
+type Batcher struct {
+	p    *Pipeline
+	cfg  BatcherConfig
+	reqs chan *request // unbuffered: a send is a handoff, never parked
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	// collector-only scratch, reused across batches.
+	cfgs  []*disasm.CFG
+	salts []int64
+}
+
+// NewBatcher starts a batcher over a trained pipeline. Callers must
+// Close it to release the collector goroutine.
+func NewBatcher(p *Pipeline, cfg BatcherConfig) *Batcher {
+	cfg.fill()
+	b := &Batcher{
+		p:    p,
+		cfg:  cfg,
+		reqs: make(chan *request),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// Submit analyzes one CFG through the shared batch stream and blocks
+// until its decision is ready. Safe for any number of concurrent
+// callers. After Close, Submit returns ErrBatcherClosed; a Submit
+// racing Close returns either its decision or ErrBatcherClosed, never
+// hangs.
+func (b *Batcher) Submit(c *disasm.CFG, salt int64) (*Decision, error) {
+	r := &request{cfg: c, salt: salt, done: make(chan struct{})}
+	select {
+	case b.reqs <- r:
+	case <-b.stop:
+		return nil, ErrBatcherClosed
+	}
+	<-r.done
+	return r.dec, r.err
+}
+
+// Close stops accepting new requests, serves every request already
+// handed off, and waits for the collector to exit. Safe to call more
+// than once.
+func (b *Batcher) Close() {
+	b.once.Do(func() { close(b.stop) })
+	<-b.done
+}
+
+// collect is the batcher's only consumer: it gathers the first request
+// of each batch, tops the batch up until MaxBatch or MaxWait, and
+// serves it. reqs is unbuffered, so every request it receives was a
+// synchronous handoff from a live submitter — on shutdown, whatever is
+// still being offered is drained without blocking and served, and every
+// later submitter sees the closed stop channel instead.
+func (b *Batcher) collect() {
+	defer close(b.done)
+	var batch []*request
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		batch = batch[:0]
+		select {
+		case r := <-b.reqs:
+			batch = append(batch, r)
+		case <-b.stop:
+			b.drain(batch)
+			return
+		}
+		timer.Reset(b.cfg.MaxWait)
+		waiting := true
+		for waiting && len(batch) < b.cfg.MaxBatch {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			case <-timer.C:
+				waiting = false
+			case <-b.stop:
+				timer.Stop()
+				b.serve(batch)
+				b.drain(batch[:0])
+				return
+			}
+		}
+		if waiting && !timer.Stop() {
+			<-timer.C
+		}
+		b.serve(batch)
+	}
+}
+
+// drain serves every request still being offered on reqs, then returns.
+func (b *Batcher) drain(batch []*request) {
+	for {
+		select {
+		case r := <-b.reqs:
+			batch = append(batch, r)
+			if len(batch) >= b.cfg.MaxBatch {
+				b.serve(batch)
+				batch = batch[:0]
+			}
+		default:
+			b.serve(batch)
+			return
+		}
+	}
+}
+
+// serve runs one coalesced batch through the pipeline and completes
+// each request with its own decision or error.
+func (b *Batcher) serve(batch []*request) {
+	if len(batch) == 0 {
+		return
+	}
+	b.cfgs = b.cfgs[:0]
+	b.salts = b.salts[:0]
+	for _, r := range batch {
+		b.cfgs = append(b.cfgs, r.cfg)
+		b.salts = append(b.salts, r.salt)
+	}
+	decs, errs := b.p.analyzeBatch(b.cfgs, b.salts)
+	for i, r := range batch {
+		r.dec, r.err = decs[i], errs[i]
+		close(r.done)
+	}
+}

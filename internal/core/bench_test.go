@@ -1,0 +1,158 @@
+// Serving-path benchmarks: the scoring stage of AnalyzeBatch (detector
+// reconstruction errors + ensemble votes over a pre-extracted corpus)
+// and the end-to-end batch analyze path. Recorded as
+// BENCH_3_BASELINE.json (per-sample scoring) and BENCH_3.json
+// (cross-sample batched scoring) via
+//
+//	go run ./cmd/benchreport -pkg ./internal/core \
+//	    -bench 'AnalyzeBatch|BatcherThroughput' -out BENCH_3.json \
+//	    -baseline BENCH_3_BASELINE.json
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"soteria/internal/disasm"
+	"soteria/internal/features"
+	"soteria/internal/malgen"
+)
+
+const benchSamples = 64
+
+var (
+	benchOnce sync.Once
+	benchErr  error
+	benchPipe *Pipeline
+	benchCFGs []*disasm.CFG
+	benchVecs []*features.Vectors
+)
+
+// benchEnv trains a small pipeline once and pre-extracts features for
+// benchSamples CFGs, so scoring-stage benchmarks exclude extraction.
+func benchEnv(b *testing.B) (*Pipeline, []*disasm.CFG, []*features.Vectors) {
+	b.Helper()
+	benchOnce.Do(func() {
+		gen := malgen.NewGenerator(malgen.Config{Seed: 11})
+		var samples []*malgen.Sample
+		for i := 0; i < benchSamples; i++ {
+			s, err := gen.Sample(malgen.Classes[i%len(malgen.Classes)])
+			if err != nil {
+				benchErr = err
+				return
+			}
+			samples = append(samples, s)
+		}
+		opts := testOptions()
+		opts.DetectorEpochs = 15
+		opts.ClassifierEpochs = 15
+		benchPipe, benchErr = Train(samples, opts)
+		if benchErr != nil {
+			return
+		}
+		benchCFGs = make([]*disasm.CFG, len(samples))
+		salts := make([]int64, len(samples))
+		for i, s := range samples {
+			benchCFGs[i] = s.CFG
+			salts[i] = int64(i)
+		}
+		benchVecs, benchErr = benchPipe.Extractor.ExtractBatch(benchCFGs, salts)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchPipe, benchCFGs, benchVecs
+}
+
+// fillBenchChunk lays pre-extracted vectors into one chunk buffer
+// exactly as extractChunk would, so scoring benchmarks exercise
+// scoreChunk alone.
+func fillBenchChunk(p *Pipeline, c *chunkBuf, vecs []*features.Vectors) {
+	wc := p.Extractor.Config().WalkCount
+	perWalk := p.opts.PerWalkDetector
+	n := len(vecs)
+	c.lo, c.n = 0, n
+	c.dblX = ensureMat(&c.dblX, n*wc, p.Extractor.WalkDim())
+	c.lblX = ensureMat(&c.lblX, n*wc, p.Extractor.WalkDim())
+	if perWalk {
+		c.detX = ensureMat(&c.detX, n*wc, p.Extractor.Dim())
+		c.groups = ensureInts(&c.groups, n*wc)
+		for r := range c.groups {
+			c.groups[r] = r / wc
+		}
+	} else {
+		c.detX = ensureMat(&c.detX, n, p.Extractor.Dim())
+	}
+	c.errs = ensureErrs(&c.errs, n)
+	for i, v := range vecs {
+		c.errs[i] = nil
+		for w := 0; w < wc; w++ {
+			copy(c.dblX.Row(i*wc+w), v.DBL[w])
+			copy(c.lblX.Row(i*wc+w), v.LBL[w])
+			if perWalk {
+				copy(c.detX.Row(i*wc+w), v.CombinedWalks[w])
+			}
+		}
+		if !perWalk {
+			copy(c.detX.Row(i), v.Combined)
+		}
+	}
+}
+
+// BenchmarkAnalyzeBatch measures the scoring stage over a pre-extracted
+// 64-sample corpus — one batched standardize+forward+RMSE pass for the
+// detector and one batched forward per labeling for the ensemble,
+// exactly the work AnalyzeBatch performs after extraction.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	p, _, vecs := benchEnv(b)
+	c := p.getChunk()
+	fillBenchChunk(p, c, vecs)
+	out := make([]*Decision, len(vecs))
+	errs := make([]error, len(vecs))
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		p.scoreChunk(c, out, errs)
+	}
+	b.ReportMetric(float64(len(vecs))*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkBatcherThroughput measures the micro-batching front door
+// end to end: 8 concurrent submitters streaming single-CFG requests
+// that the collector coalesces into shared batched passes.
+func BenchmarkBatcherThroughput(b *testing.B) {
+	p, cfgs, _ := benchEnv(b)
+	const submitters = 8
+	bat := NewBatcher(p, BatcherConfig{MaxBatch: submitters})
+	defer bat.Close()
+	var next atomic.Int64
+	b.SetParallelism(submitters)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)-1) % len(cfgs)
+			if _, err := bat.Submit(cfgs[i], int64(i)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkAnalyzeBatchEndToEnd measures the full AnalyzeBatch call —
+// extraction plus scoring — over the same corpus.
+func BenchmarkAnalyzeBatchEndToEnd(b *testing.B) {
+	p, cfgs, _ := benchEnv(b)
+	salts := make([]int64, len(cfgs))
+	for i := range salts {
+		salts[i] = int64(i)
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		if _, err := p.AnalyzeBatch(cfgs, salts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}

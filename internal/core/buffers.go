@@ -1,0 +1,46 @@
+package core
+
+import "soteria/internal/nn"
+
+// Buffer-reuse helpers for the analyze pipeline's chunk slots. All
+// follow the same contract: resize to the requested size, reuse the
+// backing storage when it is large enough, contents unspecified.
+
+func ensureMat(m **nn.Matrix, rows, cols int) *nn.Matrix {
+	if *m == nil || cap((*m).Data) < rows*cols {
+		*m = nn.NewMatrix(rows, cols)
+		return *m
+	}
+	(*m).Rows, (*m).Cols, (*m).Data = rows, cols, (*m).Data[:rows*cols]
+	return *m
+}
+
+func ensureF64(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func ensureInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func ensureErrs(s *[]error, n int) []error {
+	if cap(*s) < n {
+		*s = make([]error, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func zeroRow(row []float64) {
+	for j := range row {
+		row[j] = 0
+	}
+}

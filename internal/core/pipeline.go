@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"soteria/internal/autoenc"
 	"soteria/internal/cnn"
@@ -96,6 +97,11 @@ type Pipeline struct {
 	Ensemble  *cnn.Ensemble
 
 	opts Options
+
+	// chunks recycles the analyze pipeline's per-chunk row matrices, so
+	// a steady stream of AnalyzeBatch calls (e.g. from a Batcher)
+	// allocates only decisions.
+	chunks sync.Pool
 }
 
 // Decision is the pipeline's verdict on one sample.
@@ -226,43 +232,185 @@ func (p *Pipeline) Analyze(c *disasm.CFG, salt int64) (*Decision, error) {
 	}, nil
 }
 
-// AnalyzeBatch analyzes many CFGs, parallelizing both the
-// feature-extraction stage (the dominant cost) and the scoring stage
-// (detector reconstruction errors and ensemble votes are race-safe on
-// shared trained models). Results equal per-sample Analyze calls with
-// the same salts.
-func (p *Pipeline) AnalyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision, error) {
-	vecs, err := p.Extractor.ExtractBatch(cfgs, salts)
-	if err != nil {
-		return nil, err
+// analyzeChunkSize is the number of samples per scoring chunk in
+// AnalyzeBatch: large enough that the batched GEMMs amortize kernel
+// packing (64 samples contribute 64*WalkCount walk rows per labeling),
+// small enough that the in-flight chunks' row matrices stay
+// memory-friendly.
+const analyzeChunkSize = 64
+
+// analyzeDepth is the extraction look-ahead in chunks: extraction may
+// run at most this many chunks ahead of scoring, bounding buffer
+// memory while letting the two stages overlap.
+const analyzeDepth = 2
+
+// chunkBuf is one slot of the two-stage analyze pipeline: pre-offset
+// row matrices the extraction stage fills (chunk sample i owns rows
+// [i*wc, (i+1)*wc), wc the fixed per-sample walk count) and the
+// scoring stage consumes with cross-sample batched forwards.
+type chunkBuf struct {
+	lo, n      int        // sample range [lo, lo+n) of the batch
+	dblX, lblX *nn.Matrix // per-walk classifier rows, n*wc x WalkDim
+	detX       *nn.Matrix // detector rows: n*wc x Dim (per-walk) or n x Dim
+	groups     []int      // detector row -> chunk sample (per-walk mode)
+	errs       []error    // per-sample extraction errors
+	res        []float64  // per-sample reconstruction errors
+	cls        []int      // per-sample vote winners
+}
+
+func (p *Pipeline) getChunk() *chunkBuf {
+	if c, ok := p.chunks.Get().(*chunkBuf); ok {
+		return c
 	}
-	out := make([]*Decision, len(vecs))
-	errs := make([]error, len(vecs))
-	par.For(len(vecs), func(i int) {
-		v := vecs[i]
-		var re float64
-		if p.opts.PerWalkDetector {
-			re = p.Detector.SampleError(v.CombinedWalks)
-		} else {
-			re = p.Detector.ReconstructionError(v.Combined)
-		}
-		cls, err := p.Ensemble.Vote(v.DBL, v.LBL)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		out[i] = &Decision{
-			Adversarial: re > p.Detector.Threshold(),
-			RE:          re,
-			Class:       malgen.Class(cls),
-		}
-	})
+	return new(chunkBuf)
+}
+
+// AnalyzeBatch analyzes many CFGs through a bounded two-stage pipeline:
+// extraction chunks fan out across the worker pool into pre-offset row
+// matrices (walk counts are fixed per sample, so each sample's rows
+// land at deterministic offsets) while the scoring stage consumes
+// completed chunks with cross-sample batched forwards — a chunk's
+// detector errors and ensemble votes run as a handful of large GEMMs
+// instead of per-sample slivers, and extraction of the next chunk
+// overlaps the scoring of the current one. Results are bit-identical
+// to per-sample Analyze calls with the same salts; a failing sample's
+// error carries its index.
+func (p *Pipeline) AnalyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision, error) {
+	if len(cfgs) != len(salts) {
+		return nil, fmt.Errorf("core: %d cfgs but %d salts", len(cfgs), len(salts))
+	}
+	out, errs := p.analyzeBatch(cfgs, salts)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// analyzeBatch is AnalyzeBatch with per-sample error reporting: errs[i]
+// is non-nil exactly when sample i failed, and out[i] is non-nil
+// otherwise. The Batcher serves coalesced requests through this form so
+// one bad CFG fails only its submitter.
+func (p *Pipeline) analyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision, []error) {
+	n := len(cfgs)
+	out := make([]*Decision, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, errs
+	}
+	nChunks := (n + analyzeChunkSize - 1) / analyzeChunkSize
+	depth := analyzeDepth
+	if depth > nChunks {
+		depth = nChunks
+	}
+	slots := make([]*chunkBuf, depth)
+	for i := range slots {
+		slots[i] = p.getChunk()
+	}
+	par.Overlap(nChunks, depth,
+		func(ci, slot int) {
+			lo := ci * analyzeChunkSize
+			hi := lo + analyzeChunkSize
+			if hi > n {
+				hi = n
+			}
+			p.extractChunk(slots[slot], cfgs, salts, lo, hi)
+		},
+		func(ci, slot int) {
+			p.scoreChunk(slots[slot], out, errs)
+		})
+	for _, c := range slots {
+		p.chunks.Put(c)
+	}
+	return out, errs
+}
+
+// extractChunk fills one chunk's row matrices from samples [lo, hi) of
+// the batch, fanning the per-sample extractions across the worker pool.
+// A sample that fails to extract records its error and zeroes its rows,
+// so the chunk's batched forwards stay well-shaped and deterministic.
+func (p *Pipeline) extractChunk(c *chunkBuf, cfgs []*disasm.CFG, salts []int64, lo, hi int) {
+	wc := p.Extractor.Config().WalkCount
+	perWalk := p.opts.PerWalkDetector
+	n := hi - lo
+	c.lo, c.n = lo, n
+	c.dblX = ensureMat(&c.dblX, n*wc, p.Extractor.WalkDim())
+	c.lblX = ensureMat(&c.lblX, n*wc, p.Extractor.WalkDim())
+	if perWalk {
+		c.detX = ensureMat(&c.detX, n*wc, p.Extractor.Dim())
+		c.groups = ensureInts(&c.groups, n*wc)
+		for r := range c.groups {
+			c.groups[r] = r / wc
+		}
+	} else {
+		c.detX = ensureMat(&c.detX, n, p.Extractor.Dim())
+	}
+	c.errs = ensureErrs(&c.errs, n)
+	par.For(n, func(i int) {
+		c.errs[i] = nil
+		v, err := p.Extractor.Extract(cfgs[lo+i], salts[lo+i])
+		if err != nil {
+			c.errs[i] = fmt.Errorf("core: sample %d: %w", lo+i, err)
+			for w := 0; w < wc; w++ {
+				zeroRow(c.dblX.Row(i*wc + w))
+				zeroRow(c.lblX.Row(i*wc + w))
+				if perWalk {
+					zeroRow(c.detX.Row(i*wc + w))
+				}
+			}
+			if !perWalk {
+				zeroRow(c.detX.Row(i))
+			}
+			return
+		}
+		for w := 0; w < wc; w++ {
+			copy(c.dblX.Row(i*wc+w), v.DBL[w])
+			copy(c.lblX.Row(i*wc+w), v.LBL[w])
+			if perWalk {
+				copy(c.detX.Row(i*wc+w), v.CombinedWalks[w])
+			}
+		}
+		if !perWalk {
+			copy(c.detX.Row(i), v.Combined)
+		}
+	})
+}
+
+// scoreChunk runs the batched scoring stage over one extracted chunk —
+// one standardize+forward+RMSE pass for the detector and one forward
+// per labeling for the ensemble — and scatters decisions into the
+// batch-level output.
+func (p *Pipeline) scoreChunk(c *chunkBuf, out []*Decision, errs []error) {
+	failed := 0
+	for _, err := range c.errs {
+		if err != nil {
+			failed++
+		}
+	}
+	var threshold float64
+	if failed < c.n {
+		c.res = ensureF64(&c.res, c.n)
+		c.cls = ensureInts(&c.cls, c.n)
+		if p.opts.PerWalkDetector {
+			p.Detector.SampleErrorsInto(c.res, c.detX, c.groups)
+		} else {
+			p.Detector.ReconstructionErrorsInto(c.res, c.detX)
+		}
+		p.Ensemble.VoteBatchInto(c.cls, c.dblX, c.lblX, p.Extractor.Config().WalkCount)
+		threshold = p.Detector.Threshold()
+	}
+	for i := 0; i < c.n; i++ {
+		if err := c.errs[i]; err != nil {
+			errs[c.lo+i] = err
+			continue
+		}
+		out[c.lo+i] = &Decision{
+			Adversarial: c.res[i] > threshold,
+			RE:          c.res[i],
+			Class:       malgen.Class(c.cls[i]),
+		}
+	}
 }
 
 // AnalyzeBinary disassembles and analyzes a raw SOTB binary.
@@ -276,6 +424,28 @@ func (p *Pipeline) AnalyzeBinary(bin []byte, salt int64) (*Decision, error) {
 		return nil, fmt.Errorf("core: disassemble: %w", err)
 	}
 	return p.Analyze(cfg, salt)
+}
+
+// AnalyzeBinaryBatch disassembles and analyzes many raw SOTB binaries
+// in one batched pass. A binary that fails to parse or disassemble
+// aborts the batch with its index in the error.
+func (p *Pipeline) AnalyzeBinaryBatch(bins [][]byte, salts []int64) ([]*Decision, error) {
+	if len(bins) != len(salts) {
+		return nil, fmt.Errorf("core: %d binaries but %d salts", len(bins), len(salts))
+	}
+	cfgs := make([]*disasm.CFG, len(bins))
+	for i, bin := range bins {
+		parsed, err := parseBinary(bin)
+		if err != nil {
+			return nil, fmt.Errorf("core: sample %d: %w", i, err)
+		}
+		g, err := disasm.Disassemble(parsed)
+		if err != nil {
+			return nil, fmt.Errorf("core: sample %d: disassemble: %w", i, err)
+		}
+		cfgs[i] = g
+	}
+	return p.AnalyzeBatch(cfgs, salts)
 }
 
 // Options returns the training options.

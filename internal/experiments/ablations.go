@@ -13,6 +13,7 @@ import (
 	"soteria/internal/isa"
 	"soteria/internal/nn"
 	"soteria/internal/obfuscate"
+	"soteria/internal/par"
 )
 
 // Ablations are the design-choice studies DESIGN.md calls out. They are
@@ -106,15 +107,25 @@ func detectorStudy(env *Env, fcfg features.Config, mask string) (detectorQuality
 		return q, err
 	}
 
-	var cleanRE, aeRE []float64
+	cleanRE := make([]float64, len(test))
+	var aeRE []float64
 	fp, tp := 0, 0
-	for i, s := range test {
-		v, err := ext.Extract(s.CFG, int64(100000+i))
+	cleanErrs := make([]error, len(test))
+	par.For(len(test), func(i int) {
+		v, err := ext.Extract(test[i].CFG, int64(100000+i))
+		if err != nil {
+			cleanErrs[i] = err
+			return
+		}
+		//lint:ignore batchmiss standalone ablation eval: each variant is scored through the per-sample path so ablation deltas measure the pipeline choice under study, not the batched kernels; extraction dominates this loop anyway.
+		cleanRE[i] = det.ReconstructionError(slice(v.Combined))
+	})
+	for _, err := range cleanErrs {
 		if err != nil {
 			return q, err
 		}
-		re := det.ReconstructionError(slice(v.Combined))
-		cleanRE = append(cleanRE, re)
+	}
+	for _, re := range cleanRE {
 		if re > det.Threshold() {
 			fp++
 		}

@@ -11,6 +11,7 @@ import (
 	"soteria/internal/isa"
 	"soteria/internal/malgen"
 	"soteria/internal/nn"
+	"soteria/internal/par"
 )
 
 // Table2 reproduces the corpus composition (paper Table II): the full
@@ -228,14 +229,23 @@ func Table7(env *Env) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, v := range vecs {
+	voteErrs := make([]error, len(vecs))
+	par.For(len(vecs), func(i int) {
+		v := vecs[i]
 		dblPred[i] = majority(ens.DBL.Predict(nn.FromRows(v.DBL)), malgen.NumClasses)
 		lblPred[i] = majority(ens.LBL.Predict(nn.FromRows(v.LBL)), malgen.NumClasses)
+		//lint:ignore batchmiss standalone eval path: the table deliberately scores through per-sample Vote so its accuracies stay an independent cross-check of the batched serving path rather than being computed by it.
 		cls, err := ens.Vote(v.DBL, v.LBL)
+		if err != nil {
+			voteErrs[i] = err
+			return
+		}
+		votePred[i] = cls
+	})
+	for _, err := range voteErrs {
 		if err != nil {
 			return nil, err
 		}
-		votePred[i] = cls
 	}
 
 	// Graph-feature baseline.

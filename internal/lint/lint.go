@@ -84,6 +84,7 @@ func All() []*Analyzer {
 		PersistErrAnalyzer,
 		PackedKeyAnalyzer,
 		HotAllocAnalyzer,
+		BatchMissAnalyzer,
 	}
 }
 

@@ -99,6 +99,22 @@ func (l *layer) Forward(x *Matrix, train bool) *Matrix {
 	return NewMatrix(x.Rows, x.Cols)
 }
 `)
+	write("internal/autoenc/bad.go", `package autoenc
+
+import "soteria/internal/par"
+
+type Detector struct{}
+
+func (d *Detector) ReconstructionError(vec []float64) float64 {
+	return float64(len(vec))
+}
+
+func scoreAll(d *Detector, vecs [][]float64, res []float64) {
+	par.For(len(vecs), func(i int) {
+		res[i] = d.ReconstructionError(vecs[i])
+	})
+}
+`)
 	write("internal/core/bad.go", `package core
 
 import "os"

@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"soteria/internal/autoenc"
+	"soteria/internal/cnn"
+	"soteria/internal/nn"
+	"soteria/internal/par"
+)
+
+// The intended shape: one batched forward over all rows outside the
+// pool, then cheap per-sample work inside it.
+func batchedThenPar(ens *cnn.Ensemble, det *autoenc.Detector, dblX, lblX, x *nn.Matrix, wps int, adv []bool) {
+	res := det.ReconstructionErrors(x)
+	cls := ens.VoteBatch(dblX, lblX, wps)
+	thr := det.Threshold()
+	par.For(len(cls), func(i int) {
+		adv[i] = res[i] > thr
+	})
+}
+
+// Serial per-sample loops are out of scope: batchmiss polices only par
+// bodies, where the stream of tiny forwards also serializes the pool.
+func serialLoop(det *autoenc.Detector, vecs [][]float64) float64 {
+	sum := 0.0
+	for _, v := range vecs {
+		sum += det.ReconstructionError(v)
+	}
+	return sum
+}
+
+// Same-named methods on unrelated types stay out of scope.
+type fakeScorer struct{}
+
+func (fakeScorer) ReconstructionError(v []float64) float64 { return float64(len(v)) }
+
+func (fakeScorer) Vote(a, b [][]float64) (int, error) { return 0, nil }
+
+func unrelatedNames(s fakeScorer, vecs [][]float64, res []float64) {
+	par.For(len(vecs), func(i int) {
+		res[i] = s.ReconstructionError(vecs[i])
+		if c, err := s.Vote(nil, nil); err == nil {
+			res[i] += float64(c)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// convInferTestNet mirrors the classifier's conv/pool/dense stack so
+// the fused Conv1D+ReLU inference path is exercised end to end.
+func convInferTestNet(rng *rand.Rand) *Network {
+	c1 := NewConv1D(20, 1, 3, 3, 1, rng)
+	c2 := NewConv1D(c1.OutLen(), 3, 3, 3, 1, rng)
+	p := NewMaxPool1D(c2.OutLen(), 3, 2, 2)
+	return NewNetwork(
+		c1, NewReLU(),
+		c2, NewReLU(),
+		p,
+		NewDense(p.OutLen()*3, 4, rng),
+	)
+}
+
+// TestPredictApplyMatchesPredictInto pins the visitor-based inference
+// entry point — including the fused Dense+ReLU and Conv1D+ReLU arena
+// paths — bit-identical to PredictInto and to layer-by-layer Forward,
+// on both a dense stack and a conv stack.
+func TestPredictApplyMatchesPredictInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	nets := map[string]*Network{
+		"dense": inferTestNet(rng),
+		"conv":  convInferTestNet(rng),
+	}
+	dims := map[string]int{"dense": 12, "conv": 20}
+	for name, n := range nets {
+		for _, rows := range []int{1, 2, 7} {
+			x := randMatrix(rng, rows, dims[name])
+			want := n.PredictInto(nil, x)
+			ref := x
+			for _, l := range n.Layers {
+				ref = l.Forward(ref, false)
+			}
+			var got *Matrix
+			n.PredictApply(x, func(y *Matrix) {
+				got = NewMatrix(y.Rows, y.Cols)
+				copy(got.Data, y.Data)
+			})
+			if d := maxAbsDiff(got, want); d != 0 {
+				t.Errorf("%s rows=%d: PredictApply diverges from PredictInto by %g", name, rows, d)
+			}
+			if d := maxAbsDiff(got, ref); d != 0 {
+				t.Errorf("%s rows=%d: PredictApply diverges from Forward by %g", name, rows, d)
+			}
+		}
+	}
+}
+
+// TestSoftmaxInPlaceMatchesSoftmax pins the aliasing-tolerant in-place
+// softmax to the allocating reference.
+func TestSoftmaxInPlaceMatchesSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	logits := randMatrix(rng, 5, 7)
+	want := Softmax(logits)
+	got := NewMatrix(logits.Rows, logits.Cols)
+	copy(got.Data, logits.Data)
+	SoftmaxInPlace(got)
+	if d := maxAbsDiff(got, want); d != 0 {
+		t.Fatalf("SoftmaxInPlace diverges from Softmax by %g", d)
+	}
+}
+
+// TestPredictApplyZeroAllocSteadyState guards the visitor entry point:
+// with a warm arena, inference allocates nothing — there is no copy-out
+// matrix at all.
+func TestPredictApplyZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(31))
+	n := inferTestNet(rng)
+	x := randMatrix(rng, 2, 12)
+	sink := 0.0
+	visit := func(y *Matrix) { sink += y.Data[0] }
+	for i := 0; i < 3; i++ {
+		n.PredictApply(x, visit) // warm the arena pool
+	}
+	if avg := testing.AllocsPerRun(100, func() { n.PredictApply(x, visit) }); avg != 0 {
+		t.Fatalf("PredictApply allocates %v objects per call at steady state, want 0", avg)
+	}
+	_ = sink
+}

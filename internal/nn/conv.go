@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"soteria/internal/par"
 )
 
 // Conv1D is a 1-D convolution over channels-last sequences. A batch row
@@ -87,14 +89,65 @@ func (c *Conv1D) Forward(x *Matrix, train bool) *Matrix {
 }
 
 func (c *Conv1D) infer(x *Matrix, ws *Arena) *Matrix {
+	return c.inferFused(x, ws, false)
+}
+
+// inferFused is the inference convolution with an optional fused ReLU:
+// the GEMM epilogue clamps the product while it is cache-hot, saving a
+// separate pass over the activation. Fusion is exact — ReLU is a
+// comparison, not arithmetic — so outputs are bit-identical to a
+// conv-then-ReLU pair.
+//
+// Unlike the training path there is no im2col: in the channels-last
+// layout every kernel window is already a contiguous Kernel*InCh run of
+// the input row, and consecutive windows start Stride*InCh apart — so
+// each input row IS a valid GEMM A-panel with lda = Stride*InCh, and
+// the blocked kernel runs straight over it. Same kernel, same k-order,
+// same epilogues as the im2col product: results are bit-identical, the
+// window-materialization pass and its arena buffer just disappear.
+func (c *Conv1D) inferFused(x *Matrix, ws *Arena, relu bool) *Matrix {
 	c.checkIn(x)
 	outLen := c.OutLen()
-	cols := ws.take(x.Rows*outLen, c.Kernel*c.InCh)
-	c.im2col(cols, x)
-	out := ws.take(x.Rows, outLen*c.OutCh)
-	prod := Matrix{Rows: x.Rows * outLen, Cols: c.OutCh, Data: out.Data}
-	gemm(&prod, cols, c.Weight.W, false, false, false, c.Bias.W.Data, false)
+	k := c.Kernel * c.InCh
+	n := c.OutCh
+	out := ws.take(x.Rows, outLen*n)
+	// The serial branch calls inferRows directly (no closure) so
+	// steady-state inference stays allocation-free; only the parallel
+	// split pays for its closure, mirroring gemm.
+	perRow := outLen * k * n
+	if work := x.Rows * perRow; work < parallelThreshold || x.Rows < 2 || par.Workers() == 1 {
+		c.inferRows(out, x, 0, x.Rows, relu)
+	} else {
+		grain := parallelThreshold / perRow
+		if grain < 1 {
+			grain = 1
+		}
+		par.ForChunkedGrain(x.Rows, grain, func(blo, bhi int) {
+			c.inferRows(out, x, blo, bhi, relu)
+		})
+	}
 	return out
+}
+
+// inferRows runs the GEMM kernel over batch rows [blo, bhi), one
+// A-panel per input row — the register-blocked narrow kernel for the
+// usual slim filter banks, the blocked kernel otherwise. Both are
+// bit-identical (see gemmNarrow).
+func (c *Conv1D) inferRows(out, x *Matrix, blo, bhi int, relu bool) {
+	outLen := c.OutLen()
+	k := c.Kernel * c.InCh
+	n := c.OutCh
+	w, bias := c.Weight.W.Data, c.Bias.W.Data
+	lda := c.Stride * c.InCh
+	for b := blo; b < bhi; b++ {
+		dstRow := out.Data[b*outLen*n : (b+1)*outLen*n]
+		srcRow := x.Data[b*x.Cols : (b+1)*x.Cols]
+		if n <= gemmNarrowMax {
+			gemmNarrow(dstRow, n, srcRow, lda, w, n, 0, outLen, k, n, bias, relu)
+		} else {
+			gemmKernel(dstRow, n, srcRow, lda, w, n, 0, outLen, k, n, false, bias, relu)
+		}
+	}
 }
 
 // backwardParams accumulates the weight and bias gradients only,
@@ -171,6 +224,29 @@ func (m *MaxPool1D) checkIn(x *Matrix) {
 // concurrent passes never write layer state).
 func (m *MaxPool1D) pool(out, x *Matrix, argmax []int) {
 	outLen := m.OutLen()
+	if argmax == nil && m.Window == 2 {
+		// Inference fast path for the ubiquitous window-2 pool: compare
+		// the two candidate channel vectors slice-to-slice instead of
+		// recomputing flat indices per element. Same comparisons, same
+		// winners — only the index arithmetic is hoisted.
+		for b := 0; b < x.Rows; b++ {
+			row := x.Row(b)
+			dst := out.Row(b)
+			for p := 0; p < outLen; p++ {
+				base := p * m.Stride * m.Ch
+				lo := row[base : base+m.Ch]
+				hi := row[base+m.Ch : base+2*m.Ch]
+				d := dst[p*m.Ch : (p+1)*m.Ch]
+				for ch, v := range lo {
+					if hi[ch] > v {
+						v = hi[ch]
+					}
+					d[ch] = v
+				}
+			}
+		}
+		return
+	}
 	for b := 0; b < x.Rows; b++ {
 		row := x.Row(b)
 		dst := out.Row(b)

@@ -62,6 +62,11 @@ const (
 	// gemmColBlock columns of the destination (and B panel) per tile:
 	// a 4 KiB destination row segment.
 	gemmColBlock = 512
+	// gemmNarrowMax is the widest destination the transposed-B dot
+	// kernel handles. Below this width the blocked kernel's per-quad
+	// segment slicing and vector-call setup cost more than the
+	// arithmetic they feed, so gemmNarrow wins despite staying scalar.
+	gemmNarrowMax = 16
 	// gemmKBlock k-depth per tile: the four unrolled B row segments plus
 	// the destination segment stay within L1.
 	gemmKBlock = 128
@@ -73,16 +78,21 @@ const (
 // steady-state training pays no allocation for the packed panels.
 var f64Pool = sync.Pool{New: func() any { return new([]float64) }}
 
-func getF64(n int) []float64 {
+// getF64 hands out the pooled slice through its pool pointer so putF64
+// can return the identical pointer — putting a fresh &s would make the
+// header escape and cost one heap allocation per release, which the
+// narrow-product path would pay on every inference call.
+func getF64(n int) (*[]float64, []float64) {
 	s := f64Pool.Get().(*[]float64)
 	if cap(*s) < n {
 		*s = make([]float64, n)
 	}
-	return (*s)[:n]
+	*s = (*s)[:n]
+	return s, *s
 }
 
-func putF64(s []float64) {
-	f64Pool.Put(&s)
+func putF64(s *[]float64) {
+	f64Pool.Put(s)
 }
 
 // transposeInto writes the transpose of the rows x cols matrix in src
@@ -148,18 +158,43 @@ func gemm(dst, a, b *Matrix, aT, bT, acc bool, bias []float64, relu bool) {
 	}
 
 	aData, lda := a.Data, a.Cols
-	var scratchA []float64
+	var scratchA *[]float64
 	if aT {
-		scratchA = getF64(m * k)
-		transposeInto(scratchA, a.Data, a.Rows, a.Cols)
-		aData, lda = scratchA, k
+		var s []float64
+		scratchA, s = getF64(m * k)
+		transposeInto(s, a.Data, a.Rows, a.Cols)
+		aData, lda = s, k
 	}
+	// Narrow products take the register-blocked panel kernel
+	// (bit-identical to the blocked one — see gemmNarrow), which wants
+	// B in its natural k x n layout.
+	if !acc && !bT && n <= gemmNarrowMax {
+		bd := b.Data
+		if work := m * k * n; work < parallelThreshold || m < 2 || par.Workers() == 1 {
+			gemmNarrow(dst.Data, n, aData, lda, bd, n, 0, m, k, n, bias, relu)
+		} else {
+			grain := parallelThreshold / (k * n)
+			if grain < 1 {
+				grain = 1
+			}
+			dd := dst.Data
+			par.ForChunkedGrain(m, grain, func(rlo, rhi int) {
+				gemmNarrow(dd, n, aData, lda, bd, n, rlo, rhi, k, n, bias, relu)
+			})
+		}
+		if scratchA != nil {
+			putF64(scratchA)
+		}
+		return
+	}
+
 	bData, ldb := b.Data, b.Cols
-	var scratchB []float64
+	var scratchB *[]float64
 	if bT {
-		scratchB = getF64(k * n)
-		transposeInto(scratchB, b.Data, b.Rows, b.Cols)
-		bData, ldb = scratchB, n
+		var s []float64
+		scratchB, s = getF64(k * n)
+		transposeInto(s, b.Data, b.Rows, b.Cols)
+		bData, ldb = s, n
 	}
 
 	// The serial branch calls the kernel directly (no closure) so small
@@ -396,6 +431,68 @@ func gemmRowPair(dst []float64, ldd int, a []float64, lda int, b []float64, ldb 
 	if relu && ke == k && !acc {
 		gemmRowReLU(d0)
 		gemmRowReLU(d1)
+	}
+}
+
+// gemmNarrow computes rows [rlo, rhi) of dst = a @ b (+ bias, ReLU)
+// for narrow destinations (n <= gemmNarrowMax). Full 8-wide column
+// tiles go through panelQuad8AVX, which keeps the destination tile in
+// registers across the entire quad sweep instead of round-tripping it
+// through memory per quad the way the blocked kernel does — at these
+// widths that round-trip and the per-quad segment slicing dominate
+// the arithmetic. Leftover columns, the scalar k remainder, and every
+// column when AVX is absent fall through to the blocked machinery.
+//
+// Bit-identity with gemmKernel: element (i, j) starts from the same
+// bias seed and accumulates the same quad-grouped terms in the same
+// ascending-k order with the same all-four-zero quad skip, then the
+// same zero-skipped scalar remainder, then the same comparison-only
+// ReLU. Holding the accumulator in a register instead of memory does
+// not change any IEEE-754 operation, gemmKernel's k-blocking cannot
+// regroup quads (gemmKBlock is a multiple of 4, so quad boundaries
+// fall on the same offsets), and its column tiling and row pairing
+// never change what is added to which element — so the two paths
+// produce byte-identical output.
+func gemmNarrow(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int, rlo, rhi, k, n int, bias []float64, relu bool) {
+	nq := k >> 2
+	jp := 0 // column prefix covered by the panel kernel
+	if useAVX && nq > 0 && rhi > rlo {
+		jp = n &^ 7
+	}
+	if jp > 0 {
+		// The panel kernel accumulates, so rows are seeded first; the
+		// scalar k remainder and the ReLU epilogue run after it, per
+		// element in the same order as the blocked kernel.
+		for i := rlo; i < rhi; i++ {
+			gemmRowInit(dst[i*ldd:i*ldd+jp], bias, 0, jp)
+		}
+		for j := 0; j < jp; j += 8 {
+			panelQuad8AVX(&dst[rlo*ldd+j], ldd, &a[rlo*lda], lda, &b[j], ldb, rhi-rlo, nq)
+		}
+		for i := rlo; i < rhi; i++ {
+			arow := a[i*lda : i*lda+k]
+			drow := dst[i*ldd : i*ldd+jp]
+			for kk := nq << 2; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b[kk*ldb : kk*ldb+jp]
+				for z := range drow {
+					drow[z] += av * brow[z]
+				}
+			}
+			if relu {
+				gemmRowReLU(drow)
+			}
+		}
+	}
+	if jp < n {
+		tailBias := bias
+		if bias != nil {
+			tailBias = bias[jp:]
+		}
+		gemmKernel(dst[jp:], ldd, a, lda, b[jp:], ldb, rlo, rhi, k, n-jp, false, tailBias, relu)
 	}
 }
 

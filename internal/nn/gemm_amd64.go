@@ -32,3 +32,20 @@ func pairQuadAVX(d0, d1, b0, b1, b2, b3 *float64, n int, a *[8]float64)
 //
 //go:noescape
 func rowQuadAVX(d, b0, b1, b2, b3 *float64, n int, a *[4]float64)
+
+// panelQuad8AVX accumulates, for each of rows destination rows (row
+// stride ldd), nq column quads into the row's 8-wide tile d[0:8]:
+//
+//	d[z] += a[4q]*b[4q*ldb+z] + a[4q+1]*b[(4q+1)*ldb+z] +
+//	        a[4q+2]*b[(4q+2)*ldb+z] + a[4q+3]*b[(4q+3)*ldb+z]
+//
+// for q in [0, nq), z in [0, 8), skipping a quad when all four of its
+// a values equal zero — the same expression, reduction order, and skip
+// predicate as the scalar quad loops (the equality test is an IEEE
+// compare, so -0 skips and NaN does not, exactly like Go's ==). The
+// a panel advances by lda per row. The destination tile is held in
+// registers for the whole quad sweep, which is the point: the blocked
+// kernel reloads and restores it per quad.
+//
+//go:noescape
+func panelQuad8AVX(d *float64, ldd int, a *float64, lda int, b *float64, ldb int, rows, nq int)

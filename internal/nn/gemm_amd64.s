@@ -200,3 +200,97 @@ rtail:
 rdone:
 	VZEROUPPER
 	RET
+
+// func panelQuad8AVX(d *float64, ldd int, a *float64, lda int, b *float64, ldb int, rows, nq int)
+//
+// For each of rows destination rows (stride ldd), accumulate nq column
+// quads into the row's 8-wide tile, skipping a quad when all four a
+// values compare equal to zero. The tile lives in Y12/Y13 across the
+// whole sweep; each quad's four-term sum is reduced left to right
+// (VMULPD/VADDPD, no FMA) before one add into the tile, matching the
+// scalar expression exactly.
+TEXT ·panelQuad8AVX(SB), NOSPLIT, $0-64
+	MOVQ d+0(FP), DI
+	MOVQ ldd+8(FP), DX
+	MOVQ a+16(FP), R14
+	MOVQ lda+24(FP), R13
+	MOVQ b+32(FP), BX
+	MOVQ ldb+40(FP), R9
+	MOVQ rows+48(FP), R15
+	MOVQ nq+56(FP), R11
+
+	SHLQ   $3, DX            // ldd in bytes
+	SHLQ   $3, R13           // lda in bytes
+	SHLQ   $3, R9            // ldb in bytes
+	LEAQ   (R9)(R9*2), R10   // 3*ldb in bytes
+	VXORPD Y0, Y0, Y0        // zero, for the quad-skip compare
+
+	TESTQ R15, R15
+	JZ    nqdone
+	TESTQ R11, R11
+	JZ    nqdone
+
+nqrow:
+	VMOVUPD (DI), Y12
+	VMOVUPD 32(DI), Y13
+	MOVQ    R14, SI // a cursor for this row
+	MOVQ    BX, R8  // b cursor (rows 4q..4q+3)
+	MOVQ    R11, CX
+
+nqquad:
+	// Skip when a[4q..4q+3] are all zero (IEEE compare: -0 skips,
+	// NaN does not), like the scalar loops.
+	VMOVUPD   (SI), Y1
+	VCMPPD    $0, Y0, Y1, Y1
+	VMOVMSKPD Y1, AX
+	CMPL      AX, $0xF
+	JE        nqskip
+
+	VBROADCASTSD 0(SI), Y2
+	VBROADCASTSD 8(SI), Y3
+	VBROADCASTSD 16(SI), Y4
+	VBROADCASTSD 24(SI), Y5
+
+	// sum = ((a0*b0 + a1*b1) + a2*b2) + a3*b3, lanes = adjacent cols.
+	VMOVUPD (R8), Y6
+	VMOVUPD 32(R8), Y7
+	VMULPD  Y6, Y2, Y8
+	VMULPD  Y7, Y2, Y9
+	VMOVUPD (R8)(R9*1), Y6
+	VMOVUPD 32(R8)(R9*1), Y7
+	VMULPD  Y6, Y3, Y10
+	VADDPD  Y10, Y8, Y8
+	VMULPD  Y7, Y3, Y10
+	VADDPD  Y10, Y9, Y9
+	VMOVUPD (R8)(R9*2), Y6
+	VMOVUPD 32(R8)(R9*2), Y7
+	VMULPD  Y6, Y4, Y10
+	VADDPD  Y10, Y8, Y8
+	VMULPD  Y7, Y4, Y10
+	VADDPD  Y10, Y9, Y9
+	VMOVUPD (R8)(R10*1), Y6
+	VMOVUPD 32(R8)(R10*1), Y7
+	VMULPD  Y6, Y5, Y10
+	VADDPD  Y10, Y8, Y8
+	VMULPD  Y7, Y5, Y10
+	VADDPD  Y10, Y9, Y9
+
+	VADDPD Y8, Y12, Y12
+	VADDPD Y9, Y13, Y13
+
+nqskip:
+	ADDQ $32, SI
+	LEAQ (R8)(R9*4), R8
+	DECQ CX
+	JNZ  nqquad
+
+	VMOVUPD Y12, (DI)
+	VMOVUPD Y13, 32(DI)
+	ADDQ    DX, DI
+	ADDQ    R13, R14
+	DECQ    R15
+	JNZ     nqrow
+
+nqdone:
+	VZEROUPPER
+	RET

@@ -62,6 +62,11 @@ var equivShapes = []struct{ m, k, n int }{
 	{1, 500, 600},  // single row, wide
 	{100, 1, 100},  // k == 1 (no full unroll quads)
 	{7, 6, 1},      // single column
+	{5, 9, 8},      // narrow panel path, one 8-wide tile, k remainder
+	{4, 130, 16},   // narrow panel, two tiles, crosses the k block
+	{3, 12, 12},    // narrow panel plus 4 leftover columns
+	{6, 4, 15},     // narrow panel, exactly one quad, 7 leftover columns
+	{64, 257, 14},  // narrow panel on the parallel path
 }
 
 func maxAbsDiff(a, b *Matrix) float64 {
@@ -160,6 +165,64 @@ func TestGemmFusedBiasReLU(t *testing.T) {
 	}
 	if d := maxAbsDiff(fused, want); d > 1e-9 {
 		t.Fatalf("fused bias+ReLU: max diff %g", d)
+	}
+}
+
+// TestGemmNarrowMatchesBlockedKernel pins the narrow panel kernel
+// bit-identical to the blocked kernel — not merely close: batched and
+// per-sample scoring paths may dispatch the same product to different
+// kernels, and the repo's equivalence guarantees require the results
+// to agree in every bit. Inputs include -0 values and fully zero quads
+// so the skip predicate, the scalar k remainder, leftover columns, and
+// the bias/ReLU epilogues are all crossed.
+func TestGemmNarrowMatchesBlockedKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	shapes := []struct{ m, k, n int }{
+		{1, 4, 8},
+		{5, 9, 8},
+		{4, 130, 16},
+		{3, 12, 12},
+		{6, 4, 15},
+		{7, 3, 6},   // nq == 0: everything through the blocked tail
+		{2, 257, 9}, // k remainder after the last full quad
+	}
+	for _, sh := range shapes {
+		a := randMatrix(rng, sh.m, sh.k)
+		for i := range a.Data {
+			switch {
+			case a.Data[i] < -0.8:
+				a.Data[i] = math.Copysign(0, -1) // -0 must still skip
+			case a.Data[i] < 0:
+				a.Data[i] = 0
+			}
+		}
+		// Zero a whole quad in every row to force the skip path.
+		if sh.k >= 4 {
+			for i := 0; i < sh.m; i++ {
+				for z := 0; z < 4; z++ {
+					a.Data[i*sh.k+z] = 0
+				}
+			}
+		}
+		b := randMatrix(rng, sh.k, sh.n)
+		bias := make([]float64, sh.n)
+		for i := range bias {
+			bias[i] = rng.NormFloat64()
+		}
+		for _, relu := range []bool{false, true} {
+			for _, bi := range [][]float64{nil, bias} {
+				narrow := NewMatrix(sh.m, sh.n)
+				gemmNarrow(narrow.Data, sh.n, a.Data, sh.k, b.Data, sh.n, 0, sh.m, sh.k, sh.n, bi, relu)
+				blocked := NewMatrix(sh.m, sh.n)
+				gemmKernel(blocked.Data, sh.n, a.Data, sh.k, b.Data, sh.n, 0, sh.m, sh.k, sh.n, false, bi, relu)
+				for i := range narrow.Data {
+					if narrow.Data[i] != blocked.Data[i] {
+						t.Fatalf("%dx%dx%d relu=%v bias=%v: elem %d: narrow %v != blocked %v",
+							sh.m, sh.k, sh.n, relu, bi != nil, i, narrow.Data[i], blocked.Data[i])
+					}
+				}
+			}
+		}
 	}
 }
 

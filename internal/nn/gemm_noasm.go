@@ -9,3 +9,5 @@ const useAVX = false
 func pairQuadAVX(d0, d1, b0, b1, b2, b3 *float64, n int, a *[8]float64) {}
 
 func rowQuadAVX(d, b0, b1, b2, b3 *float64, n int, a *[4]float64) {}
+
+func panelQuad8AVX(d *float64, ldd int, a *float64, lda int, b *float64, ldb int, rows, nq int) {}

@@ -104,6 +104,18 @@ func Softmax(logits *Matrix) *Matrix {
 	return out
 }
 
+// SoftmaxInPlace replaces each row of m with its softmax, for
+// allocation-free probability readout over a reusable logits buffer.
+// (softmaxRowInto tolerates dst == row: the max is read up front and
+// element j of the source is consumed before element j of the
+// destination is written.)
+func SoftmaxInPlace(m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		softmaxRowInto(row, row)
+	}
+}
+
 // OneHot encodes integer labels as a rows x classes one-hot matrix.
 func OneHot(labels []int, classes int) *Matrix {
 	out := NewMatrix(len(labels), classes)

@@ -35,15 +35,27 @@ func (n *Network) Forward(x *Matrix, train bool) *Matrix {
 }
 
 // inferArena runs the stack's inference path on scratch from ws. A
-// Dense layer immediately followed by a ReLU is fused into one pass
-// (the GEMM epilogue clamps the output while it is cache-hot), which
-// is exact: ReLU(x) = max(x, 0) involves no arithmetic.
+// Dense or Conv1D layer immediately followed by a ReLU is fused into
+// one pass (the GEMM epilogue clamps the output while it is
+// cache-hot), which is exact: ReLU(x) = max(x, 0) involves no
+// arithmetic.
 func (n *Network) inferArena(x *Matrix, ws *Arena) *Matrix {
 	for i := 0; i < len(n.Layers); i++ {
-		if d, ok := n.Layers[i].(*Dense); ok && i+1 < len(n.Layers) {
-			if _, isReLU := n.Layers[i+1].(*ReLU); isReLU {
-				d.checkIn(x)
-				x = d.inferInto(ws.take(x.Rows, d.Out), x, true)
+		followedByReLU := false
+		if i+1 < len(n.Layers) {
+			_, followedByReLU = n.Layers[i+1].(*ReLU)
+		}
+		switch l := n.Layers[i].(type) {
+		case *Dense:
+			if followedByReLU {
+				l.checkIn(x)
+				x = l.inferInto(ws.take(x.Rows, l.Out), x, true)
+				i++
+				continue
+			}
+		case *Conv1D:
+			if followedByReLU {
+				x = l.inferFused(x, ws, true)
 				i++
 				continue
 			}
@@ -77,6 +89,22 @@ func (n *Network) PredictInto(dst, x *Matrix) *Matrix {
 	ws.reset()
 	n.arenas.Put(ws)
 	return dst
+}
+
+// PredictApply runs inference on x and hands the raw output — arena
+// scratch owned by the network — to visit, skipping PredictInto's
+// copy-out for callers that only reduce or transform the result. The
+// matrix passed to visit is valid only until visit returns; visit may
+// modify it in place (e.g. a softmax over logits). Safe for concurrent
+// use on a shared trained network.
+func (n *Network) PredictApply(x *Matrix, visit func(y *Matrix)) {
+	ws, _ := n.arenas.Get().(*Arena)
+	if ws == nil {
+		ws = new(Arena)
+	}
+	visit(n.inferArena(x, ws))
+	ws.reset()
+	n.arenas.Put(ws)
 }
 
 // Backward propagates the output gradient through the stack,

@@ -1,0 +1,53 @@
+package par
+
+// Overlap runs a two-stage producer/consumer pipeline over n sequential
+// items with bounded look-ahead: produce(i, slot) runs on a dedicated
+// goroutine in item order, consume(i, slot) runs on the calling
+// goroutine in item order, and the producer never runs more than depth
+// items ahead of the consumer. slot = i % depth names the reusable
+// buffer set item i travels in: consume(i, slot) returning is what
+// frees the slot for produce(i+depth, slot), so depth buffer sets cover
+// the whole run without copying between stages.
+//
+// With depth <= 1 (or a single item) the stages simply alternate on the
+// caller; otherwise production of item i+1 overlaps consumption of
+// item i. Either stage may itself fan out through this package's
+// parallel loops — the producer goroutine is not a pool worker, and
+// nested parallelism degrades to serial execution rather than
+// deadlocking. Determinism follows from the fixed item order: each
+// stage sees items 0..n-1 in order regardless of scheduling. Both
+// callbacks must return rather than panic — a panic on the producer
+// goroutine cannot be recovered by the caller — so stages should record
+// per-item failures in their slot buffers instead.
+func Overlap(n, depth int, produce, consume func(i, slot int)) {
+	if n <= 0 {
+		return
+	}
+	if depth > n {
+		depth = n
+	}
+	if depth <= 1 {
+		for i := 0; i < n; i++ {
+			produce(i, 0)
+			consume(i, 0)
+		}
+		return
+	}
+	free := make(chan struct{}, depth)
+	for i := 0; i < depth; i++ {
+		free <- struct{}{}
+	}
+	ready := make(chan struct{}, depth)
+	go func() {
+		for i := 0; i < n; i++ {
+			<-free
+			produce(i, i%depth)
+			ready <- struct{}{}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		<-ready
+		consume(i, i%depth)
+		free <- struct{}{}
+	}
+}

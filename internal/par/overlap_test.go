@@ -1,0 +1,94 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestOverlapOrderAndSlots pins the pipeline contract: both stages see
+// every item exactly once in ascending order, each item rides slot
+// i%depth, and every consume observes the value its produce wrote —
+// i.e. slot reuse never overtakes consumption.
+func TestOverlapOrderAndSlots(t *testing.T) {
+	for _, depth := range []int{0, 1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 5, 17} {
+			effDepth := depth
+			if effDepth > n {
+				effDepth = n
+			}
+			if effDepth < 1 {
+				effDepth = 1
+			}
+			slots := make([]int, effDepth)
+			var produced, consumed []int
+			Overlap(n, depth,
+				func(i, slot int) {
+					if slot != i%effDepth {
+						t.Errorf("n=%d depth=%d: produce(%d) got slot %d, want %d", n, depth, i, slot, i%effDepth)
+					}
+					produced = append(produced, i)
+					slots[slot] = i
+				},
+				func(i, slot int) {
+					if slots[slot] != i {
+						t.Errorf("n=%d depth=%d: consume(%d) sees slot value %d", n, depth, i, slots[slot])
+					}
+					consumed = append(consumed, i)
+				})
+			if len(produced) != n || len(consumed) != n {
+				t.Fatalf("n=%d depth=%d: %d produced, %d consumed", n, depth, len(produced), len(consumed))
+			}
+			for i := 0; i < n; i++ {
+				if produced[i] != i || consumed[i] != i {
+					t.Fatalf("n=%d depth=%d: order produced=%v consumed=%v", n, depth, produced, consumed)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapBoundedLookahead pins the look-ahead bound: the producer
+// never runs more than depth items ahead of the consumer.
+func TestOverlapBoundedLookahead(t *testing.T) {
+	const n, depth = 40, 3
+	var produced, consumed atomic.Int64
+	Overlap(n, depth,
+		func(i, slot int) {
+			if ahead := produced.Load() - consumed.Load(); ahead > depth {
+				t.Errorf("produce(%d): %d items in flight, depth %d", i, ahead, depth)
+			}
+			produced.Add(1)
+		},
+		func(i, slot int) {
+			consumed.Add(1)
+		})
+	if produced.Load() != n || consumed.Load() != n {
+		t.Fatalf("produced %d consumed %d, want %d", produced.Load(), consumed.Load(), n)
+	}
+}
+
+// TestOverlapStagesMayUsePool pins that both stages can fan out through
+// the package's own parallel loops without deadlocking.
+func TestOverlapStagesMayUsePool(t *testing.T) {
+	const n, depth, width = 6, 2, 32
+	buf := make([][]int, depth)
+	for i := range buf {
+		buf[i] = make([]int, width)
+	}
+	total := 0
+	Overlap(n, depth,
+		func(i, slot int) {
+			For(width, func(j int) { buf[slot][j] = i + j })
+		},
+		func(i, slot int) {
+			sum := 0
+			For(width, func(j int) { _ = j }) // consumer side may also fan out
+			for j := 0; j < width; j++ {
+				sum += buf[slot][j] - i - j
+			}
+			total += sum
+		})
+	if total != 0 {
+		t.Fatalf("slot contents corrupted: residual %d", total)
+	}
+}

@@ -119,6 +119,39 @@ func (s *System) AnalyzeBinary(raw []byte, salt int64) (*Decision, error) {
 	return s.pipeline.AnalyzeBinary(raw, salt)
 }
 
+// AnalyzeBatch analyzes many CFGs through the batched scoring pipeline:
+// extraction overlaps cross-sample batched forwards, producing results
+// bit-identical to per-sample Analyze calls with the same salts.
+func (s *System) AnalyzeBatch(cfgs []*CFG, salts []int64) ([]*Decision, error) {
+	return s.pipeline.AnalyzeBatch(cfgs, salts)
+}
+
+// AnalyzeBinaryBatch disassembles and analyzes many raw SOTB binaries
+// in one batched pass.
+func (s *System) AnalyzeBinaryBatch(bins [][]byte, salts []int64) ([]*Decision, error) {
+	return s.pipeline.AnalyzeBinaryBatch(bins, salts)
+}
+
+// Batcher coalesces concurrent Analyze requests into shared batched
+// forwards; see NewBatcher.
+type Batcher = core.Batcher
+
+// BatcherConfig tunes a Batcher's batch-size/latency tradeoff.
+type BatcherConfig = core.BatcherConfig
+
+// ErrBatcherClosed is returned by Batcher.Submit after Close.
+var ErrBatcherClosed = core.ErrBatcherClosed
+
+// NewBatcher starts a micro-batching front door over the trained
+// system: concurrent callers Submit one CFG each and receive decisions
+// bit-identical to lone Analyze calls with the same salt, while the
+// batcher coalesces up to MaxBatch requests (or MaxWait of arrival
+// time) into shared batched forwards. Close it to release the
+// collector goroutine.
+func (s *System) NewBatcher(cfg BatcherConfig) *Batcher {
+	return core.NewBatcher(s.pipeline, cfg)
+}
+
 // Pipeline exposes the underlying components (extractor, detector,
 // ensemble) for advanced use such as threshold sweeps or classifier
 // replacement.
