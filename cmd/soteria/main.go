@@ -5,18 +5,30 @@
 // Usage:
 //
 //	soteria [-load model.json | -train-per-class N] [-save model.json] \
-//	        file.sotb [file2.sotb ...]
+//	        [-serve addr] file.sotb [file2.sotb ...]
 //
 // Training data is generated on the fly (the corpus generator is the
 // dataset substitute; see DESIGN.md); -save persists the trained system
 // and -load skips training entirely. Analysis prints one line per
 // input: verdict, reconstruction error, and class.
+//
+// -serve starts an HTTP server instead of analyzing files: POST raw
+// SOTB bytes to /analyze (optional ?salt=N) for a JSON decision served
+// through a micro-batching Batcher, GET /metrics for the observability
+// registry's JSON snapshot (training and serving metrics; see DESIGN.md
+// §9), GET /healthz for liveness, and /debug/pprof/ for the standard
+// profiles.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"time"
 
 	"soteria"
@@ -35,12 +47,37 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "generator and training seed")
 	loadPath := fs.String("load", "", "load a trained model instead of training")
 	savePath := fs.String("save", "", "save the trained model to this path")
+	serveAddr := fs.String("serve", "", "serve /analyze, /metrics, /healthz, /debug/pprof on this address instead of analyzing files")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// A loaded model is already trained, so training flags given next to
+	// -load would be silently ignored; diagnose the conflict instead.
+	if *loadPath != "" {
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "train-per-class" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-load and -%s conflict: a loaded model is already trained", conflict)
+		}
+	}
 	files := fs.Args()
-	if len(files) == 0 && *savePath == "" {
+	if len(files) > 0 && *serveAddr != "" {
+		return fmt.Errorf("-serve and file arguments conflict: serve mode analyzes via POST /analyze")
+	}
+	if len(files) == 0 && *savePath == "" && *serveAddr == "" {
 		return fmt.Errorf("usage: soteria [flags] file.sotb [file2.sotb ...]")
+	}
+
+	// In serve mode the registry is live from the start, so training
+	// metrics (train.detector.*, train.classifier.*) appear alongside
+	// the serving ones.
+	var reg *soteria.Registry
+	if *serveAddr != "" {
+		reg = soteria.NewRegistry()
 	}
 
 	var sys *soteria.System
@@ -68,6 +105,7 @@ func run(args []string) error {
 		}
 		opts := soteria.DefaultOptions()
 		opts.Seed = *seed
+		opts.Obs = reg
 		start := time.Now()
 		fmt.Fprintln(os.Stderr, "training detector and classifier...")
 		sys, err = soteria.Train(corpus, opts)
@@ -90,6 +128,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "saved model to %s\n", *savePath)
+	}
+
+	if *serveAddr != "" {
+		sys.Instrument(reg) // no-op after Train with Obs; wires a loaded model
+		bat := sys.NewBatcher(soteria.BatcherConfig{})
+		defer bat.Close()
+		fmt.Fprintf(os.Stderr, "serving on %s (/analyze, /metrics, /healthz, /debug/pprof/)\n", *serveAddr)
+		return http.ListenAndServe(*serveAddr, serveHandler(reg, bat))
 	}
 
 	// Parse and disassemble per file (so an unreadable file is named
@@ -129,4 +175,73 @@ func run(args []string) error {
 		fmt.Printf("%s: %s (RE=%.6f) class=%s\n", f, verdict, dec.RE, dec.Class)
 	}
 	return nil
+}
+
+// analyzeResponse is /analyze's JSON decision.
+type analyzeResponse struct {
+	Adversarial bool    `json:"adversarial"`
+	RE          float64 `json:"re"`
+	Class       string  `json:"class"`
+}
+
+// maxAnalyzeBody bounds an /analyze request's binary.
+const maxAnalyzeBody = 16 << 20
+
+// serveHandler builds the serve-mode HTTP handler: /analyze (POST raw
+// SOTB bytes, decisions via the shared micro-batching Batcher),
+// /metrics (the registry's JSON snapshot), /healthz, and the standard
+// pprof endpoints on an explicit mux (nothing else leaks in from
+// http.DefaultServeMux).
+func serveHandler(reg *soteria.Registry, bat *soteria.Batcher) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/analyze", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a raw SOTB binary", http.StatusMethodNotAllowed)
+			return
+		}
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAnalyzeBody))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var salt int64
+		if q := r.URL.Query().Get("salt"); q != "" {
+			if salt, err = strconv.ParseInt(q, 10, 64); err != nil {
+				http.Error(w, "salt must be an integer", http.StatusBadRequest)
+				return
+			}
+		}
+		bin, err := soteria.ParseBinary(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg, err := soteria.Disassemble(bin)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		dec, err := bat.Submit(cfg, salt)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(analyzeResponse{
+			Adversarial: dec.Adversarial,
+			RE:          dec.RE,
+			Class:       dec.Class.String(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

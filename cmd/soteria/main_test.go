@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"soteria"
 	"soteria/internal/malgen"
 )
 
@@ -46,5 +52,175 @@ func TestRunTrainSaveLoadAnalyze(t *testing.T) {
 func TestRunNoFiles(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Fatal("no files should error")
+	}
+}
+
+// TestRunConflictingFlags pins the flag diagnosis: -load with
+// -train-per-class used to silently ignore the training flag; now the
+// conflict is a usage error, reported before any file is touched.
+func TestRunConflictingFlags(t *testing.T) {
+	err := run([]string{"-load", "does-not-exist.json", "-train-per-class", "5", "x.sotb"})
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("err = %v, want conflict diagnosis", err)
+	}
+	if strings.Contains(err.Error(), "does-not-exist") {
+		t.Fatalf("conflict must be diagnosed before opening the model: %v", err)
+	}
+	// -serve and file arguments are mutually exclusive too.
+	if err := run([]string{"-serve", "127.0.0.1:0", "x.sotb"}); err == nil ||
+		!strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("serve+files err = %v, want conflict diagnosis", err)
+	}
+	// -load alone (default train-per-class untouched) must not trip it.
+	if err := run([]string{"-load", "does-not-exist.json", "x.sotb"}); err == nil ||
+		strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("plain -load err = %v, want file-open error", err)
+	}
+}
+
+// TestRunSaveOnly pins the train-and-save path with no analysis files:
+// it must train, write the model, and exit cleanly.
+func TestRunSaveOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	model := filepath.Join(t.TempDir(), "model.json")
+	if err := run([]string{"-train-per-class", "3", "-save", model}); err != nil {
+		t.Fatalf("save-only run: %v", err)
+	}
+	if fi, err := os.Stat(model); err != nil || fi.Size() == 0 {
+		t.Fatalf("model not written: %v", err)
+	}
+}
+
+// bodyClose closes a response body, failing the test on error so the
+// persistence-error discipline holds in tests too.
+func bodyClose(t *testing.T, res *http.Response) {
+	t.Helper()
+	if err := res.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeHandler covers the -serve surface with httptest: /healthz,
+// /metrics (JSON snapshot with training and serving metrics), /analyze
+// (batched decisions matching a direct Analyze call), and the pprof
+// endpoints.
+func TestServeHandler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	gen := malgen.NewGenerator(malgen.Config{Seed: 9})
+	var corpus []*malgen.Sample
+	for _, c := range malgen.Classes {
+		for i := 0; i < 3; i++ {
+			s, err := gen.Sample(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpus = append(corpus, s)
+		}
+	}
+	opts := soteria.DefaultOptions()
+	opts.Features.WalkCount = 3
+	opts.DetectorEpochs = 6
+	opts.ClassifierEpochs = 6
+	opts.Filters = 4
+	opts.DenseUnits = 16
+	reg := soteria.NewRegistry()
+	opts.Obs = reg
+	sys, err := soteria.Train(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat := sys.NewBatcher(soteria.BatcherConfig{})
+	defer bat.Close()
+	srv := httptest.NewServer(serveHandler(reg, bat))
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyClose(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", res.StatusCode)
+	}
+
+	// Analyze one binary through the server and require the decision to
+	// match a direct Analyze call with the same salt.
+	raw, err := corpus[0].Binary.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = http.Post(srv.URL+"/analyze?salt=42", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got analyzeResponse
+	if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+		t.Fatalf("/analyze response: %v", err)
+	}
+	bodyClose(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/analyze status %d", res.StatusCode)
+	}
+	want, err := sys.Analyze(corpus[0].CFG, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RE != want.RE || got.Adversarial != want.Adversarial || got.Class != want.Class.String() {
+		t.Fatalf("/analyze decision %+v diverges from Analyze {%v %v %v}",
+			got, want.Adversarial, want.RE, want.Class)
+	}
+
+	// /metrics must be valid JSON and include training and serving
+	// metrics now that one request went through.
+	res, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v", err)
+	}
+	bodyClose(t, res)
+	for _, name := range []string{
+		"train.detector.epochs", "train.classifier.epochs",
+		"pipeline.samples", "batcher.wait_ns", "detector.re",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("/metrics missing %q", name)
+		}
+	}
+
+	// Error paths: wrong method, junk body.
+	res, err = http.Get(srv.URL + "/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyClose(t, res)
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /analyze status %d, want 405", res.StatusCode)
+	}
+	res, err = http.Post(srv.URL+"/analyze", "application/octet-stream", strings.NewReader("not a binary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyClose(t, res)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("junk /analyze status %d, want 400", res.StatusCode)
+	}
+
+	// pprof endpoints are mounted.
+	for _, p := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		res, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodyClose(t, res)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", p, res.StatusCode)
+		}
 	}
 }

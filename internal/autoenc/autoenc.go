@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"soteria/internal/nn"
+	"soteria/internal/obs"
 )
 
 // Config parameterizes the detector.
@@ -58,6 +59,9 @@ type Config struct {
 	NoStandardize bool `json:"noStandardize"`
 	// Seed makes weight init and batching deterministic.
 	Seed int64 `json:"seed"`
+	// Hooks observes per-epoch training loss and wall time (nil = off).
+	// Write-only: fitted weights are bit-identical with hooks on or off.
+	Hooks *obs.TrainHooks `json:"-"`
 }
 
 // DefaultConfig returns the paper's training parameters for the given
@@ -123,6 +127,78 @@ type Detector struct {
 	// borrows its own set, so scoring a shared detector is race-free
 	// and, at steady state, allocation-free.
 	scratch sync.Pool
+
+	// met holds the detector's drift metrics; all fields are nil until
+	// Instrument, so an uninstrumented detector pays one pointer check
+	// per scored sample.
+	met detObs
+}
+
+// detObs tracks the deployed RE distribution against the trained
+// calibration: a histogram of sample-level detection statistics, their
+// exponentially weighted rolling mean, and that mean's distance from
+// the trained mu in units of sigma — the drift signal an operator
+// watches to notice the clean-traffic distribution sliding toward (or
+// away from) the fixed threshold.
+type detObs struct {
+	re     *obs.Histogram
+	reMean *obs.EWMA
+	drift  *obs.Gauge
+}
+
+// reDecay is the rolling-mean decay: each sample moves the mean 1% of
+// the way to its RE, i.e. a ~100-sample memory — long enough to smooth
+// walk noise, short enough to show drift within one dashboard refresh.
+const reDecay = 0.01
+
+// Instrument registers the detector's drift metrics ("detector.re",
+// "detector.re_mean", "detector.re_drift_sigma") in r and starts
+// observing every sample-level detection statistic. A nil registry is
+// a no-op. Call before serving; observations are write-only and never
+// affect scores or the threshold.
+func (d *Detector) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	// Bucket the RE axis around the calibration: 32 linear buckets
+	// spanning [0, mu+8*sigma] put the threshold (mu + alpha*sigma)
+	// well inside the resolved range, with drift past it landing in the
+	// upper buckets and overflow.
+	hi := d.mu + 8*d.sigma
+	if hi <= 0 {
+		hi = 1
+	}
+	d.met = detObs{
+		re:     r.Histogram("detector.re", obs.LinearBuckets(hi/32, hi/32, 32)),
+		reMean: r.EWMA("detector.re_mean", reDecay),
+		drift:  r.Gauge("detector.re_drift_sigma"),
+	}
+}
+
+// observeRE folds one sample-level detection statistic into the drift
+// metrics. One pointer check when uninstrumented; allocation-free and
+// race-safe when instrumented.
+func (d *Detector) observeRE(re float64) {
+	if d.met.re == nil {
+		return
+	}
+	d.met.re.Observe(re)
+	d.met.reMean.Observe(re)
+	if d.sigma > 0 {
+		d.met.drift.Set((d.met.reMean.Value() - d.mu) / d.sigma)
+	} else {
+		d.met.drift.Set(d.met.reMean.Value() - d.mu)
+	}
+}
+
+// observeREs is observeRE over a batch of statistics.
+func (d *Detector) observeREs(res []float64) {
+	if d.met.re == nil {
+		return
+	}
+	for _, re := range res {
+		d.observeRE(re)
+	}
 }
 
 // scoreScratch is one scorer's working set: the standardized input,
@@ -343,6 +419,7 @@ func TrainGrouped(x *nn.Matrix, groups []int, cfg Config) (*Detector, error) {
 		Epochs:    cfg.Epochs,
 		BatchSize: cfg.BatchSize,
 		Seed:      cfg.Seed,
+		Hooks:     cfg.Hooks,
 	}); err != nil {
 		return nil, fmt.Errorf("autoenc: train: %w", err)
 	}
@@ -413,6 +490,7 @@ func (d *Detector) ReconstructionErrorsInto(dst []float64, x *nn.Matrix) []float
 	z := d.standardizeCopy(s, x)
 	d.scoreInto(dst, z)
 	d.scratch.Put(s)
+	d.observeREs(dst)
 	return dst
 }
 
@@ -432,6 +510,7 @@ func (d *Detector) ReconstructionError(vec []float64) float64 {
 	d.scoreInto(res, z)
 	re := res[0]
 	d.scratch.Put(s)
+	d.observeRE(re)
 	return re
 }
 
@@ -478,7 +557,9 @@ func (d *Detector) SampleError(walks [][]float64) float64 {
 		sum += r
 	}
 	d.scratch.Put(s)
-	return sum / float64(len(res))
+	mean := sum / float64(len(res))
+	d.observeRE(mean)
+	return mean
 }
 
 // SampleErrors computes the sample-level detection statistic for a
@@ -528,6 +609,13 @@ func (d *Detector) SampleErrorsInto(dst []float64, x *nn.Matrix, groups []int) [
 	for g, c := range counts {
 		if c > 0 {
 			dst[g] /= float64(c)
+		}
+	}
+	if d.met.re != nil {
+		for g, c := range counts {
+			if c > 0 {
+				d.observeRE(dst[g])
+			}
 		}
 	}
 	d.scratch.Put(s)

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"soteria/internal/nn"
+	"soteria/internal/obs"
 )
 
 // Config parameterizes one CNN classifier.
@@ -37,6 +38,9 @@ type Config struct {
 	LR float64 `json:"lr"`
 	// Seed drives weight init, dropout, and batching.
 	Seed int64 `json:"seed"`
+	// Hooks observes per-epoch training loss and wall time (nil = off).
+	// Write-only: fitted weights are bit-identical with hooks on or off.
+	Hooks *obs.TrainHooks `json:"-"`
 }
 
 // DefaultConfig returns the paper's classifier parameters for a given
@@ -147,6 +151,7 @@ func Train(x *nn.Matrix, labels []int, cfg Config) (*Classifier, error) {
 		Epochs:    cfg.Epochs,
 		BatchSize: cfg.BatchSize,
 		Seed:      cfg.Seed,
+		Hooks:     cfg.Hooks,
 	}); err != nil {
 		return nil, fmt.Errorf("cnn: train: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"soteria/internal/disasm"
+	"soteria/internal/obs"
 )
 
 // BatcherConfig tunes the micro-batching front door.
@@ -41,6 +42,9 @@ type request struct {
 	dec  *Decision
 	err  error
 	done chan struct{}
+	// t0 is the queue-wait start stamp, the zero time when the batcher
+	// is uninstrumented (obs.Histogram.Start on nil reads no clock).
+	t0 time.Time
 }
 
 // Batcher is a micro-batching front door for concurrent analyze
@@ -64,6 +68,20 @@ type Batcher struct {
 	// collector-only scratch, reused across batches.
 	cfgs  []*disasm.CFG
 	salts []int64
+
+	// met holds the batcher's metrics; all fields are nil unless the
+	// pipeline was Instrumented before NewBatcher.
+	met batcherObs
+}
+
+// batcherObs is the batcher's metric set: how long requests wait for
+// company, how well they coalesce, and why batches flush.
+type batcherObs struct {
+	waitNs     *obs.Histogram // per-request queue wait, Submit to dispatch
+	batchSize  *obs.Histogram // coalesced batch size distribution
+	flushFull  *obs.Counter   // batches flushed at MaxBatch
+	flushTimer *obs.Counter   // batches flushed by the MaxWait timer
+	flushClose *obs.Counter   // batches flushed by Close/drain
 }
 
 // NewBatcher starts a batcher over a trained pipeline. Callers must
@@ -77,6 +95,15 @@ func NewBatcher(p *Pipeline, cfg BatcherConfig) *Batcher {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	if r := p.reg; r != nil {
+		b.met = batcherObs{
+			waitNs:     r.Histogram("batcher.wait_ns", obs.DurationBuckets()),
+			batchSize:  r.Histogram("batcher.batch_size", obs.LinearBuckets(1, 1, cfg.MaxBatch)),
+			flushFull:  r.Counter("batcher.flush_full"),
+			flushTimer: r.Counter("batcher.flush_timer"),
+			flushClose: r.Counter("batcher.flush_close"),
+		}
+	}
 	go b.collect()
 	return b
 }
@@ -87,7 +114,7 @@ func NewBatcher(p *Pipeline, cfg BatcherConfig) *Batcher {
 // racing Close returns either its decision or ErrBatcherClosed, never
 // hangs.
 func (b *Batcher) Submit(c *disasm.CFG, salt int64) (*Decision, error) {
-	r := &request{cfg: c, salt: salt, done: make(chan struct{})}
+	r := &request{cfg: c, salt: salt, done: make(chan struct{}), t0: b.met.waitNs.Start()}
 	select {
 	case b.reqs <- r:
 	case <-b.stop:
@@ -137,15 +164,21 @@ func (b *Batcher) collect() {
 				waiting = false
 			case <-b.stop:
 				timer.Stop()
-				b.serve(batch)
+				b.serve(batch, b.met.flushClose)
 				b.drain(batch[:0])
 				return
 			}
 		}
-		if waiting && !timer.Stop() {
-			<-timer.C
+		if waiting {
+			// The inner loop exited with the timer still pending, so the
+			// batch reached MaxBatch.
+			if !timer.Stop() {
+				<-timer.C
+			}
+			b.serve(batch, b.met.flushFull)
+		} else {
+			b.serve(batch, b.met.flushTimer)
 		}
-		b.serve(batch)
 	}
 }
 
@@ -156,31 +189,43 @@ func (b *Batcher) drain(batch []*request) {
 		case r := <-b.reqs:
 			batch = append(batch, r)
 			if len(batch) >= b.cfg.MaxBatch {
-				b.serve(batch)
+				b.serve(batch, b.met.flushClose)
 				batch = batch[:0]
 			}
 		default:
-			b.serve(batch)
+			b.serve(batch, b.met.flushClose)
 			return
 		}
 	}
 }
 
 // serve runs one coalesced batch through the pipeline and completes
-// each request with its own decision or error.
-func (b *Batcher) serve(batch []*request) {
+// each request with its own decision or error. reason counts why the
+// batch flushed (full, timer, or close; nil when uninstrumented).
+func (b *Batcher) serve(batch []*request, reason *obs.Counter) {
 	if len(batch) == 0 {
 		return
 	}
+	reason.Inc()
+	b.met.batchSize.Observe(float64(len(batch)))
 	b.cfgs = b.cfgs[:0]
 	b.salts = b.salts[:0]
 	for _, r := range batch {
 		b.cfgs = append(b.cfgs, r.cfg)
 		b.salts = append(b.salts, r.salt)
+		b.met.waitNs.Stop(r.t0)
 	}
 	decs, errs := b.p.analyzeBatch(b.cfgs, b.salts)
 	for i, r := range batch {
 		r.dec, r.err = decs[i], errs[i]
 		close(r.done)
+	}
+	// Drop the scratch's CFG references now that the batch is served:
+	// the entries would otherwise pin the last batch's graphs until the
+	// next serve (or forever, on the final batch before Close). Every
+	// earlier, longer batch cleared its own entries the same way, so the
+	// whole backing array holds no live CFGs between batches.
+	for i := range b.cfgs {
+		b.cfgs[i] = nil
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"soteria/internal/features"
 	"soteria/internal/malgen"
 	"soteria/internal/nn"
+	"soteria/internal/obs"
 	"soteria/internal/par"
 )
 
@@ -32,10 +33,12 @@ type Options struct {
 	BatchSize        int     `json:"batchSize"`
 	LR               float64 `json:"lr"`
 	// Alpha is the detector threshold multiplier (default 1.0). An
-	// explicit Alpha of 0 is indistinguishable from unset and is
-	// replaced by the default; a zero multiplier would flag every
-	// sample as adversarial, so use a small positive value instead if
-	// that extreme is really intended.
+	// explicit Alpha of 0 is indistinguishable from unset: Train fills
+	// every zero scalar from DefaultOptions (fillFrom, applied
+	// unconditionally at the top of Train), so 0 always becomes 1.0 —
+	// even alongside a custom Features. A zero multiplier would flag
+	// every sample as adversarial; use a small positive value instead
+	// if that extreme is really intended.
 	Alpha float64 `json:"alpha"`
 	// Filters and DenseUnits size the CNN (defaults 46 / 512 per paper,
 	// which CI-scale configs shrink).
@@ -51,6 +54,13 @@ type Options struct {
 	PerWalkDetector bool `json:"perWalkDetector"`
 	// Seed drives all model randomness.
 	Seed int64 `json:"seed"`
+	// Obs, when non-nil, receives training metrics (per-epoch loss and
+	// wall time under train.detector.* / train.classifier.*) and leaves
+	// the trained pipeline instrumented (see Pipeline.Instrument).
+	// Observations are write-only: a pipeline trained with Obs set
+	// produces bit-identical models and decisions to one trained
+	// without. Not persisted.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultOptions returns a CI-scale configuration that trains in tens of
@@ -102,6 +112,46 @@ type Pipeline struct {
 	// a steady stream of AnalyzeBatch calls (e.g. from a Batcher)
 	// allocates only decisions.
 	chunks sync.Pool
+
+	// reg is the registry Instrument was called with (nil when
+	// uninstrumented); Batchers built on this pipeline pick it up.
+	reg *obs.Registry
+	// met holds the analyze path's metrics; all fields are nil until
+	// Instrument, so an uninstrumented pipeline pays one pointer check
+	// per chunk.
+	met pipelineObs
+}
+
+// pipelineObs is the analyze path's metric set. Latency is observed at
+// chunk granularity — the sanctioned observation point: timing wraps
+// the par.Overlap stage closures, never the par.For worker bodies
+// inside them (the obshot analyzer enforces the latter).
+type pipelineObs struct {
+	extractNs *obs.Histogram // extraction stage latency per chunk
+	scoreNs   *obs.Histogram // scoring stage latency per chunk
+	samples   *obs.Counter   // samples scored (decisions produced)
+	errors    *obs.Counter   // per-sample extraction failures
+}
+
+// Instrument registers the analyze path's metrics ("pipeline.extract_ns",
+// "pipeline.score_ns", "pipeline.samples", "pipeline.errors") in r and
+// instruments the detector's drift metrics. Idempotent; a nil registry
+// is a no-op (the pipeline stays on the uninstrumented fast path). Not
+// safe to call concurrently with Analyze/AnalyzeBatch — instrument
+// before serving. Observations are write-only and never affect
+// decisions.
+func (p *Pipeline) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	p.reg = r
+	p.met = pipelineObs{
+		extractNs: r.Histogram("pipeline.extract_ns", obs.DurationBuckets()),
+		scoreNs:   r.Histogram("pipeline.score_ns", obs.DurationBuckets()),
+		samples:   r.Counter("pipeline.samples"),
+		errors:    r.Counter("pipeline.errors"),
+	}
+	p.Detector.Instrument(r)
 }
 
 // Decision is the pipeline's verdict on one sample.
@@ -126,9 +176,11 @@ func Train(samples []*malgen.Sample, opts Options) (*Pipeline, error) {
 	if len(samples) == 0 {
 		return nil, ErrNoSamples
 	}
-	if opts.Features.TopK == 0 {
-		opts = fillFrom(opts, DefaultOptions())
-	}
+	// Field-wise defaulting is unconditional: a custom Features must not
+	// disable the zero-value fills for the scalar knobs (Alpha, LR,
+	// epochs, ...) — gating this on Features.TopK == 0 once silently
+	// trained with Alpha = 0, flagging every sample as adversarial.
+	opts = fillFrom(opts, DefaultOptions())
 	opts.Features.Seed = opts.Seed
 
 	ext := features.NewExtractor(opts.Features)
@@ -174,6 +226,7 @@ func Train(samples []*malgen.Sample, opts Options) (*Pipeline, error) {
 	detCfg.LR = opts.LR
 	detCfg.Alpha = opts.Alpha
 	detCfg.Seed = opts.Seed
+	detCfg.Hooks = opts.Obs.TrainHooks("train.detector")
 	// L2-normalized pattern features with a light denoising prior and no
 	// z-scoring won the detector study (see EXPERIMENTS.md): GEA merges
 	// shift the gram *pattern*, and standardization drowns that signal
@@ -200,12 +253,15 @@ func Train(samples []*malgen.Sample, opts Options) (*Pipeline, error) {
 	clsCfg.BatchSize = opts.BatchSize
 	clsCfg.LR = opts.LR
 	clsCfg.Seed = opts.Seed
+	clsCfg.Hooks = opts.Obs.TrainHooks("train.classifier")
 	ens, err := cnn.TrainEnsemble(nn.FromRows(walkRows), nn.FromRows(lblRows), walkLabels, clsCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: classifier: %w", err)
 	}
 
-	return &Pipeline{Extractor: ext, Detector: det, Ensemble: ens, opts: opts}, nil
+	p := &Pipeline{Extractor: ext, Detector: det, Ensemble: ens, opts: opts}
+	p.Instrument(opts.Obs)
+	return p, nil
 }
 
 // Analyze runs the full pipeline on one CFG. salt individualizes the
@@ -315,10 +371,14 @@ func (p *Pipeline) analyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision,
 			if hi > n {
 				hi = n
 			}
+			t := p.met.extractNs.Start()
 			p.extractChunk(slots[slot], cfgs, salts, lo, hi)
+			p.met.extractNs.Stop(t)
 		},
 		func(ci, slot int) {
+			t := p.met.scoreNs.Start()
 			p.scoreChunk(slots[slot], out, errs)
+			p.met.scoreNs.Stop(t)
 		})
 	for _, c := range slots {
 		p.chunks.Put(c)
@@ -388,6 +448,8 @@ func (p *Pipeline) scoreChunk(c *chunkBuf, out []*Decision, errs []error) {
 			failed++
 		}
 	}
+	p.met.samples.Add(uint64(c.n - failed))
+	p.met.errors.Add(uint64(failed))
 	var threshold float64
 	if failed < c.n {
 		c.res = ensureF64(&c.res, c.n)

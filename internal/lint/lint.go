@@ -85,6 +85,7 @@ func All() []*Analyzer {
 		PackedKeyAnalyzer,
 		HotAllocAnalyzer,
 		BatchMissAnalyzer,
+		ObsHotAnalyzer,
 	}
 }
 

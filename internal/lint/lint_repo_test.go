@@ -125,6 +125,31 @@ func save(path string, data []byte) {
 	f.Close()
 }
 `)
+	write("internal/obs/obs.go", `package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+`)
+	write("internal/core/obsbad.go", `package core
+
+import (
+	"soteria/internal/obs"
+	"soteria/internal/par"
+)
+
+func observeAll(c *obs.Counter, xs []float64, out []float64) {
+	par.For(len(xs), func(i int) {
+		out[i] = xs[i]
+		c.Inc()
+	})
+}
+`)
 
 	loader := NewLoader(root, "soteria", false)
 	pkgs, err := loader.LoadPatterns([]string{"./..."})

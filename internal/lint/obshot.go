@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const obsPath = "soteria/internal/obs"
+
+// ObsHotAnalyzer guards the observability layer's granularity contract
+// (DESIGN.md §9): metrics are observed per chunk, per batch, or per
+// epoch — never per work item. An obs call inside a par.For /
+// ForChunked / ForChunkedGrain body runs once per item on every pool
+// worker, turning a lock-free counter into a cross-core cache-line
+// fight (and a latency timer into per-item clock reads); inside an
+// internal/nn Forward/Backward body it would put the same cost in the
+// per-layer kernel, which the determinism analyzer additionally keeps
+// clock-free. The sanctioned observation points — par.Overlap stage
+// closures, trainer epoch boundaries, batcher serve — sit outside both.
+// Deliberate exceptions carry a //lint:ignore obshot justification in
+// place.
+var ObsHotAnalyzer = &Analyzer{
+	Name: "obshot",
+	Doc: "flag obs metric calls inside par worker-loop bodies and internal/nn " +
+		"Forward/Backward; observe at chunk, batch, or epoch granularity instead",
+	Run: runObsHot,
+}
+
+func runObsHot(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			parFn, ok := pkgFunc(pass.Info, sel, parPath)
+			if !ok {
+				return true
+			}
+			var fnArg ast.Expr
+			switch {
+			case (parFn == "For" || parFn == "ForChunked") && len(call.Args) == 2:
+				fnArg = call.Args[1]
+			case parFn == "ForChunkedGrain" && len(call.Args) == 3:
+				fnArg = call.Args[2]
+			default:
+				return true
+			}
+			lit := resolveFuncLit(pass, f, fnArg)
+			if lit == nil {
+				return true
+			}
+			checkObsCalls(pass, lit.Body, "a par."+parFn+" body")
+			return true
+		})
+		if pass.BasePath() == nnPath {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if name := fd.Name.Name; name == "Forward" || name == "Backward" {
+					checkObsCalls(pass, fd.Body, name)
+				}
+			}
+		}
+	}
+}
+
+// checkObsCalls reports every obs metric operation nested anywhere
+// inside body (including in nested literals — those still execute once
+// per work item).
+func checkObsCalls(pass *Pass, body ast.Node, where string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := obsCall(pass.Info, call)
+		if !ok {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s inside %s observes once per work item — contended atomics (and, for timers, clock reads) on the hot path; observe at chunk, batch, or epoch granularity outside the loop, or justify with //lint:ignore obshot",
+			name, where)
+		return true
+	})
+}
+
+// obsCall classifies call as a method on one of internal/obs's types
+// (Counter, Gauge, Histogram, EWMA, TrainHooks, Registry) and returns
+// its display name.
+func obsCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name() + "." + fn.Name(), true
+}

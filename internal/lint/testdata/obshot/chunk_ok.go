@@ -1,0 +1,52 @@
+package fixture
+
+import (
+	"soteria/internal/obs"
+	"soteria/internal/par"
+)
+
+// The sanctioned pattern: observe at chunk granularity, outside the
+// worker-loop body. One histogram observation covers the whole fan-out.
+func chunkGranularity(h *obs.Histogram, c *obs.Counter, n int, out []float64) {
+	t := h.Start()
+	par.For(n, func(i int) {
+		out[i] = float64(i)
+	})
+	h.Stop(t)
+	c.Add(uint64(n))
+}
+
+// par.Overlap stage closures are chunk-granular by construction — each
+// runs once per chunk, not once per sample — so they are the sanctioned
+// timing point and deliberately outside the analyzer's scope.
+func overlapStages(h *obs.Histogram, n int) {
+	par.Overlap(n, 2,
+		func(i, slot int) {
+			t := h.Start()
+			_ = slot
+			h.Stop(t)
+		},
+		func(i, slot int) {
+			h.Observe(float64(i))
+		})
+}
+
+// A Forward method outside internal/nn carries no kernel contract; the
+// analyzer stays silent.
+type meteredStage struct {
+	calls *obs.Counter
+}
+
+func (m *meteredStage) Forward(x []float64, train bool) []float64 {
+	m.calls.Inc()
+	return x
+}
+
+// A justified exception is suppressed in place.
+func justified(c *obs.Counter, n int, out []float64) {
+	par.For(n, func(i int) {
+		out[i] = float64(i)
+		//lint:ignore obshot one-shot debug counter, removed with the experiment
+		c.Inc()
+	})
+}

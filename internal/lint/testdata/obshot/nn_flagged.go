@@ -1,0 +1,38 @@
+//fixture:pkgpath soteria/internal/nn
+
+// A stand-in for the real nn package: what matters to the analyzer is
+// that the Forward/Backward declarations live under the import path
+// soteria/internal/nn while the metric calls resolve to internal/obs.
+package nn
+
+import "soteria/internal/obs"
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+type countedLayer struct {
+	passes  *obs.Counter
+	kernelT *obs.Histogram
+}
+
+// Forward and Backward run once per layer per minibatch — the compute
+// kernel. Metrics here cost atomics and clock reads in the innermost
+// training loop; epoch-level TrainHooks are the sanctioned point.
+func (l *countedLayer) Forward(x *Matrix, train bool) *Matrix {
+	t := l.kernelT.Start() // want "Histogram.Start inside Forward"
+	l.passes.Inc()         // want "Counter.Inc inside Forward"
+	l.kernelT.Stop(t)      // want "Histogram.Stop inside Forward"
+	return x
+}
+
+func (l *countedLayer) Backward(grad *Matrix) *Matrix {
+	l.passes.Inc() // want "Counter.Inc inside Backward"
+	return grad
+}
+
+// Other methods in the package are not kernel bodies.
+func (l *countedLayer) Summary() uint64 {
+	return l.passes.Value()
+}

@@ -1,0 +1,53 @@
+package fixture
+
+import (
+	"soteria/internal/obs"
+	"soteria/internal/par"
+)
+
+// A metric operation inside a par body runs once per work item on every
+// pool worker: the lock-free atomic becomes a cross-core cache-line
+// fight, and a timer would read the clock per item.
+func perItemCounter(c *obs.Counter, n int, out []float64) {
+	par.For(n, func(i int) {
+		out[i] = float64(i)
+		c.Inc() // want "Counter.Inc inside a par.For body"
+	})
+}
+
+func perItemHistogram(h *obs.Histogram, vals []float64) {
+	par.ForChunked(len(vals), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			h.Observe(vals[i]) // want "Histogram.Observe inside a par.ForChunked body"
+		}
+	})
+}
+
+func perItemTimer(h *obs.Histogram, n int, out []float64) {
+	par.ForChunkedGrain(n, 8, func(lo, hi int) {
+		t := h.Start() // want "Histogram.Start inside a par.ForChunkedGrain body"
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i)
+		}
+		h.Stop(t) // want "Histogram.Stop inside a par.ForChunkedGrain body"
+	})
+}
+
+// Nested literals still execute once per work item.
+func nestedLit(g *obs.Gauge, n int, out []float64) {
+	par.For(n, func(i int) {
+		record := func(v float64) {
+			g.Set(v) // want "Gauge.Set inside a par.For body"
+		}
+		out[i] = float64(i)
+		record(out[i])
+	})
+}
+
+// Registering inside the body is just as hot: a mutex acquisition and a
+// map lookup per item.
+func perItemRegistration(r *obs.Registry, n int) {
+	par.For(n, func(i int) {
+		r.Counter("items").Inc() // want "Registry.Counter inside a par.For body" "Counter.Inc inside a par.For body"
+	})
+}

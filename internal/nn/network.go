@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"soteria/internal/obs"
 )
 
 // Network is an ordered stack of layers.
@@ -160,6 +162,12 @@ type TrainConfig struct {
 	// Patience is the early-stopping tolerance in epochs (default 10
 	// when ValFraction > 0).
 	Patience int
+	// Hooks observes each epoch's mean loss and wall time (nil = off).
+	// Observations are write-only — they never feed back into training,
+	// so fitted weights are bit-identical with hooks on or off. Epoch
+	// timing is observed at epoch granularity only; per-batch and
+	// per-layer code stays clock-free (see the obshot analyzer).
+	Hooks *obs.TrainHooks
 }
 
 // Trainer couples a network with an objective and an optimizer.
@@ -228,6 +236,7 @@ func (t *Trainer) Fit(x, y *Matrix, cfg TrainConfig) ([]float64, error) {
 	var bestWeights []float64
 	sinceBest := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := cfg.Hooks.StartEpoch()
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss float64
 		batches := 0
@@ -247,6 +256,7 @@ func (t *Trainer) Fit(x, y *Matrix, cfg TrainConfig) ([]float64, error) {
 		}
 		epochLoss /= float64(batches)
 		losses = append(losses, epochLoss)
+		cfg.Hooks.EndEpoch(epochStart, epochLoss)
 		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, epochLoss) {
 			break
 		}

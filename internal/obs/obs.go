@@ -1,0 +1,304 @@
+// Package obs is the serving path's observability layer: atomic
+// counters and gauges, fixed-bucket histograms, an exponentially
+// weighted rolling mean, and a named registry that snapshots everything
+// as expvar-style JSON for a /metrics endpoint.
+//
+// Two contracts shape the API, both load-bearing for the pipeline that
+// uses it (see DESIGN.md §9):
+//
+//   - Zero cost when off. Every metric operation is a method on a
+//     pointer that may be nil, and a nil receiver returns immediately —
+//     so uninstrumented components pay one pointer check per
+//     observation site, read no clocks, and allocate nothing. Code
+//     never needs an "is observability enabled" branch of its own.
+//
+//   - Zero allocation when on. Observations touch only storage
+//     allocated at registration time (atomic words, fixed bucket
+//     arrays), so instrumenting a hot loop cannot add allocations to
+//     it. AllocsPerRun guards in the instrumented packages pin this.
+//
+// Observations are write-only from the instrumented code's point of
+// view: nothing in this package feeds back into model math, which keeps
+// decisions bit-identical with observability on or off (the determinism
+// invariant; core's equivalence test enforces it). The wall-clock reads
+// that latency histograms need live here — behind the nil check — and
+// deliberately not in the model-affecting packages, which the
+// determinism analyzer keeps free of time.Now.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; a nil *Counter discards all operations.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64. The zero value is ready to use; a
+// nil *Gauge discards all operations.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// addFloat atomically accumulates delta into a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ewmaUnseeded marks an EWMA that has seen no observations; the first
+// Observe seeds the mean with its value instead of decaying from zero.
+var ewmaUnseeded = math.Float64bits(math.NaN())
+
+// EWMA is an exponentially weighted moving average: each observation
+// moves the mean by alpha times its distance from the current mean, so
+// the statistic tracks the recent distribution without storing a
+// window. A nil *EWMA discards all operations. Construct through
+// Registry.EWMA (the zero value reports 0 but never seeds).
+type EWMA struct {
+	alpha float64
+	bits  atomic.Uint64
+}
+
+// Observe folds v into the rolling mean.
+func (e *EWMA) Observe(v float64) {
+	if e == nil {
+		return
+	}
+	for {
+		old := e.bits.Load()
+		var nw float64
+		if old == ewmaUnseeded {
+			nw = v
+		} else {
+			m := math.Float64frombits(old)
+			nw = m + e.alpha*(v-m)
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(nw)) {
+			return
+		}
+	}
+}
+
+// Value returns the current rolling mean (0 before any observation or
+// on a nil EWMA).
+func (e *EWMA) Value() float64 {
+	if e == nil {
+		return 0
+	}
+	b := e.bits.Load()
+	if b == ewmaUnseeded {
+		return 0
+	}
+	return math.Float64frombits(b)
+}
+
+// Histogram counts observations into fixed buckets: observation v lands
+// in the first bucket whose upper bound is >= v, or the overflow bucket
+// past the last bound. Bounds are fixed at registration, so Observe is
+// a binary search plus three atomic updates — no allocation, no lock.
+// A nil *Histogram discards all operations.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, immutable
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Start begins a latency measurement: it reads the monotonic clock and
+// returns the start time. On a nil histogram it returns the zero time
+// without touching the clock, so an uninstrumented site costs one
+// pointer check.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop completes a Start: it observes the elapsed time in nanoseconds.
+// A no-op on a nil histogram.
+func (h *Histogram) Stop(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(float64(time.Since(start).Nanoseconds()))
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the mean observed value (0 before any observation).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Bucket is one row of a histogram snapshot: the count of observations
+// at or below the upper bound Le (math.Inf(1) for the overflow bucket).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders the overflow bound as the string "+Inf" (IEEE
+// infinity has no JSON number form).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.Le, 1) {
+		le = strconv.FormatFloat(b.Le, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// Buckets snapshots the per-bucket counts. Each bucket is independent
+// (not cumulative). Returns nil on a nil histogram.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]Bucket, len(h.counts))
+	for i := range h.counts {
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out[i] = Bucket{Le: le, Count: h.counts[i].Load()}
+	}
+	return out
+}
+
+// ExpBuckets returns n ascending bucket bounds starting at start and
+// growing by factor: start, start*factor, ... — the usual latency
+// layout, where each bucket covers a constant relative error.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n ascending bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// DurationBuckets is the shared latency layout: 21 exponential
+// nanosecond bounds from 1µs to ~1s (factor 2), plus overflow. Fine
+// enough to separate a 2ms queue wait from a 30ms batch, coarse enough
+// that a snapshot stays readable.
+func DurationBuckets() []float64 { return ExpBuckets(1e3, 2, 21) }
+
+// TrainHooks is the per-epoch observation set a training loop emits:
+// last epoch's mean loss, epoch wall time, and epochs completed.
+// Construct through Registry.TrainHooks; a nil *TrainHooks discards
+// everything, so trainers thread it unconditionally.
+type TrainHooks struct {
+	EpochLoss *Gauge
+	EpochNs   *Histogram
+	Epochs    *Counter
+}
+
+// StartEpoch begins one epoch's wall-time measurement (zero time, no
+// clock read, on nil hooks).
+func (t *TrainHooks) StartEpoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.EpochNs.Start()
+}
+
+// EndEpoch completes StartEpoch and records the epoch's mean loss.
+func (t *TrainHooks) EndEpoch(start time.Time, loss float64) {
+	if t == nil {
+		return
+	}
+	t.EpochNs.Stop(start)
+	t.EpochLoss.Set(loss)
+	t.Epochs.Inc()
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Fatalf("gauge = %v, want -1.25", got)
+	}
+	// Registration is idempotent: same name, same metric.
+	if r.Counter("c") != c || r.Gauge("g") != g {
+		t.Fatal("re-registration returned a different metric")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering name as a different kind did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+5+10+50+1000; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	b := h.Buckets()
+	wantCounts := []uint64{2, 2, 1, 1} // <=1, <=10, <=100, overflow
+	if len(b) != len(wantCounts) {
+		t.Fatalf("got %d buckets, want %d", len(b), len(wantCounts))
+	}
+	for i, w := range wantCounts {
+		if b[i].Count != w {
+			t.Fatalf("bucket %d count = %d, want %d", i, b[i].Count, w)
+		}
+	}
+	if !math.IsInf(b[3].Le, 1) {
+		t.Fatalf("overflow bound = %v, want +Inf", b[3].Le)
+	}
+}
+
+func TestHistogramStartStop(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", DurationBuckets())
+	start := h.Start()
+	time.Sleep(time.Millisecond)
+	h.Stop(start)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() < float64(time.Millisecond.Nanoseconds()) {
+		t.Fatalf("observed %v ns, want >= 1ms", h.Sum())
+	}
+}
+
+func TestEWMASeedsAndDecays(t *testing.T) {
+	r := NewRegistry()
+	e := r.EWMA("m", 0.5)
+	if e.Value() != 0 {
+		t.Fatalf("unseeded EWMA = %v, want 0", e.Value())
+	}
+	e.Observe(10) // seeds
+	if e.Value() != 10 {
+		t.Fatalf("after seed = %v, want 10", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("after decay = %v, want 15", e.Value())
+	}
+}
+
+func TestNilRegistryAndNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DurationBuckets())
+	e := r.EWMA("e", 0.1)
+	th := r.TrainHooks("t")
+	if c != nil || g != nil || h != nil || e != nil || th != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	h.Stop(h.Start())
+	e.Observe(1)
+	th.EndEpoch(th.StartEpoch(), 1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || e.Value() != 0 {
+		t.Fatal("nil metric reported a value")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	if start := h.Start(); !start.IsZero() {
+		t.Fatal("nil histogram Start must not read the clock")
+	}
+}
+
+// TestObserveAllocationFree pins the zero-allocation contract of every
+// hot-path operation, nil and non-nil.
+func TestObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DurationBuckets())
+	e := r.EWMA("e", 0.1)
+	var nilC *Counter
+	var nilH *Histogram
+	checks := map[string]func(){
+		"counter":  func() { c.Add(1) },
+		"gauge":    func() { g.Set(1.5) },
+		"hist":     func() { h.Observe(12345) },
+		"ewma":     func() { e.Observe(2.5) },
+		"timer":    func() { h.Stop(h.Start()) },
+		"nil-cnt":  func() { nilC.Inc() },
+		"nil-hist": func() { nilH.Stop(nilH.Start()) },
+	}
+	for name, fn := range checks {
+		if avg := testing.AllocsPerRun(100, fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, avg)
+		}
+	}
+}
+
+// TestConcurrentObservations hammers every metric kind from many
+// goroutines (run under -race) and checks the totals.
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{10, 100})
+	e := r.EWMA("e", 0.01)
+	g := r.Gauge("g")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(1)
+				e.Observe(float64(w))
+				g.Set(float64(i))
+				// Concurrent registration of the same name must stay
+				// safe and idempotent.
+				if got := r.Counter("c"); got != c {
+					t.Error("concurrent re-registration returned a different counter")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker || h.Sum() != float64(workers*perWorker) {
+		t.Fatalf("hist count=%d sum=%v, want %d", h.Count(), h.Sum(), workers*perWorker)
+	}
+}
+
+func TestSnapshotAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(7)
+	r.Gauge("drift").Set(0.5)
+	r.Histogram("wait_ns", []float64{1000}).Observe(500)
+	r.EWMA("re_mean", 0.1).Observe(3)
+
+	snap := r.Snapshot()
+	if snap["requests"].(uint64) != 7 {
+		t.Fatalf("snapshot requests = %v", snap["requests"])
+	}
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("metrics endpoint is not valid JSON: %v\n%s", err, rec.Body)
+	}
+	for _, name := range []string{"requests", "drift", "wait_ns", "re_mean"} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("metric %q missing from /metrics output", name)
+		}
+	}
+	if !strings.Contains(rec.Body.String(), `"count": 1`) {
+		t.Errorf("histogram snapshot missing count:\n%s", rec.Body)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(0, 0.5, 3)
+	wantLin := []float64{0, 0.5, 1}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, wantLin)
+		}
+	}
+	db := DurationBuckets()
+	if db[0] != 1e3 || len(db) != 21 {
+		t.Fatalf("DurationBuckets = first %v len %d", db[0], len(db))
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named metric namespace. Registration (Counter, Gauge,
+// Histogram, EWMA) is idempotent — asking for an existing name returns
+// the existing metric, so components may re-instrument freely — and
+// kind-checked: reusing a name as a different metric kind panics, since
+// that is always a wiring bug.
+//
+// A nil *Registry is the off switch: every registration returns nil,
+// and nil metrics discard all operations, so a component instrumented
+// against a nil registry runs the uninstrumented fast path.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// lookup returns the metric registered under name, or registers the one
+// built by mk. The caller asserts the concrete type; a kind clash
+// panics with both kinds named.
+func lookup[T any](r *Registry, name string, mk func() T) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		t, ok := m.(T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+		}
+		return t
+	}
+	t := mk()
+	r.metrics[name] = t
+	return t
+}
+
+// Counter registers (or fetches) the counter called name. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, name, func() *Counter { return new(Counter) })
+}
+
+// Gauge registers (or fetches) the gauge called name. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, name, func() *Gauge { return new(Gauge) })
+}
+
+// Histogram registers (or fetches) the histogram called name with the
+// given ascending bucket bounds (copied; an overflow bucket is added
+// past the last bound). Returns nil on a nil registry. Bounds of an
+// already-registered histogram win — callers re-instrumenting with
+// different bounds get the original.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, name, func() *Histogram {
+		b := append([]float64(nil), bounds...)
+		return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	})
+}
+
+// EWMA registers (or fetches) the rolling mean called name with decay
+// alpha in (0, 1]. Returns nil on a nil registry.
+func (r *Registry) EWMA(name string, alpha float64) *EWMA {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, name, func() *EWMA {
+		e := &EWMA{alpha: alpha}
+		e.bits.Store(ewmaUnseeded)
+		return e
+	})
+}
+
+// TrainHooks registers the per-epoch training metrics under
+// prefix+".epoch_loss", ".epoch_ns", and ".epochs". Returns nil on a
+// nil registry.
+func (r *Registry) TrainHooks(prefix string) *TrainHooks {
+	if r == nil {
+		return nil
+	}
+	return &TrainHooks{
+		EpochLoss: r.Gauge(prefix + ".epoch_loss"),
+		EpochNs:   r.Histogram(prefix+".epoch_ns", DurationBuckets()),
+		Epochs:    r.Counter(prefix + ".epochs"),
+	}
+}
+
+// histSnapshot is a histogram's JSON form.
+type histSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot returns a point-in-time copy of every metric, keyed by name:
+// counters as integers, gauges and EWMAs as floats, histograms as
+// {count, sum, mean, buckets}. JSON-encoding the result is
+// deterministic (Go orders map keys). Returns nil on a nil registry.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.metrics))
+	for name, m := range r.metrics {
+		switch m := m.(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *EWMA:
+			out[name] = m.Value()
+		case *Histogram:
+			out[name] = histSnapshot{
+				Count:   m.Count(),
+				Sum:     m.Sum(),
+				Mean:    m.Mean(),
+				Buckets: m.Buckets(),
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON (expvar-style: one
+// top-level object keyed by metric name).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves the snapshot at any path, for mounting as /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

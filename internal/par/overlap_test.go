@@ -67,6 +67,71 @@ func TestOverlapBoundedLookahead(t *testing.T) {
 	}
 }
 
+// TestOverlapSlotGenerations stamps every cell of each slot's buffer
+// with the producing item's index (its "generation") and checks, on
+// both stages, that no other generation ever bleeds in: produce must
+// find the slot exactly as its previous tenant (item i-depth) left it —
+// proof the consumer released it — and consume must see its own item's
+// stamps intact. Under -race, any slot reuse that overtakes consumption
+// is also a detectable data race on the buffer cells.
+func TestOverlapSlotGenerations(t *testing.T) {
+	const width = 64
+	for _, tc := range []struct{ n, depth int }{
+		{0, 2},   // n = 0: no callbacks at all
+		{7, 1},   // depth 1: stages alternate on the caller
+		{5, 8},   // depth >= n: every item gets its own slot
+		{16, 16}, // depth == n exactly
+		{33, 2},  // steady-state slot reuse
+	} {
+		effDepth := tc.depth
+		if effDepth > tc.n {
+			effDepth = tc.n
+		}
+		if effDepth < 1 {
+			effDepth = 1
+		}
+		bufs := make([][]int64, effDepth)
+		for s := range bufs {
+			bufs[s] = make([]int64, width)
+			for j := range bufs[s] {
+				bufs[s][j] = -1 // no tenant yet
+			}
+		}
+		produces, consumes := 0, 0
+		Overlap(tc.n, tc.depth,
+			func(i, slot int) {
+				produces++
+				want := int64(-1)
+				if i >= effDepth {
+					want = int64(i - effDepth) // the slot's previous tenant
+				}
+				for j, v := range bufs[slot] {
+					if v != want {
+						t.Errorf("n=%d depth=%d: produce(%d) found generation %d in slot %d cell %d, want %d",
+							tc.n, tc.depth, i, v, slot, j, want)
+						return
+					}
+				}
+				for j := range bufs[slot] {
+					bufs[slot][j] = int64(i)
+				}
+			},
+			func(i, slot int) {
+				consumes++
+				for j, v := range bufs[slot] {
+					if v != int64(i) {
+						t.Errorf("n=%d depth=%d: consume(%d) sees generation %d in slot %d cell %d",
+							tc.n, tc.depth, i, v, slot, j)
+						return
+					}
+				}
+			})
+		if produces != tc.n || consumes != tc.n {
+			t.Fatalf("n=%d depth=%d: %d produces, %d consumes", tc.n, tc.depth, produces, consumes)
+		}
+	}
+}
+
 // TestOverlapStagesMayUsePool pins that both stages can fan out through
 // the package's own parallel loops without deadlocking.
 func TestOverlapStagesMayUsePool(t *testing.T) {

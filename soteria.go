@@ -36,6 +36,7 @@ import (
 	"soteria/internal/gea"
 	"soteria/internal/isa"
 	"soteria/internal/malgen"
+	"soteria/internal/obs"
 )
 
 // Class identifies a sample class (Benign or a malware family).
@@ -156,6 +157,23 @@ func (s *System) NewBatcher(cfg BatcherConfig) *Batcher {
 // ensemble) for advanced use such as threshold sweeps or classifier
 // replacement.
 func (s *System) Pipeline() *core.Pipeline { return s.pipeline }
+
+// Registry is a named metric namespace for the serving path's
+// observability layer; its Handler serves an expvar-style JSON snapshot
+// (mount as /metrics, or use the built-in `soteria -serve`).
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Instrument registers the system's serving metrics (pipeline stage
+// latencies, batcher queue waits and flush reasons, detector RE drift)
+// in r and starts observing. A nil registry is a no-op. Instrument
+// before serving traffic and before NewBatcher; observations are
+// write-only, so decisions are bit-identical with instrumentation on or
+// off, and the hot paths stay allocation-free. Training-time metrics
+// are wired separately through Options.Obs.
+func (s *System) Instrument(r *Registry) { s.pipeline.Instrument(r) }
 
 // Save serializes the trained system (vocabularies, detector state,
 // classifier weights) as JSON.
