@@ -11,13 +11,26 @@ import (
 // current run. Ratios are current/baseline, so values above 1 are
 // slowdowns.
 type BenchDiff struct {
-	Name        string  `json:"name"`
-	BaseNsPerOp float64 `json:"baseNsPerOp"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	NsRatio     float64 `json:"nsRatio"`
-	BaseAllocs  int64   `json:"baseAllocsPerOp"`
-	Allocs      int64   `json:"allocsPerOp"`
-	Regressed   bool    `json:"regressed"`
+	Name        string       `json:"name"`
+	BaseNsPerOp float64      `json:"baseNsPerOp"`
+	NsPerOp     float64      `json:"nsPerOp"`
+	NsRatio     float64      `json:"nsRatio"`
+	BaseAllocs  int64        `json:"baseAllocsPerOp"`
+	Allocs      int64        `json:"allocsPerOp"`
+	Regressed   bool         `json:"regressed"`
+	Metrics     []MetricDiff `json:"metrics,omitempty"`
+}
+
+// MetricDiff compares one custom b.ReportMetric unit between the two
+// runs. Custom metrics are informational: a direction-aware gate would
+// need to know whether the unit is higher-better (samples/s) or
+// lower-better, so they never flip Regressed. Base is 0 and Ratio is 0
+// when the baseline predates metric capture.
+type MetricDiff struct {
+	Unit  string  `json:"unit"`
+	Base  float64 `json:"base,omitempty"`
+	Cur   float64 `json:"cur"`
+	Ratio float64 `json:"ratio,omitempty"`
 }
 
 // allocNoise is the absolute allocs/op slack allowed on top of the
@@ -70,6 +83,7 @@ func Diff(base, cur *Report, maxRegress float64) (diffs []BenchDiff, onlyBase, o
 		case float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*maxRegress+allocNoise:
 			d.Regressed = true
 		}
+		d.Metrics = diffMetrics(b.Metrics, c.Metrics)
 		diffs = append(diffs, d)
 	}
 	for name := range baseByName {
@@ -81,8 +95,32 @@ func Diff(base, cur *Report, maxRegress float64) (diffs []BenchDiff, onlyBase, o
 	return diffs, onlyBase, onlyCur
 }
 
+// diffMetrics pairs the current run's custom metrics with the
+// baseline's, sorted by unit for stable output. Units present only in
+// the baseline are dropped (the current run no longer reports them);
+// units new in the current run carry a zero Base/Ratio.
+func diffMetrics(base, cur map[string]float64) []MetricDiff {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make([]MetricDiff, 0, len(cur))
+	for unit, v := range cur {
+		md := MetricDiff{Unit: unit, Cur: v}
+		if bv, ok := base[unit]; ok {
+			md.Base = bv
+			if bv != 0 {
+				md.Ratio = v / bv
+			}
+		}
+		out = append(out, md)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Unit < out[j].Unit })
+	return out
+}
+
 // writeDiffs renders the comparison as an aligned table plus notes on
-// unmatched names, and reports whether any benchmark regressed.
+// unmatched names, and reports whether any benchmark regressed. Custom
+// metrics follow the table as informational per-benchmark lines.
 func writeDiffs(w io.Writer, diffs []BenchDiff, onlyBase, onlyCur []string) bool {
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\t")
@@ -102,6 +140,16 @@ func writeDiffs(w io.Writer, diffs []BenchDiff, onlyBase, onlyCur []string) bool
 	}
 	if err := tw.Flush(); err != nil {
 		fmt.Fprintf(w, "benchreport: render diff table: %v\n", err)
+	}
+	for _, d := range diffs {
+		for _, m := range d.Metrics {
+			if m.Base != 0 {
+				fmt.Fprintf(w, "%s %s: %.4g -> %.4g (%+.1f%%)\n",
+					d.Name, m.Unit, m.Base, m.Cur, (m.Ratio-1)*100)
+			} else {
+				fmt.Fprintf(w, "%s %s: %.4g (new metric)\n", d.Name, m.Unit, m.Cur)
+			}
+		}
 	}
 	for _, name := range onlyBase {
 		fmt.Fprintf(w, "only in baseline: %s\n", name)

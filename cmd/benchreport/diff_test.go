@@ -102,10 +102,56 @@ func TestDiffUnmatchedNamesNeverRegress(t *testing.T) {
 	}
 }
 
+func TestDiffCarriesCustomMetrics(t *testing.T) {
+	base := report(Result{Name: "BenchmarkAnalyze", NsPerOp: 200,
+		Metrics: map[string]float64{"samples/s": 3000}})
+	cur := report(Result{Name: "BenchmarkAnalyze", NsPerOp: 190,
+		Metrics: map[string]float64{"samples/s": 4500, "walks/s": 12}})
+	diffs, _, _ := Diff(base, cur, 1.10)
+	d := diffs[0]
+	if len(d.Metrics) != 2 {
+		t.Fatalf("metrics = %+v, want 2 entries", d.Metrics)
+	}
+	// Sorted by unit: samples/s before walks/s.
+	s := d.Metrics[0]
+	if s.Unit != "samples/s" || s.Base != 3000 || s.Cur != 4500 || s.Ratio != 1.5 {
+		t.Fatalf("samples/s diff = %+v", s)
+	}
+	w := d.Metrics[1]
+	if w.Unit != "walks/s" || w.Base != 0 || w.Cur != 12 || w.Ratio != 0 {
+		t.Fatalf("new-unit diff = %+v", w)
+	}
+	if d.Regressed {
+		t.Fatal("custom metrics must never gate regression")
+	}
+}
+
+func TestDiffToleratesMetriclessBaseline(t *testing.T) {
+	// Reports written before metric capture have no metrics maps at all;
+	// diffing against them must still surface the current run's values.
+	base := report(Result{Name: "BenchmarkAnalyze", NsPerOp: 200})
+	cur := report(Result{Name: "BenchmarkAnalyze", NsPerOp: 200,
+		Metrics: map[string]float64{"samples/s": 4500}})
+	diffs, _, _ := Diff(base, cur, 1.10)
+	if len(diffs[0].Metrics) != 1 || diffs[0].Metrics[0].Cur != 4500 {
+		t.Fatalf("metrics vs metricless baseline = %+v", diffs[0].Metrics)
+	}
+	// And a metric that drops (e.g. samples/s falling) stays informational.
+	base.Benchmarks[0].Metrics = map[string]float64{"samples/s": 9000}
+	diffs, _, _ = Diff(base, cur, 1.10)
+	if diffs[0].Regressed {
+		t.Fatal("falling custom metric must not trip the gate")
+	}
+}
+
 func TestWriteDiffs(t *testing.T) {
 	diffs := []BenchDiff{
 		{Name: "BenchmarkFit", BaseNsPerOp: 1000, NsPerOp: 400, NsRatio: 0.4, BaseAllocs: 100, Allocs: 5},
-		{Name: "BenchmarkScore", BaseNsPerOp: 200, NsPerOp: 300, NsRatio: 1.5, BaseAllocs: 10, Allocs: 10, Regressed: true},
+		{Name: "BenchmarkScore", BaseNsPerOp: 200, NsPerOp: 300, NsRatio: 1.5, BaseAllocs: 10, Allocs: 10, Regressed: true,
+			Metrics: []MetricDiff{
+				{Unit: "samples/s", Base: 3000, Cur: 4500, Ratio: 1.5},
+				{Unit: "walks/s", Cur: 12},
+			}},
 	}
 	var sb strings.Builder
 	regressed := writeDiffs(&sb, diffs, []string{"BenchmarkOld"}, []string{"BenchmarkNew"})
@@ -113,7 +159,10 @@ func TestWriteDiffs(t *testing.T) {
 		t.Fatal("writeDiffs should report the regression")
 	}
 	out := sb.String()
-	for _, want := range []string{"-60.0%", "+50.0%", "REGRESSED", "only in baseline: BenchmarkOld", "only in current run: BenchmarkNew"} {
+	for _, want := range []string{"-60.0%", "+50.0%", "REGRESSED",
+		"BenchmarkScore samples/s: 3000 -> 4500 (+50.0%)",
+		"BenchmarkScore walks/s: 12 (new metric)",
+		"only in baseline: BenchmarkOld", "only in current run: BenchmarkNew"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

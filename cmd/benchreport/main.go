@@ -8,8 +8,13 @@
 //	benchreport -bench 'Extract|Walk|Gram|Table5' -pkg . -out BENCH_1.json
 //	go test -bench=. -benchmem | benchreport -input - -out BENCH_1.json
 //
+// Custom b.ReportMetric units ("samples/s" and friends) are captured
+// into each benchmark's "metrics" map rather than dropped, so
+// throughput records survive alongside ns/op.
+//
 // With -baseline the run is also diffed against a previous report:
-// per-benchmark ns/op and allocs/op deltas go to stdout, and the exit
+// per-benchmark ns/op and allocs/op deltas go to stdout (custom-metric
+// deltas are listed informationally below the table), and the exit
 // status is nonzero when any shared benchmark slowed down (or grew its
 // allocation count) by more than -max-regress allows:
 //
@@ -30,14 +35,18 @@ import (
 	"time"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Metrics carries every custom
+// b.ReportMetric unit (e.g. "samples/s") keyed by unit string, so
+// throughput numbers survive into the JSON record alongside the three
+// standard units.
 type Result struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
-	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  int64              `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64              `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -223,6 +232,16 @@ func parseBenchLine(line string) (Result, error) {
 			if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
 				return Result{}, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 			}
+		default:
+			// Custom b.ReportMetric unit (e.g. "samples/s").
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, fmt.Errorf("bad %s in %q: %w", unit, line, err)
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
 		}
 	}
 	return res, nil

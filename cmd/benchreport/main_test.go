@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -12,6 +13,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkTable5Features         	       3	 374048166 ns/op	180626053 B/op	 5367817 allocs/op
 BenchmarkRandomWalks64-8        	    7425	    195067 ns/op	  112961 B/op	    3211 allocs/op
 BenchmarkFeatureExtraction      	     920	   1396385.5 ns/op
+BenchmarkAnalyzeBatch           	     400	  13390000 ns/op	      4780.2 samples/s	    1564 B/op	      64 allocs/op
 PASS
 ok  	soteria	24.312s
 `
@@ -24,8 +26,8 @@ func TestParse(t *testing.T) {
 	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "soteria" {
 		t.Fatalf("header = %+v", rep)
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
 	}
 	b0 := rep.Benchmarks[0]
 	if b0.Name != "BenchmarkTable5Features" || b0.Iterations != 3 ||
@@ -39,6 +41,46 @@ func TestParse(t *testing.T) {
 	b2 := rep.Benchmarks[2]
 	if b2.NsPerOp != 1396385.5 || b2.BytesPerOp != 0 {
 		t.Fatalf("b2 = %+v", b2)
+	}
+	if b2.Metrics != nil {
+		t.Fatalf("b2 has no custom metrics, got %v", b2.Metrics)
+	}
+	b3 := rep.Benchmarks[3]
+	if b3.Name != "BenchmarkAnalyzeBatch" || b3.NsPerOp != 13390000 ||
+		b3.BytesPerOp != 1564 || b3.AllocsPerOp != 64 {
+		t.Fatalf("b3 = %+v", b3)
+	}
+	if got := b3.Metrics["samples/s"]; got != 4780.2 {
+		t.Fatalf("b3 samples/s = %v, want 4780.2", got)
+	}
+}
+
+// TestMetricsRoundTripJSON pins the schema: custom b.ReportMetric units
+// survive encode -> decode, and results without them omit the field.
+func TestMetricsRoundTripJSON(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"metrics":{"samples/s":4780.2}`) {
+		t.Fatalf("encoded report missing metrics map:\n%s", data)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Benchmarks[3].Metrics["samples/s"]; got != 4780.2 {
+		t.Fatalf("round-tripped samples/s = %v, want 4780.2", got)
+	}
+}
+
+func TestParseBadMetricErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX 5 100 ns/op abc samples/s\n")); err == nil {
+		t.Fatal("malformed custom metric value should error")
 	}
 }
 

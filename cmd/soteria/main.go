@@ -5,7 +5,7 @@
 // Usage:
 //
 //	soteria [-load model.json | -train-per-class N] [-save model.json] \
-//	        [-serve addr] file.sotb [file2.sotb ...]
+//	        [-serve addr] [-fast] file.sotb [file2.sotb ...]
 //
 // Training data is generated on the fly (the corpus generator is the
 // dataset substitute; see DESIGN.md); -save persists the trained system
@@ -48,6 +48,7 @@ func run(args []string) error {
 	loadPath := fs.String("load", "", "load a trained model instead of training")
 	savePath := fs.String("save", "", "save the trained model to this path")
 	serveAddr := fs.String("serve", "", "serve /analyze, /metrics, /healthz, /debug/pprof on this address instead of analyzing files")
+	fast := fs.Bool("fast", false, "relaxed-precision scoring (FMA kernels, fused softmax); scores within documented tolerance of the default bit-exact mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +129,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "saved model to %s\n", *savePath)
+	}
+
+	// Fast mode is a scoring-only knob: it engages after training and
+	// persistence, so saved models and trained weights are always
+	// produced by the bit-exact kernels.
+	if *fast {
+		sys.SetFastScoring(true)
+		fmt.Fprintln(os.Stderr, "fast scoring enabled (relaxed-precision kernels)")
 	}
 
 	if *serveAddr != "" {

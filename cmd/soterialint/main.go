@@ -1,7 +1,8 @@
 // Command soterialint runs the repository's invariant analyzers
 // (internal/lint) over module packages: determinism of model-affecting
 // code, internal/par pool discipline, checked errors on persistence
-// paths, and gram-key construction kept behind the ngram API. It is
+// paths, gram-key construction kept behind the ngram API, and
+// relaxed-precision fast mode contained to serving paths. It is
 // part of the full verify pipeline (see ROADMAP.md) and backs
 // lint_repo_test.go, which fails `go test ./...` on any new violation.
 //

@@ -650,6 +650,16 @@ func (d *Detector) DetectBatch(x *nn.Matrix) []bool {
 // Network exposes the underlying autoencoder (for persistence).
 func (d *Detector) Network() *nn.Network { return d.net }
 
+// SetFastInference toggles the relaxed-precision scoring kernels for
+// this detector's reconstruction passes. A runtime-only knob: it is
+// never part of State, so a persisted detector always restores with
+// fast mode off, and training is unaffected (the trainer's forward
+// pass ignores the flag).
+func (d *Detector) SetFastInference(on bool) { d.net.SetFastInference(on) }
+
+// FastInference reports whether relaxed-precision scoring is enabled.
+func (d *Detector) FastInference() bool { return d.net.FastInference() }
+
 // Config returns the detector's effective (filled) configuration.
 func (d *Detector) Config() Config { return d.cfg }
 

@@ -12,8 +12,9 @@ import (
 // BatcherConfig tunes the micro-batching front door.
 type BatcherConfig struct {
 	// MaxBatch caps how many requests coalesce into one batched scoring
-	// pass. Default analyzeChunkSize, so a full batch is exactly one
-	// chunk of the analyze pipeline.
+	// pass. The default tracks analyzeChunkSize (512), so a full batch
+	// is exactly one chunk of the analyze pipeline — one set of sharded
+	// GEMMs — and never splits into a ragged second chunk.
 	MaxBatch int
 	// MaxWait bounds how long the first request of a batch waits for
 	// company before the batch is flushed (default 2ms). Lower values

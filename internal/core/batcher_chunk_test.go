@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"soteria/internal/disasm"
+	"soteria/internal/obs"
+)
+
+// TestBatcherDefaultTracksChunkSize pins the MaxBatch default to the
+// analyze pipeline's chunk size: a full default batch must fill exactly
+// one scoring chunk, so retuning analyzeChunkSize retunes the batcher
+// with it instead of silently splitting batches.
+func TestBatcherDefaultTracksChunkSize(t *testing.T) {
+	var cfg BatcherConfig
+	cfg.fill()
+	if cfg.MaxBatch != analyzeChunkSize {
+		t.Fatalf("default MaxBatch = %d, want analyzeChunkSize (%d)", cfg.MaxBatch, analyzeChunkSize)
+	}
+}
+
+// TestFullBatchScoresInOnePass is the regression companion: a batch of
+// exactly analyzeChunkSize samples must run one scoring pass (one
+// chunk, one set of sharded GEMMs), and one extra sample spills into
+// exactly one more.
+func TestFullBatchScoresInOnePass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline training")
+	}
+	pipes, corpus := batchEnv(t)
+	p := pipes[false]
+	p.Instrument(obs.NewRegistry())
+
+	mk := func(n int) ([]*disasm.CFG, []int64) {
+		cfgs := make([]*disasm.CFG, n)
+		salts := make([]int64, n)
+		for i := range cfgs {
+			cfgs[i] = corpus[i%len(corpus)].CFG
+			salts[i] = int64(i)
+		}
+		return cfgs, salts
+	}
+
+	cfgs, salts := mk(analyzeChunkSize)
+	before := p.met.scoreNs.Count()
+	if _, err := p.AnalyzeBatch(cfgs, salts); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.met.scoreNs.Count() - before; got != 1 {
+		t.Fatalf("full-sized batch ran %d scoring passes, want exactly 1", got)
+	}
+
+	cfgs, salts = mk(analyzeChunkSize + 1)
+	before = p.met.scoreNs.Count()
+	if _, err := p.AnalyzeBatch(cfgs, salts); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.met.scoreNs.Count() - before; got != 2 {
+		t.Fatalf("chunk-plus-one batch ran %d scoring passes, want exactly 2", got)
+	}
+}

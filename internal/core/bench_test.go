@@ -1,12 +1,12 @@
 // Serving-path benchmarks: the scoring stage of AnalyzeBatch (detector
-// reconstruction errors + ensemble votes over a pre-extracted corpus)
-// and the end-to-end batch analyze path. Recorded as
-// BENCH_3_BASELINE.json (per-sample scoring) and BENCH_3.json
-// (cross-sample batched scoring) via
+// reconstruction errors + ensemble votes over a pre-extracted corpus),
+// its opt-in fast-mode twin, and the end-to-end batch analyze path.
+// Recorded per PR as BENCH_<n>.json — most recently BENCH_5.json
+// (sharded GEMM + fast mode) against BENCH_5_BASELINE.json via
 //
 //	go run ./cmd/benchreport -pkg ./internal/core \
-//	    -bench 'AnalyzeBatch|BatcherThroughput' -out BENCH_3.json \
-//	    -baseline BENCH_3_BASELINE.json
+//	    -bench 'AnalyzeBatch$|AnalyzeBatchFast$|BatcherThroughput' \
+//	    -out BENCH_5.json -baseline BENCH_5_BASELINE.json
 package core
 
 import (
@@ -106,6 +106,27 @@ func fillBenchChunk(p *Pipeline, c *chunkBuf, vecs []*features.Vectors) {
 // exactly the work AnalyzeBatch performs after extraction.
 func BenchmarkAnalyzeBatch(b *testing.B) {
 	p, _, vecs := benchEnv(b)
+	c := p.getChunk()
+	fillBenchChunk(p, c, vecs)
+	out := make([]*Decision, len(vecs))
+	errs := make([]error, len(vecs))
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		p.scoreChunk(c, out, errs)
+	}
+	b.ReportMetric(float64(len(vecs))*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkAnalyzeBatchFast is BenchmarkAnalyzeBatch with the opt-in
+// relaxed-precision scoring mode enabled (FMA micro-kernel, fused
+// softmax, zero-quad skipping), so BENCH_<n>.json records both modes
+// side by side. The flag is restored afterwards: benchEnv's pipeline is
+// shared across benchmarks and the others measure the default
+// bit-exact mode.
+func BenchmarkAnalyzeBatchFast(b *testing.B) {
+	p, _, vecs := benchEnv(b)
+	p.SetFastScoring(true)
+	defer p.SetFastScoring(false)
 	c := p.getChunk()
 	fillBenchChunk(p, c, vecs)
 	out := make([]*Decision, len(vecs))

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"soteria/internal/disasm"
+)
+
+// fastScoreTolerance bounds |fast - exact| reconstruction errors across
+// the pipeline: the network divergence is bounded by the nn package's
+// fast-mode tolerance (1e-9 per matrix element), and the RMSE reduction
+// cannot amplify it.
+const fastScoreTolerance = 1e-9
+
+// TestFastScoringWithinTolerance covers the opt-in plumbing end to end:
+// off by default, toggled through SetFastScoring, decisions within
+// tolerance of the bit-exact path, and never persisted — a Save/Load
+// round trip of a fast-enabled pipeline restores a bit-exact one.
+func TestFastScoringWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline training")
+	}
+	samples := trainCorpus(t, 6)
+	opts := testOptions()
+	opts.DetectorEpochs = 10
+	opts.ClassifierEpochs = 8
+	p, err := Train(samples, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FastScoring() {
+		t.Fatal("fast scoring must be off by default")
+	}
+
+	cfgs := make([]*disasm.CFG, len(samples))
+	salts := make([]int64, len(samples))
+	for i, s := range samples {
+		cfgs[i] = s.CFG
+		salts[i] = int64(i)
+	}
+	exact, err := p.AnalyzeBatch(cfgs, salts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetFastScoring(true)
+	if !p.FastScoring() {
+		t.Fatal("SetFastScoring(true) did not stick")
+	}
+	fast, err := p.AnalyzeBatch(cfgs, salts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if d := math.Abs(fast[i].RE - exact[i].RE); d > fastScoreTolerance {
+			t.Fatalf("sample %d: fast RE diverges from exact by %g", i, d)
+		}
+		if fast[i].Class != exact[i].Class {
+			t.Fatalf("sample %d: fast class %v != exact %v", i, fast[i].Class, exact[i].Class)
+		}
+	}
+
+	// Persistence must not carry the flag: a pipeline saved while fast
+	// scoring is on restores bit-exact, and its decisions match the
+	// original pipeline's exact pass in every bit.
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.FastScoring() {
+		t.Fatal("fast scoring leaked through Save/Load")
+	}
+	reloaded, err := loaded.AnalyzeBatch(cfgs, salts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if reloaded[i].RE != exact[i].RE || reloaded[i].Class != exact[i].Class {
+			t.Fatalf("sample %d: loaded pipeline diverges from the exact pass (RE %v vs %v)",
+				i, reloaded[i].RE, exact[i].RE)
+		}
+	}
+
+	// And the toggle comes back off cleanly.
+	p.SetFastScoring(false)
+	if p.FastScoring() {
+		t.Fatal("SetFastScoring(false) did not stick")
+	}
+	again, err := p.AnalyzeBatch(cfgs, salts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if again[i].RE != exact[i].RE {
+			t.Fatalf("sample %d: exact pass after fast round trip changed (RE %v vs %v)",
+				i, again[i].RE, exact[i].RE)
+		}
+	}
+}

@@ -112,6 +112,11 @@ type Pipeline struct {
 	// a steady stream of AnalyzeBatch calls (e.g. from a Batcher)
 	// allocates only decisions.
 	chunks sync.Pool
+	// vecs recycles per-sample extraction output (*features.Vectors)
+	// across chunk fills: each extraction worker borrows a set, the
+	// extractor overwrites it in place (ExtractInto), and the rows are
+	// copied into the chunk matrices before the set returns to the pool.
+	vecs sync.Pool
 
 	// reg is the registry Instrument was called with (nil when
 	// uninstrumented); Batchers built on this pipeline pick it up.
@@ -289,15 +294,23 @@ func (p *Pipeline) Analyze(c *disasm.CFG, salt int64) (*Decision, error) {
 }
 
 // analyzeChunkSize is the number of samples per scoring chunk in
-// AnalyzeBatch: large enough that the batched GEMMs amortize kernel
-// packing (64 samples contribute 64*WalkCount walk rows per labeling),
-// small enough that the in-flight chunks' row matrices stay
-// memory-friendly.
-const analyzeChunkSize = 64
+// AnalyzeBatch. Large chunks feed the sharded GEMM path: 512 samples
+// contribute 512*WalkCount walk rows per labeling, enough M for the
+// kernels' statically owned row ranges to occupy every worker, where
+// 64-row chunks left the M split mostly serial. The in-flight row
+// matrices stay modest — at the default feature scale a chunk holds a
+// few MB across its detector and classifier matrices, times
+// analyzeDepth slots.
+const analyzeChunkSize = 512
 
 // analyzeDepth is the extraction look-ahead in chunks: extraction may
 // run at most this many chunks ahead of scoring, bounding buffer
-// memory while letting the two stages overlap.
+// memory while letting the two stages overlap. Two slots stay the
+// right lookahead after the chunk-size raise: extraction and scoring
+// shifted in the same ratio (both are per-sample work), so one chunk
+// of lookahead still hides extraction behind scoring, and deeper
+// pipelines would only multiply the (now 8x larger) resident chunk
+// buffers without closing any stall.
 const analyzeDepth = 2
 
 // chunkBuf is one slot of the two-stage analyze pipeline: pre-offset
@@ -409,7 +422,13 @@ func (p *Pipeline) extractChunk(c *chunkBuf, cfgs []*disasm.CFG, salts []int64, 
 	c.errs = ensureErrs(&c.errs, n)
 	par.For(n, func(i int) {
 		c.errs[i] = nil
-		v, err := p.Extractor.Extract(cfgs[lo+i], salts[lo+i])
+		vb, _ := p.vecs.Get().(*features.Vectors)
+		v, err := p.Extractor.ExtractInto(vb, cfgs[lo+i], salts[lo+i])
+		if v != nil {
+			defer p.vecs.Put(v)
+		} else if vb != nil {
+			defer p.vecs.Put(vb)
+		}
 		if err != nil {
 			c.errs[i] = fmt.Errorf("core: sample %d: %w", lo+i, err)
 			for w := 0; w < wc; w++ {
@@ -512,6 +531,23 @@ func (p *Pipeline) AnalyzeBinaryBatch(bins [][]byte, salts []int64) ([]*Decision
 
 // Options returns the training options.
 func (p *Pipeline) Options() Options { return p.opts }
+
+// SetFastScoring toggles the opt-in relaxed-precision scoring mode for
+// the whole pipeline: the detector's reconstruction passes and both
+// ensemble members switch to the FMA micro-kernels, relaxed zero-quad
+// skipping, and the reciprocal-multiply softmax. Decisions stay within
+// the tolerance documented in DESIGN.md §7 of the default bit-exact
+// path. This is a runtime serving knob, deliberately not an Options
+// field: Options is persisted with the model, and fast mode must never
+// survive a Save/Load round trip or leak into training. Toggle before
+// serving traffic, not concurrently with Analyze calls.
+func (p *Pipeline) SetFastScoring(on bool) {
+	p.Detector.SetFastInference(on)
+	p.Ensemble.SetFastInference(on)
+}
+
+// FastScoring reports whether relaxed-precision scoring is enabled.
+func (p *Pipeline) FastScoring() bool { return p.Detector.FastInference() }
 
 func fillFrom(opts, def Options) Options {
 	if opts.Features.TopK == 0 {

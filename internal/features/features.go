@@ -96,6 +96,10 @@ type scratch struct {
 	trace  []int
 	walk   *ngram.GramCounter
 	agg    *ngram.GramCounter
+	// aggDBL and aggLBL hold the walk-aggregated TF-IDF vectors between
+	// the per-labeling sweep and fillCombined, reused across samples.
+	aggDBL []float64
+	aggLBL []float64
 }
 
 // Extractor extracts features after being fitted on a training corpus.
@@ -302,19 +306,32 @@ func (e *Extractor) Vectorizers() (dbl, lbl *ngram.Vectorizer) { return e.dbl, e
 
 // Extract computes every feature representation of one sample.
 func (e *Extractor) Extract(c *disasm.CFG, salt int64) (*Vectors, error) {
+	return e.ExtractInto(nil, c, salt)
+}
+
+// ExtractInto is Extract with caller-provided storage: v's slices are
+// reused when their capacity suffices (contents are overwritten), so a
+// steady extraction stream — e.g. the analyze pipeline's chunk filler —
+// allocates nothing per sample on the packed path. A nil v allocates a
+// fresh set. Output is bit-identical to Extract.
+func (e *Extractor) ExtractInto(v *Vectors, c *disasm.CFG, salt int64) (*Vectors, error) {
 	if !e.Fitted() {
 		return nil, ErrNotFitted
 	}
-	if e.packed(c) && e.dbl.PackedReady() && e.lbl.PackedReady() {
-		return e.extractPacked(c, salt), nil
+	if v == nil {
+		v = new(Vectors)
 	}
-	return e.extractStrings(c, salt), nil
+	if e.packed(c) && e.dbl.PackedReady() && e.lbl.PackedReady() {
+		return e.extractPacked(v, c, salt), nil
+	}
+	return e.extractStrings(v, c, salt), nil
 }
 
 // extractPacked is the allocation-lean hot path: walks append into a
 // pooled trace buffer, grams are counted on packed keys in pooled
-// counters, and only the output vectors are freshly allocated.
-func (e *Extractor) extractPacked(c *disasm.CFG, salt int64) *Vectors {
+// counters, aggregates land in pooled scratch, and the output vectors
+// reuse v's storage.
+func (e *Extractor) extractPacked(v *Vectors, c *disasm.CFG, salt int64) *Vectors {
 	sc := e.getScratch()
 	defer e.putScratch(sc)
 	sc.rng.Seed(e.walkSeed(salt))
@@ -324,35 +341,33 @@ func (e *Extractor) extractPacked(c *disasm.CFG, salt int64) *Vectors {
 	steps := e.cfg.LengthFactor * c.G.NumNodes()
 
 	wc := e.cfg.WalkCount
-	v := &Vectors{
-		DBL: make([][]float64, wc),
-		LBL: make([][]float64, wc),
-	}
-	runLabeling := func(vec *ngram.Vectorizer, perm []int, out [][]float64) []float64 {
+	v.DBL = ensureRows(v.DBL, wc)
+	v.LBL = ensureRows(v.LBL, wc)
+	runLabeling := func(vec *ngram.Vectorizer, perm []int, out [][]float64, agg []float64) []float64 {
 		sc.agg.Reset()
 		for w := 0; w < wc; w++ {
 			sc.trace = sc.walker.RandomInto(sc.trace, entry, perm, steps, sc.rng)
 			sc.walk.Reset()
 			sc.walk.AddTrace(sc.trace, e.cfg.Ns)
-			out[w] = vec.VectorPacked(sc.walk)
+			out[w] = vec.VectorPackedInto(out[w], sc.walk)
 			sc.agg.Merge(sc.walk)
 		}
-		return vec.VectorPacked(sc.agg)
+		return vec.VectorPackedInto(agg, sc.agg)
 	}
-	dblAgg := runLabeling(e.dbl, lp.dbl.Perm, v.DBL)
-	lblAgg := runLabeling(e.lbl, lp.lbl.Perm, v.LBL)
-	fillCombined(v, dblAgg, lblAgg)
+	sc.aggDBL = runLabeling(e.dbl, lp.dbl.Perm, v.DBL, sc.aggDBL)
+	sc.aggLBL = runLabeling(e.lbl, lp.lbl.Perm, v.LBL, sc.aggLBL)
+	fillCombined(v, sc.aggDBL, sc.aggLBL)
 	return v
 }
 
 // extractStrings is the legacy string-keyed path, used when the sample
-// or vocabulary cannot pack. Output is bit-identical to extractPacked.
-func (e *Extractor) extractStrings(c *disasm.CFG, salt int64) *Vectors {
+// or vocabulary cannot pack. Output is bit-identical to extractPacked;
+// the per-walk vectors are freshly allocated (Vector has no reuse
+// form), only the combined storage is recycled.
+func (e *Extractor) extractStrings(v *Vectors, c *disasm.CFG, salt int64) *Vectors {
 	dw, lw := e.sampleGrams(c, salt)
-	v := &Vectors{
-		DBL: make([][]float64, len(dw)),
-		LBL: make([][]float64, len(lw)),
-	}
+	v.DBL = ensureRows(v.DBL, len(dw))
+	v.LBL = ensureRows(v.LBL, len(lw))
 	for i, g := range dw {
 		v.DBL[i] = e.dbl.Vector(g)
 	}
@@ -364,23 +379,39 @@ func (e *Extractor) extractStrings(c *disasm.CFG, salt int64) *Vectors {
 }
 
 // fillCombined populates Combined and CombinedWalks from the per-walk
-// vectors and the two aggregate vectors.
+// vectors and the two aggregate vectors, reusing v's storage.
 func fillCombined(v *Vectors, dblAgg, lblAgg []float64) {
-	v.Combined = make([]float64, 0, len(dblAgg)+len(lblAgg))
-	v.Combined = append(v.Combined, dblAgg...)
+	v.Combined = append(ensureVec(v.Combined, len(dblAgg)+len(lblAgg)), dblAgg...)
 	v.Combined = append(v.Combined, lblAgg...)
 
 	n := len(v.DBL)
 	if len(v.LBL) < n {
 		n = len(v.LBL)
 	}
-	v.CombinedWalks = make([][]float64, n)
+	v.CombinedWalks = ensureRows(v.CombinedWalks, n)
 	for i := 0; i < n; i++ {
-		cw := make([]float64, 0, len(v.DBL[i])+len(v.LBL[i]))
-		cw = append(cw, v.DBL[i]...)
-		cw = append(cw, v.LBL[i]...)
-		v.CombinedWalks[i] = cw
+		cw := append(ensureVec(v.CombinedWalks[i], len(v.DBL[i])+len(v.LBL[i])), v.DBL[i]...)
+		v.CombinedWalks[i] = append(cw, v.LBL[i]...)
 	}
+}
+
+// ensureRows resizes a slice of rows to n entries, keeping surviving
+// rows' backing storage for reuse.
+func ensureRows(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		ns := make([][]float64, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+// ensureVec returns s emptied, with capacity for at least n elements.
+func ensureVec(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, 0, n)
+	}
+	return s[:0]
 }
 
 // ExtractBatch extracts features for many samples in parallel (the

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// FastMathAnalyzer enforces the containment contract of the opt-in
+// relaxed-precision scoring mode (DESIGN.md §7): fast mode is a
+// serving-time knob, and the repository's reproducibility guarantees
+// require that it can never reach training or persistence by default.
+// Three rules:
+//
+//  1. training/persistence-family functions (names prefixed Train, Fit,
+//     Save, Load, Restore, Backward, Step, or State, plus init) must
+//     not call a fast-mode toggle or query (SetFastInference,
+//     SetFastScoring, FastInference, FastScoring) — models must be
+//     produced, persisted, and restored by the bit-exact kernels, with
+//     fast mode engaged only afterwards by serving entry points;
+//  2. the same functions must not assign a fast-mode flag field (fast,
+//     fastInfer, or any field whose name contains "Fast") — flipping
+//     the flag without the setter is the same violation in disguise;
+//  3. a struct that serializes fields through json tags must not carry
+//     an exported field whose name contains "Fast" unless that field is
+//     tagged json:"-" — a persisted fast flag would let a saved model
+//     restore into relaxed-precision mode, breaking the guarantee that
+//     loaded systems start bit-exact.
+//
+// The check is syntactic containment, not call-graph reachability: it
+// proves the named function families never touch the flag directly,
+// and the runtime default (flag off at construction, cleared on
+// Restore) covers the rest.
+var FastMathAnalyzer = &Analyzer{
+	Name: "fastmath",
+	Doc:  "keep relaxed-precision fast mode out of training and persistence paths",
+	Run:  runFastMath,
+}
+
+// fastTogglePrefix matches the fast-mode accessor family by name.
+func fastToggleName(name string) bool {
+	switch name {
+	case "SetFastInference", "SetFastScoring", "FastInference", "FastScoring":
+		return true
+	}
+	return false
+}
+
+// fastFieldName matches flag fields by convention: the unexported
+// spellings used in this repository plus any exported Fast* name.
+func fastFieldName(name string) bool {
+	return name == "fast" || name == "fastInfer" || strings.Contains(name, "Fast")
+}
+
+// trainPersistFamily matches function names that produce, serialize,
+// or restore model state.
+var trainPersistPrefixes = []string{
+	"Train", "Fit", "Save", "Load", "Restore", "Backward", "Step", "State",
+}
+
+func trainPersistFamily(name string) bool {
+	if name == "init" {
+		return true
+	}
+	for _, p := range trainPersistPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runFastMath(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil && trainPersistFamily(d.Name.Name) {
+					checkFastFreeBody(pass, d)
+				}
+			case *ast.GenDecl:
+				checkFastFields(pass, d)
+			}
+		}
+	}
+}
+
+// checkFastFreeBody flags fast-mode toggles, queries, and flag-field
+// assignments inside one training/persistence-family function.
+func checkFastFreeBody(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := calleeName(n); fastToggleName(name) {
+				pass.Reportf(n.Pos(), "%s must not be reached from %s: fast mode is a serving-time knob and stays off for training and persistence", name, fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				var name string
+				switch e := lhs.(type) {
+				case *ast.SelectorExpr:
+					name = e.Sel.Name
+				case *ast.Ident:
+					name = e.Name
+				}
+				if name != "" && fastFieldName(name) {
+					pass.Reportf(lhs.Pos(), "assignment to fast-mode flag %q inside %s: training and persistence paths must not flip relaxed-precision state", name, fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkFastFields flags exported Fast* fields in json-serialized
+// structs unless explicitly excluded from serialization.
+func checkFastFields(pass *Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || !hasSerializedField(st) {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if jsonTagName(field) == "-" {
+				continue
+			}
+			for _, name := range field.Names {
+				if ast.IsExported(name.Name) && fastFieldName(name.Name) {
+					pass.Reportf(name.Pos(), "serialized struct %s carries fast-mode field %s; fast mode must never be persisted — tag it json:\"-\" or move it out of the persisted state", ts.Name.Name, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// hasSerializedField reports whether any field of st opts into json
+// serialization via a tag naming a key (not "-").
+func hasSerializedField(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if tag := jsonTagName(field); tag != "" && tag != "-" {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonTagName extracts the json key from a field's struct tag ("" when
+// untagged).
+func jsonTagName(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	raw := strings.Trim(field.Tag.Value, "`")
+	for _, part := range strings.Fields(raw) {
+		if !strings.HasPrefix(part, `json:"`) {
+			continue
+		}
+		val := strings.TrimPrefix(part, `json:"`)
+		if i := strings.IndexByte(val, '"'); i >= 0 {
+			val = val[:i]
+		}
+		if i := strings.IndexByte(val, ','); i >= 0 {
+			val = val[:i]
+		}
+		return val
+	}
+	return ""
+}

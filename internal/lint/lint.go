@@ -86,6 +86,7 @@ func All() []*Analyzer {
 		HotAllocAnalyzer,
 		BatchMissAnalyzer,
 		ObsHotAnalyzer,
+		FastMathAnalyzer,
 	}
 }
 

@@ -136,6 +136,18 @@ func (c *Counter) Inc() {
 	c.v++
 }
 `)
+	write("internal/cnn/fastbad.go", `package cnn
+
+type net struct{ fastInfer bool }
+
+func (n *net) SetFastInference(on bool) { n.fastInfer = on }
+
+type Classifier struct{ net *net }
+
+func Train(c *Classifier) {
+	c.net.SetFastInference(true)
+}
+`)
 	write("internal/core/obsbad.go", `package core
 
 import (

@@ -1,0 +1,14 @@
+package fixture
+
+// Serialized structs must not persist fast-mode state: an exported
+// Fast* field rides along with the json-tagged fields whether or not
+// it is tagged itself.
+type persistedConfig struct {
+	Epochs   int  `json:"epochs"`
+	FastMode bool `json:"fastMode"` // want "serialized struct persistedConfig carries fast-mode field FastMode"
+}
+
+type persistedState struct {
+	Weights []float64 `json:"weights"`
+	UseFast bool      // want "serialized struct persistedState carries fast-mode field UseFast"
+}

@@ -1,0 +1,44 @@
+package fixture
+
+// model mirrors the repository's fast-mode accessor family (each
+// fixture file is loaded as its own package).
+type model struct {
+	fastInfer bool
+}
+
+func (m *model) SetFastInference(on bool) { m.fastInfer = on }
+func (m *model) FastInference() bool      { return m.fastInfer }
+
+// Serving entry points may toggle fast mode freely, a json:"-" tag
+// keeps a flag out of persistence, unexported flags never serialize,
+// and structs that serialize nothing carry no contract.
+func Serve(m *model) {
+	m.SetFastInference(true)
+	if m.FastInference() {
+		m.fastInfer = true
+	}
+}
+
+func run(m *model) {
+	m.SetFastInference(true)
+}
+
+type servingOptions struct {
+	Epochs   int  `json:"epochs"`
+	FastMode bool `json:"-"`
+	fast     bool
+}
+
+type runtimeFlags struct {
+	FastMode bool
+	Verbose  bool
+}
+
+// A suppressed exception stays documented in place.
+func TrainWarm(m *model) {
+	//lint:ignore fastmath benchmark harness trains a throwaway model in fast mode on purpose
+	m.SetFastInference(true)
+}
+
+var _ = servingOptions{}
+var _ = runtimeFlags{}

@@ -1,0 +1,35 @@
+package fixture
+
+// A model stand-in with the repository's fast-mode accessor family.
+type model struct {
+	fast      bool
+	fastInfer bool
+}
+
+func (m *model) SetFastInference(on bool) { m.fastInfer = on }
+func (m *model) FastInference() bool      { return m.fastInfer }
+
+var global model
+
+// Training/persistence-family functions must not touch the toggles.
+func Train(m *model) {
+	m.SetFastInference(true) // want "SetFastInference must not be reached from Train"
+}
+
+func FitEpoch(m *model) {
+	if m.FastInference() { // want "FastInference must not be reached from FitEpoch"
+		return
+	}
+}
+
+func LoadModel(m *model) {
+	m.fastInfer = false // want "assignment to fast-mode flag \"fastInfer\" inside LoadModel"
+}
+
+func SaveModel(m *model) {
+	m.fast = true // want "assignment to fast-mode flag \"fast\" inside SaveModel"
+}
+
+func init() {
+	global.SetFastInference(true) // want "SetFastInference must not be reached from init"
+}

@@ -232,7 +232,24 @@ func (v *Vectorizer) PackedReady() bool { return v.pindex != nil }
 // is written once (so map iteration order is irrelevant), and the L2
 // norm accumulates in index order. Callers must check PackedReady.
 func (v *Vectorizer) VectorPacked(c *GramCounter) []float64 {
-	out := make([]float64, v.Dim)
+	return v.VectorPackedInto(nil, c)
+}
+
+// VectorPackedInto is VectorPacked with caller-provided storage: dst is
+// reused when its capacity suffices (contents are overwritten), and the
+// returned slice has length Dim. Output is bit-identical to
+// VectorPacked — the buffer is zeroed before the single write per
+// occupied slot, so reuse can never leak a previous vector's values.
+func (v *Vectorizer) VectorPackedInto(dst []float64, c *GramCounter) []float64 {
+	var out []float64
+	if cap(dst) < v.Dim {
+		out = make([]float64, v.Dim)
+	} else {
+		out = dst[:v.Dim]
+		for i := range out {
+			out[i] = 0
+		}
+	}
 	if c.total == 0 {
 		return out
 	}

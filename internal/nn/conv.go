@@ -84,7 +84,7 @@ func (c *Conv1D) Forward(x *Matrix, train bool) *Matrix {
 
 	out := ensure(&c.out, x.Rows, outLen*c.OutCh)
 	c.prodHdr = Matrix{Rows: x.Rows * outLen, Cols: c.OutCh, Data: out.Data}
-	gemm(&c.prodHdr, cols, c.Weight.W, false, false, false, c.Bias.W.Data, false)
+	gemm(&c.prodHdr, cols, c.Weight.W, false, false, false, c.Bias.W.Data, false, false)
 	return out
 }
 
@@ -111,29 +111,29 @@ func (c *Conv1D) inferFused(x *Matrix, ws *Arena, relu bool) *Matrix {
 	k := c.Kernel * c.InCh
 	n := c.OutCh
 	out := ws.take(x.Rows, outLen*n)
+	fast := ws.fast
 	// The serial branch calls inferRows directly (no closure) so
 	// steady-state inference stays allocation-free; only the parallel
 	// split pays for its closure, mirroring gemm.
 	perRow := outLen * k * n
 	if work := x.Rows * perRow; work < parallelThreshold || x.Rows < 2 || par.Workers() == 1 {
-		c.inferRows(out, x, 0, x.Rows, relu)
+		c.inferRows(out, x, 0, x.Rows, relu, fast)
 	} else {
 		grain := parallelThreshold / perRow
 		if grain < 1 {
 			grain = 1
 		}
 		par.ForChunkedGrain(x.Rows, grain, func(blo, bhi int) {
-			c.inferRows(out, x, blo, bhi, relu)
+			c.inferRows(out, x, blo, bhi, relu, fast)
 		})
 	}
 	return out
 }
 
-// inferRows runs the GEMM kernel over batch rows [blo, bhi), one
-// A-panel per input row — the register-blocked narrow kernel for the
-// usual slim filter banks, the blocked kernel otherwise. Both are
-// bit-identical (see gemmNarrow).
-func (c *Conv1D) inferRows(out, x *Matrix, blo, bhi int, relu bool) {
+// inferRows runs the register-blocked panel kernel over batch rows
+// [blo, bhi), one A-panel per input row (bit-identical to the blocked
+// kernel — see gemmPanels).
+func (c *Conv1D) inferRows(out, x *Matrix, blo, bhi int, relu, fast bool) {
 	outLen := c.OutLen()
 	k := c.Kernel * c.InCh
 	n := c.OutCh
@@ -142,11 +142,7 @@ func (c *Conv1D) inferRows(out, x *Matrix, blo, bhi int, relu bool) {
 	for b := blo; b < bhi; b++ {
 		dstRow := out.Data[b*outLen*n : (b+1)*outLen*n]
 		srcRow := x.Data[b*x.Cols : (b+1)*x.Cols]
-		if n <= gemmNarrowMax {
-			gemmNarrow(dstRow, n, srcRow, lda, w, n, 0, outLen, k, n, bias, relu)
-		} else {
-			gemmKernel(dstRow, n, srcRow, lda, w, n, 0, outLen, k, n, false, bias, relu)
-		}
+		gemmPanels(dstRow, n, srcRow, lda, w, n, 0, outLen, k, n, bias, relu, fast)
 	}
 }
 
@@ -225,10 +221,21 @@ func (m *MaxPool1D) checkIn(x *Matrix) {
 func (m *MaxPool1D) pool(out, x *Matrix, argmax []int) {
 	outLen := m.OutLen()
 	if argmax == nil && m.Window == 2 {
-		// Inference fast path for the ubiquitous window-2 pool: compare
-		// the two candidate channel vectors slice-to-slice instead of
-		// recomputing flat indices per element. Same comparisons, same
-		// winners — only the index arithmetic is hoisted.
+		// Inference fast path for the ubiquitous window-2 pool. On AVX
+		// the whole row runs in pool2AVX: MAXPD/MAXSD with the same
+		// tie/NaN behaviour as the scalar branch below, so winners are
+		// identical element by element.
+		if useAVX && m.Ch > 0 {
+			step := m.Stride * m.Ch
+			for b := 0; b < x.Rows; b++ {
+				pool2AVX(&out.Row(b)[0], &x.Row(b)[0], outLen, m.Ch, step)
+			}
+			return
+		}
+		// Scalar form: compare the two candidate channel vectors
+		// slice-to-slice instead of recomputing flat indices per
+		// element. Same comparisons, same winners — only the index
+		// arithmetic is hoisted.
 		for b := 0; b < x.Rows; b++ {
 			row := x.Row(b)
 			dst := out.Row(b)

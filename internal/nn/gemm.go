@@ -39,39 +39,68 @@ import (
 //     this recovers a large part of the seed kernel's per-element zero
 //     skip at a quarter of the branch cost.
 //
-//   - Row pairing. Destination rows are processed two at a time, so
-//     each loaded B segment feeds eight multiply-adds instead of four;
-//     when only one row of a pair has a live a-quad the kernel falls
-//     back to that row alone, which keeps the arithmetic (and the
-//     zero-skip behaviour on non-finite inputs) identical to the
-//     single-row path element by element.
+//   - Row pairing. The blocked kernel processes destination rows two at
+//     a time, so each loaded B segment feeds eight multiply-adds
+//     instead of four; when only one row of a pair has a live a-quad
+//     the kernel falls back to that row alone, which keeps the
+//     arithmetic (and the zero-skip behaviour on non-finite inputs)
+//     identical to the single-row path element by element.
 //
-//   - Vector micro-kernel. On amd64 with AVX the inner z-loops run in
-//     assembly (gemm_amd64.s): four B segments stream through YMM
-//     registers into one or two destination rows. The kernels use
-//     separate multiply and add instructions — never FMA — and lanes
-//     map to adjacent output elements, so every element sees the exact
-//     scalar operation sequence and results are bit-identical to the
-//     Go loops (and across machines). Without AVX the scalar loops
-//     below run instead.
+//   - Two kernel families, one arithmetic. Narrow non-accumulating
+//     products (n <= gemmNarrowMax: the conv filter banks and slim
+//     heads) run the register-blocked panel kernels (gemmPanels): 8-
+//     then 4-column output tiles live in YMM registers across the
+//     ENTIRE k sweep, with the bias seed, k%4 remainder, and ReLU
+//     fused into the tile — one destination store per tile row. Wide
+//     products and accumulations (dst += a@b, the backward pass) run
+//     the blocked quad kernel (gemmKernel), whose row pairing shares
+//     each streamed B segment between two destination rows. Both
+//     families accumulate the same terms in the same ascending-k quad
+//     order with the same skip predicate, so they are bit-identical
+//     (see gemmPanels).
+//
+//   - Vector micro-kernel. On amd64 with AVX the inner loops run in
+//     assembly (gemm_amd64.s). The default kernels use separate
+//     multiply and add instructions — never FMA — and lanes map to
+//     adjacent output elements, so every element sees the exact scalar
+//     operation sequence and results are bit-identical to the Go loops
+//     (and across machines). Without AVX the scalar loops below run
+//     instead.
+//
+//   - Opt-in fast mode. Every kernel entry point takes a fast flag;
+//     when set (and the CPU has FMA) the quad and panel kernels switch
+//     to fused multiply-add accumulation with a relaxed denormal skip.
+//     Fast mode is NOT bit-identical — it is tolerance-tested, reached
+//     only through explicit SetFastInference-style opt-ins, and the
+//     fastmath analyzer keeps it out of training and persistence.
 //
 // Parallelism splits output rows only (each row's dot products are
 // computed entirely by one worker), with a grain that keeps every
-// chunk above parallelThreshold multiply-adds.
+// chunk above parallelThreshold multiply-adds (gemmGrain). Chunk
+// boundaries come from par.ForChunkedGrain and depend only on the row
+// count, the grain, and the worker count — each row range is statically
+// owned by exactly one worker, so sharded results are byte-identical to
+// a serial run in both modes.
 const (
 	// gemmColBlock columns of the destination (and B panel) per tile:
 	// a 4 KiB destination row segment.
 	gemmColBlock = 512
-	// gemmNarrowMax is the widest destination the transposed-B dot
-	// kernel handles. Below this width the blocked kernel's per-quad
-	// segment slicing and vector-call setup cost more than the
-	// arithmetic they feed, so gemmNarrow wins despite staying scalar.
-	gemmNarrowMax = 16
 	// gemmKBlock k-depth per tile: the four unrolled B row segments plus
 	// the destination segment stay within L1.
 	gemmKBlock = 128
 	// transposeBlock is the square tile of the blocked transpose.
 	transposeBlock = 32
+	// gemmNarrowMax is the widest destination the register-blocked panel
+	// kernels serve. Below this width the blocked kernel's per-quad
+	// segment slicing and vector-call setup dwarf the arithmetic they
+	// feed, so the panel sweep wins outright. At larger widths the
+	// blocked kernel's row pairing shares each streamed B segment
+	// between two destination rows — cheaper per multiply-add than the
+	// panel kernels' per-row broadcast traffic — and wide destination
+	// segments amortize its per-quad setup, so it wins there instead
+	// (measured: routing the wide Dense products through packed panel
+	// tiles cost ~40% on the scoring benchmark).
+	gemmNarrowMax = 16
 )
 
 // f64Pool recycles the scratch that holds pre-transposed operands, so
@@ -137,11 +166,32 @@ func gemmDims(a, b *Matrix, aT, bT bool) (m, k, n int) {
 	return m, k, bc
 }
 
+// gemmGrain returns the minimum row grain handed to ForChunkedGrain
+// for a product with the given k and n: enough rows that every
+// statically owned chunk clears parallelThreshold multiply-adds, so
+// sharding never fans out trivially small bodies.
+func gemmGrain(k, n int) int {
+	g := parallelThreshold / (k * n)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // gemm computes dst = op(a) @ op(b) (+ dst when acc), with an optional
 // bias row added to every output row and an optional ReLU applied to
 // the result. dst must already have the product's shape and must not
 // alias a or b. bias (len N) and relu are ignored when acc is set.
-func gemm(dst, a, b *Matrix, aT, bT, acc bool, bias []float64, relu bool) {
+//
+// fast selects the opt-in relaxed-precision kernels (FMA accumulation,
+// relaxed zero skipping) when the CPU supports them; default-mode
+// callers pass false and get the bit-exact kernels. Sharding is
+// identical in both modes: the M dimension is split into deterministic,
+// statically owned row ranges (chunk boundaries depend only on m,
+// grain, and worker count — see par.ForChunkedGrain), and each output
+// row is computed entirely by one worker in one canonical k-order, so
+// results never depend on scheduling.
+func gemm(dst, a, b *Matrix, aT, bT, acc bool, bias []float64, relu, fast bool) {
 	m, k, n := gemmDims(a, b, aT, bT)
 	if dst.Rows != m || dst.Cols != n {
 		panic(fmt.Sprintf("nn: MatMulInto dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, m, n))
@@ -165,29 +215,6 @@ func gemm(dst, a, b *Matrix, aT, bT, acc bool, bias []float64, relu bool) {
 		transposeInto(s, a.Data, a.Rows, a.Cols)
 		aData, lda = s, k
 	}
-	// Narrow products take the register-blocked panel kernel
-	// (bit-identical to the blocked one — see gemmNarrow), which wants
-	// B in its natural k x n layout.
-	if !acc && !bT && n <= gemmNarrowMax {
-		bd := b.Data
-		if work := m * k * n; work < parallelThreshold || m < 2 || par.Workers() == 1 {
-			gemmNarrow(dst.Data, n, aData, lda, bd, n, 0, m, k, n, bias, relu)
-		} else {
-			grain := parallelThreshold / (k * n)
-			if grain < 1 {
-				grain = 1
-			}
-			dd := dst.Data
-			par.ForChunkedGrain(m, grain, func(rlo, rhi int) {
-				gemmNarrow(dd, n, aData, lda, bd, n, rlo, rhi, k, n, bias, relu)
-			})
-		}
-		if scratchA != nil {
-			putF64(scratchA)
-		}
-		return
-	}
-
 	bData, ldb := b.Data, b.Cols
 	var scratchB *[]float64
 	if bT {
@@ -197,18 +224,29 @@ func gemm(dst, a, b *Matrix, aT, bT, acc bool, bias []float64, relu bool) {
 		bData, ldb = s, n
 	}
 
+	// Narrow non-accumulating products take the register-blocked panel
+	// kernels (bit-identical to the blocked machinery — see gemmPanels
+	// and gemmNarrowMax); everything else — wide products and every
+	// accumulation (dst += a@b, the backward pass) — runs the blocked
+	// quad kernel.
+	//
 	// The serial branch calls the kernel directly (no closure) so small
 	// products — batch-1 inference in particular — allocate nothing.
+	panels := !acc && n <= gemmNarrowMax
 	if work := m * k * n; work < parallelThreshold || m < 2 || par.Workers() == 1 {
-		gemmKernel(dst.Data, n, aData, lda, bData, ldb, 0, m, k, n, acc, bias, relu)
-	} else {
-		grain := parallelThreshold / (k * n)
-		if grain < 1 {
-			grain = 1
+		if panels {
+			gemmPanels(dst.Data, n, aData, lda, bData, ldb, 0, m, k, n, bias, relu, fast)
+		} else {
+			gemmKernel(dst.Data, n, aData, lda, bData, ldb, 0, m, k, n, acc, bias, relu, fast)
 		}
+	} else {
 		dd := dst.Data
-		par.ForChunkedGrain(m, grain, func(rlo, rhi int) {
-			gemmKernel(dd, n, aData, lda, bData, ldb, rlo, rhi, k, n, acc, bias, relu)
+		par.ForChunkedGrain(m, gemmGrain(k, n), func(rlo, rhi int) {
+			if panels {
+				gemmPanels(dd, n, aData, lda, bData, ldb, rlo, rhi, k, n, bias, relu, fast)
+			} else {
+				gemmKernel(dd, n, aData, lda, bData, ldb, rlo, rhi, k, n, acc, bias, relu, fast)
+			}
 		})
 	}
 
@@ -250,7 +288,7 @@ func gemmInit(dst []float64, ldd, rlo, rhi int, acc bool, bias []float64, relu b
 // the blocking, initialization, and epilogues described at the top of
 // the file. Rows are processed in pairs so each loaded B segment is
 // shared between two accumulator rows.
-func gemmKernel(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int, rlo, rhi, k, n int, acc bool, bias []float64, relu bool) {
+func gemmKernel(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int, rlo, rhi, k, n int, acc bool, bias []float64, relu, fast bool) {
 	for jc := 0; jc < n; jc += gemmColBlock {
 		je := jc + gemmColBlock
 		if je > n {
@@ -263,10 +301,10 @@ func gemmKernel(dst []float64, ldd int, a []float64, lda int, b []float64, ldb i
 			}
 			i := rlo
 			for ; i+2 <= rhi; i += 2 {
-				gemmRowPair(dst, ldd, a, lda, b, ldb, i, jc, je, kc, ke, k, acc, bias, relu)
+				gemmRowPair(dst, ldd, a, lda, b, ldb, i, jc, je, kc, ke, k, acc, bias, relu, fast)
 			}
 			if i < rhi {
-				gemmRow(dst, ldd, a, lda, b, ldb, i, jc, je, kc, ke, k, acc, bias, relu)
+				gemmRow(dst, ldd, a, lda, b, ldb, i, jc, je, kc, ke, k, acc, bias, relu, fast)
 			}
 		}
 	}
@@ -284,8 +322,14 @@ func gemmRowInit(drow, bias []float64, jc, je int) {
 	}
 }
 
-// gemmRowReLU clamps a finished destination segment in place.
+// gemmRowReLU clamps a finished destination segment in place. The AVX
+// form is max(+0, v) per element, which passes -0, NaN, and ties
+// through unchanged — exactly the scalar comparison.
 func gemmRowReLU(drow []float64) {
+	if useAVX && len(drow) > 0 {
+		reluAVX(&drow[0], len(drow))
+		return
+	}
 	for z, v := range drow {
 		if v < 0 {
 			drow[z] = 0
@@ -295,7 +339,7 @@ func gemmRowReLU(drow []float64) {
 
 // gemmRow accumulates the k-block [kc, ke) into the column tile
 // [jc, je) of destination row i.
-func gemmRow(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int, i, jc, je, kc, ke, k int, acc bool, bias []float64, relu bool) {
+func gemmRow(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int, i, jc, je, kc, ke, k int, acc bool, bias []float64, relu, fast bool) {
 	arow := a[i*lda : i*lda+k]
 	drow := dst[i*ldd+jc : i*ldd+je]
 	if kc == 0 && !acc {
@@ -317,7 +361,11 @@ func gemmRow(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int,
 		b3 = b3[:len(drow)]
 		if useAVX {
 			av := [4]float64{a0, a1, a2, a3}
-			rowQuadAVX(&drow[0], &b0[0], &b1[0], &b2[0], &b3[0], len(drow), &av)
+			if fast && useFMA {
+				rowQuadFMA(&drow[0], &b0[0], &b1[0], &b2[0], &b3[0], len(drow), &av)
+			} else {
+				rowQuadAVX(&drow[0], &b0[0], &b1[0], &b2[0], &b3[0], len(drow), &av)
+			}
 			continue
 		}
 		for z := range drow {
@@ -345,7 +393,7 @@ func gemmRow(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int,
 // element update is the same expression, in the same k order, as
 // gemmRow's — pairing only changes how many times a B segment is
 // loaded, never what is added to which element.
-func gemmRowPair(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int, i, jc, je, kc, ke, k int, acc bool, bias []float64, relu bool) {
+func gemmRowPair(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int, i, jc, je, kc, ke, k int, acc bool, bias []float64, relu, fast bool) {
 	arow0 := a[i*lda : i*lda+k]
 	arow1 := a[(i+1)*lda : (i+1)*lda+k]
 	d0 := dst[i*ldd+jc : i*ldd+je]
@@ -376,7 +424,11 @@ func gemmRowPair(dst []float64, ldd int, a []float64, lda int, b []float64, ldb 
 		case live0 && live1:
 			if useAVX {
 				av := [8]float64{a00, a01, a02, a03, a10, a11, a12, a13}
-				pairQuadAVX(&d0[0], &d1[0], &b0[0], &b1[0], &b2[0], &b3[0], len(d0), &av)
+				if fast && useFMA {
+					pairQuadFMA(&d0[0], &d1[0], &b0[0], &b1[0], &b2[0], &b3[0], len(d0), &av)
+				} else {
+					pairQuadAVX(&d0[0], &d1[0], &b0[0], &b1[0], &b2[0], &b3[0], len(d0), &av)
+				}
 				continue
 			}
 			for z := range d0 {
@@ -387,7 +439,11 @@ func gemmRowPair(dst []float64, ldd int, a []float64, lda int, b []float64, ldb 
 		case live0:
 			if useAVX {
 				av := [4]float64{a00, a01, a02, a03}
-				rowQuadAVX(&d0[0], &b0[0], &b1[0], &b2[0], &b3[0], len(d0), &av)
+				if fast && useFMA {
+					rowQuadFMA(&d0[0], &b0[0], &b1[0], &b2[0], &b3[0], len(d0), &av)
+				} else {
+					rowQuadAVX(&d0[0], &b0[0], &b1[0], &b2[0], &b3[0], len(d0), &av)
+				}
 				continue
 			}
 			for z := range d0 {
@@ -396,7 +452,11 @@ func gemmRowPair(dst []float64, ldd int, a []float64, lda int, b []float64, ldb 
 		default:
 			if useAVX {
 				av := [4]float64{a10, a11, a12, a13}
-				rowQuadAVX(&d1[0], &b0[0], &b1[0], &b2[0], &b3[0], len(d1), &av)
+				if fast && useFMA {
+					rowQuadFMA(&d1[0], &b0[0], &b1[0], &b2[0], &b3[0], len(d1), &av)
+				} else {
+					rowQuadAVX(&d1[0], &b0[0], &b1[0], &b2[0], &b3[0], len(d1), &av)
+				}
 				continue
 			}
 			for z := range d1 {
@@ -434,66 +494,72 @@ func gemmRowPair(dst []float64, ldd int, a []float64, lda int, b []float64, ldb 
 	}
 }
 
-// gemmNarrow computes rows [rlo, rhi) of dst = a @ b (+ bias, ReLU)
-// for narrow destinations (n <= gemmNarrowMax). Full 8-wide column
-// tiles go through panelQuad8AVX, which keeps the destination tile in
-// registers across the entire quad sweep instead of round-tripping it
-// through memory per quad the way the blocked kernel does — at these
-// widths that round-trip and the per-quad segment slicing dominate
-// the arithmetic. Leftover columns, the scalar k remainder, and every
-// column when AVX is absent fall through to the blocked machinery.
+// gemmPanels computes rows [rlo, rhi) of dst = a @ b (+ bias, ReLU),
+// the non-accumulating kernel behind every inference and forward-pass
+// product. Column tiles of 8 and then 4 go through the fully fused
+// panel kernels (panelTile8AVX / panelTile4AVX, or their FMA forms in
+// fast mode), which seed the tile from the bias, sweep the ENTIRE k
+// dimension — quads plus the k%4 single terms — and apply the ReLU
+// clamp while the tile stays in registers: one store per tile row, no
+// separate seed, remainder, or epilogue passes over memory, and no
+// per-k-quad destination traffic at all (the blocked quad kernel
+// re-reads and re-writes each destination segment once per quad).
+// Only a sub-4-column leftover (n % 4) and the no-AVX build fall
+// through to the blocked machinery.
 //
-// Bit-identity with gemmKernel: element (i, j) starts from the same
-// bias seed and accumulates the same quad-grouped terms in the same
-// ascending-k order with the same all-four-zero quad skip, then the
-// same zero-skipped scalar remainder, then the same comparison-only
-// ReLU. Holding the accumulator in a register instead of memory does
-// not change any IEEE-754 operation, gemmKernel's k-blocking cannot
-// regroup quads (gemmKBlock is a multiple of 4, so quad boundaries
-// fall on the same offsets), and its column tiling and row pairing
+// Bit-identity with gemmKernel (default mode): element (i, j) starts
+// from the same bias seed and accumulates the same quad-grouped terms
+// in the same ascending-k order with the same all-four-zero quad skip,
+// then the same zero-skipped scalar remainder, then the same
+// comparison-only ReLU. Holding the accumulator in a register instead
+// of memory does not change any IEEE-754 operation, gemmKernel's
+// k-blocking cannot regroup quads (gemmKBlock is a multiple of 4, so
+// quad boundaries fall on the same offsets, and singles only occur
+// after the last full quad), and its column tiling and row pairing
 // never change what is added to which element — so the two paths
 // produce byte-identical output.
-func gemmNarrow(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int, rlo, rhi, k, n int, bias []float64, relu bool) {
-	nq := k >> 2
-	jp := 0 // column prefix covered by the panel kernel
-	if useAVX && nq > 0 && rhi > rlo {
-		jp = n &^ 7
+func gemmPanels(dst []float64, ldd int, a []float64, lda int, b []float64, ldb int, rlo, rhi, k, n int, bias []float64, relu, fast bool) {
+	if rhi <= rlo || n <= 0 {
+		return
 	}
-	if jp > 0 {
-		// The panel kernel accumulates, so rows are seeded first; the
-		// scalar k remainder and the ReLU epilogue run after it, per
-		// element in the same order as the blocked kernel.
-		for i := rlo; i < rhi; i++ {
-			gemmRowInit(dst[i*ldd:i*ldd+jp], bias, 0, jp)
-		}
-		for j := 0; j < jp; j += 8 {
-			panelQuad8AVX(&dst[rlo*ldd+j], ldd, &a[rlo*lda], lda, &b[j], ldb, rhi-rlo, nq)
-		}
-		for i := rlo; i < rhi; i++ {
-			arow := a[i*lda : i*lda+k]
-			drow := dst[i*ldd : i*ldd+jp]
-			for kk := nq << 2; kk < k; kk++ {
-				av := arow[kk]
-				if av == 0 {
-					continue
-				}
-				brow := b[kk*ldb : kk*ldb+jp]
-				for z := range drow {
-					drow[z] += av * brow[z]
-				}
-			}
-			if relu {
-				gemmRowReLU(drow)
-			}
-		}
+	if !useAVX || k <= 0 {
+		gemmKernel(dst, ldd, a, lda, b, ldb, rlo, rhi, k, n, false, bias, relu, fast)
+		return
 	}
-	if jp < n {
+	tile8, tile4 := panelTile8AVX, panelTile4AVX
+	if fast && useFMA {
+		tile8, tile4 = panelTile8FMA, panelTile4FMA
+	}
+	reluFlag := 0
+	if relu {
+		reluFlag = 1
+	}
+	rows := rhi - rlo
+	d0, a0 := rlo*ldd, rlo*lda
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		tile8(&dst[d0+j], ldd, &a[a0], lda, &b[j], ldb, rows, k, biasAt(bias, j), reluFlag)
+	}
+	if n-j >= 4 {
+		tile4(&dst[d0+j], ldd, &a[a0], lda, &b[j], ldb, rows, k, biasAt(bias, j), reluFlag)
+		j += 4
+	}
+	if j < n {
 		tailBias := bias
 		if bias != nil {
-			tailBias = bias[jp:]
+			tailBias = bias[j:]
 		}
-		gemmKernel(dst[jp:], ldd, a, lda, b[jp:], ldb, rlo, rhi, k, n-jp, false, tailBias, relu)
+		gemmKernel(dst[j:], ldd, a, lda, b[j:], ldb, rlo, rhi, k, n-j, false, tailBias, relu, fast)
 	}
+}
+
+// biasAt returns a pointer to bias[j], or nil when the product has no
+// fused bias (the panel kernels seed the tile with zero in that case).
+func biasAt(bias []float64, j int) *float64 {
+	if bias == nil {
+		return nil
+	}
+	return &bias[j]
 }
 
 func sameSlice(a, b []float64) bool {
@@ -506,7 +572,7 @@ func sameSlice(a, b []float64) bool {
 // loops always stream contiguous memory; see the file comment for the
 // kernel design.
 func MatMulInto(dst, a, b *Matrix, aT, bT bool) *Matrix {
-	gemm(dst, a, b, aT, bT, false, nil, false)
+	gemm(dst, a, b, aT, bT, false, nil, false, false)
 	return dst
 }
 
@@ -515,7 +581,7 @@ func MatMulInto(dst, a, b *Matrix, aT, bT bool) *Matrix {
 // must already have the product's shape and must not alias either
 // operand. It returns dst.
 func MatMulAddInto(dst, a, b *Matrix, aT, bT bool) *Matrix {
-	gemm(dst, a, b, aT, bT, true, nil, false)
+	gemm(dst, a, b, aT, bT, true, nil, false, false)
 	return dst
 }
 
@@ -524,6 +590,6 @@ func MatMulAddInto(dst, a, b *Matrix, aT, bT bool) *Matrix {
 func MatMul(a, b *Matrix, aT, bT bool) *Matrix {
 	m, _, n := gemmDims(a, b, aT, bT)
 	out := NewMatrix(m, n)
-	gemm(out, a, b, aT, bT, false, nil, false)
+	gemm(out, a, b, aT, bT, false, nil, false, false)
 	return out
 }

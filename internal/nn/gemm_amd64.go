@@ -11,9 +11,20 @@ package nn
 // therefore across machines.
 var useAVX = cpuHasAVX()
 
+// useFMA gates the opt-in fast-mode kernels (pairQuadFMA, rowQuadFMA,
+// panelTile8FMA, panelTile4FMA). FMA accumulation rounds once per term
+// instead of twice, so fast-mode results are NOT bit-identical to the
+// default kernels — they are covered by tolerance tests, reached only
+// when a caller explicitly passes fast=true through gemm, and kept out
+// of training and persistence by the fastmath analyzer.
+var useFMA = cpuHasFMA()
+
 // cpuHasAVX reports whether the CPU and OS support AVX (CPUID feature
 // flag plus XGETBV confirmation that the OS preserves YMM state).
 func cpuHasAVX() bool
+
+// cpuHasFMA reports whether the CPU supports FMA3 on top of AVX.
+func cpuHasFMA() bool
 
 // pairQuadAVX accumulates four B rows into two destination rows:
 //
@@ -33,19 +44,58 @@ func pairQuadAVX(d0, d1, b0, b1, b2, b3 *float64, n int, a *[8]float64)
 //go:noescape
 func rowQuadAVX(d, b0, b1, b2, b3 *float64, n int, a *[4]float64)
 
-// panelQuad8AVX accumulates, for each of rows destination rows (row
-// stride ldd), nq column quads into the row's 8-wide tile d[0:8]:
-//
-//	d[z] += a[4q]*b[4q*ldb+z] + a[4q+1]*b[(4q+1)*ldb+z] +
-//	        a[4q+2]*b[(4q+2)*ldb+z] + a[4q+3]*b[(4q+3)*ldb+z]
-//
-// for q in [0, nq), z in [0, 8), skipping a quad when all four of its
-// a values equal zero — the same expression, reduction order, and skip
-// predicate as the scalar quad loops (the equality test is an IEEE
-// compare, so -0 skips and NaN does not, exactly like Go's ==). The
-// a panel advances by lda per row. The destination tile is held in
-// registers for the whole quad sweep, which is the point: the blocked
-// kernel reloads and restores it per quad.
+// pairQuadFMA and rowQuadFMA are the fast-mode forms of the quad
+// kernels: each term is folded into the destination with one fused
+// multiply-add (one rounding instead of two), so results differ from
+// the exact kernels by a few ulps per term.
 //
 //go:noescape
-func panelQuad8AVX(d *float64, ldd int, a *float64, lda int, b *float64, ldb int, rows, nq int)
+func pairQuadFMA(d0, d1, b0, b1, b2, b3 *float64, n int, a *[8]float64)
+
+//go:noescape
+func rowQuadFMA(d, b0, b1, b2, b3 *float64, n int, a *[4]float64)
+
+// panelTile8AVX is the fully fused narrow-panel kernel for one 8-wide
+// column tile: for each of rows destination rows (row stride ldd) it
+// seeds d[0:8] from bias (zero when bias is nil), accumulates all k
+// terms — ascending quads with the all-four-zero skip, then the k%4
+// single terms with the scalar zero skip — and applies the ReLU clamp
+// when relu != 0, all while the tile stays in registers, with one store
+// at the end. Every element's operation sequence (seed, quad grouping,
+// reduction order, skip predicates, clamp) matches the scalar loops
+// exactly, so results are bit-identical to the blocked kernel.
+//
+//go:noescape
+func panelTile8AVX(d *float64, ldd int, a *float64, lda int, b *float64, ldb int, rows, k int, bias *float64, relu int)
+
+// panelTile4AVX is the 4-wide form of panelTile8AVX, covering narrow
+// destinations (4 <= n < 8) and the 4-column tail of wider panels.
+//
+//go:noescape
+func panelTile4AVX(d *float64, ldd int, a *float64, lda int, b *float64, ldb int, rows, k int, bias *float64, relu int)
+
+// panelTile8FMA and panelTile4FMA are the fast-mode panel kernels: FMA
+// accumulation straight into the register tile, plus a relaxed skip
+// that also drops quads/singles whose coefficients are all denormal
+// (|a| < 2^-1022).
+//
+//go:noescape
+func panelTile8FMA(d *float64, ldd int, a *float64, lda int, b *float64, ldb int, rows, k int, bias *float64, relu int)
+
+//go:noescape
+func panelTile4FMA(d *float64, ldd int, a *float64, lda int, b *float64, ldb int, rows, k int, bias *float64, relu int)
+
+// reluAVX clamps d[0:n] in place: d[z] = max(+0, d[z]), which returns
+// the input for -0, NaN, and ties — exactly the scalar "if v < 0"
+// clamp.
+//
+//go:noescape
+func reluAVX(d *float64, n int)
+
+// pool2AVX is the window-2 channels-last max pool over one batch row:
+// dst[p*ch+z] = max(src[p*step+z], src[p*step+ch+z]) for p in
+// [0, outLen), z in [0, ch), with the scalar tie/NaN behaviour of
+// "v := lo; if hi > v { v = hi }".
+//
+//go:noescape
+func pool2AVX(dst, src *float64, outLen, ch, step int)

@@ -80,6 +80,9 @@ func maxAbsDiff(a, b *Matrix) float64 {
 }
 
 func TestMatMulIntoMatchesSeedKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heaviest equivalence sweep (every shape x every transpose); skipped under -short")
+	}
 	rng := rand.New(rand.NewSource(41))
 	for _, sh := range equivShapes {
 		for _, aT := range []bool{false, true} {
@@ -151,7 +154,7 @@ func TestGemmFusedBiasReLU(t *testing.T) {
 		bias[i] = rng.NormFloat64()
 	}
 	fused := NewMatrix(5, 600)
-	gemm(fused, a, b, false, false, false, bias, true)
+	gemm(fused, a, b, false, false, false, bias, true, false)
 
 	want := seedMatMul(a, b, false, false)
 	for i := 0; i < want.Rows; i++ {
@@ -168,14 +171,14 @@ func TestGemmFusedBiasReLU(t *testing.T) {
 	}
 }
 
-// TestGemmNarrowMatchesBlockedKernel pins the narrow panel kernel
-// bit-identical to the blocked kernel — not merely close: batched and
-// per-sample scoring paths may dispatch the same product to different
-// kernels, and the repo's equivalence guarantees require the results
-// to agree in every bit. Inputs include -0 values and fully zero quads
-// so the skip predicate, the scalar k remainder, leftover columns, and
-// the bias/ReLU epilogues are all crossed.
-func TestGemmNarrowMatchesBlockedKernel(t *testing.T) {
+// TestGemmPanelsMatchesBlockedKernel pins the panel kernel
+// bit-identical to the blocked kernel — not merely close: the panel
+// path serves every non-accumulating product while the blocked kernel
+// serves accumulation, and the repo's equivalence guarantees require
+// the results to agree in every bit. Inputs include -0 values and
+// fully zero quads so the skip predicate, the scalar k remainder,
+// leftover columns, and the bias/ReLU epilogues are all crossed.
+func TestGemmPanelsMatchesBlockedKernel(t *testing.T) {
 	rng := rand.New(rand.NewSource(46))
 	shapes := []struct{ m, k, n int }{
 		{1, 4, 8},
@@ -183,8 +186,14 @@ func TestGemmNarrowMatchesBlockedKernel(t *testing.T) {
 		{4, 130, 16},
 		{3, 12, 12},
 		{6, 4, 15},
-		{7, 3, 6},   // nq == 0: everything through the blocked tail
-		{2, 257, 9}, // k remainder after the last full quad
+		{7, 3, 6},     // no full quad: the singles sweep carries all of k
+		{2, 257, 9},   // k remainder after the last full quad
+		{3, 5, 4},     // exactly one 4-wide tile
+		{4, 6, 7},     // 4-wide tile plus a 3-column blocked tail
+		{5, 2, 3},     // below every tile width: blocked tail only
+		{9, 131, 13},  // 8-tile, 4-tile, 1 leftover column, k across blocks
+		{5, 140, 600}, // wide: crosses the blocked kernel's column tile
+		{3, 300, 515}, // wide with k across blocks and a 3-column tail
 	}
 	for _, sh := range shapes {
 		a := randMatrix(rng, sh.m, sh.k)
@@ -212,9 +221,9 @@ func TestGemmNarrowMatchesBlockedKernel(t *testing.T) {
 		for _, relu := range []bool{false, true} {
 			for _, bi := range [][]float64{nil, bias} {
 				narrow := NewMatrix(sh.m, sh.n)
-				gemmNarrow(narrow.Data, sh.n, a.Data, sh.k, b.Data, sh.n, 0, sh.m, sh.k, sh.n, bi, relu)
+				gemmPanels(narrow.Data, sh.n, a.Data, sh.k, b.Data, sh.n, 0, sh.m, sh.k, sh.n, bi, relu, false)
 				blocked := NewMatrix(sh.m, sh.n)
-				gemmKernel(blocked.Data, sh.n, a.Data, sh.k, b.Data, sh.n, 0, sh.m, sh.k, sh.n, false, bi, relu)
+				gemmKernel(blocked.Data, sh.n, a.Data, sh.k, b.Data, sh.n, 0, sh.m, sh.k, sh.n, false, bi, relu, false)
 				for i := range narrow.Data {
 					if narrow.Data[i] != blocked.Data[i] {
 						t.Fatalf("%dx%dx%d relu=%v bias=%v: elem %d: narrow %v != blocked %v",

@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Fast-mode acceptance: the relaxed kernels (FMA accumulation, relaxed
+// denormal skipping, reciprocal-multiply softmax) are tolerance-tested
+// against the default bit-exact kernels, never bit-compared. The
+// bounds here are deliberately loose relative to the kernels' actual
+// error (FMA removes roundings, it does not add them; the relaxed skip
+// drops terms below 2^-1022 * |b|) so the suite stays robust across
+// CPUs — including machines without FMA, where fast mode falls back to
+// the exact kernels and every diff is zero.
+
+// fastGemmTolerance bounds |fast - exact| for the equivalence shapes'
+// N(0,1) inputs: k <= 500 terms of magnitude ~1 leave FMA-vs-exact
+// differences orders of magnitude below this.
+const fastGemmTolerance = 1e-9
+
+// TestFastGemmWithinTolerance runs every equivalence shape through the
+// fast kernels (panel and blocked, with and without the fused
+// bias+ReLU epilogue) and bounds the divergence from the default
+// kernels.
+func TestFastGemmWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fast-vs-exact shape sweep; skipped under -short")
+	}
+	rng := rand.New(rand.NewSource(51))
+	for _, sh := range equivShapes {
+		a := randMatrix(rng, sh.m, sh.k)
+		b := randMatrix(rng, sh.k, sh.n)
+		bias := make([]float64, sh.n)
+		for i := range bias {
+			bias[i] = rng.NormFloat64()
+		}
+		for _, relu := range []bool{false, true} {
+			exact := NewMatrix(sh.m, sh.n)
+			gemm(exact, a, b, false, false, false, bias, relu, false)
+			fastOut := NewMatrix(sh.m, sh.n)
+			gemm(fastOut, a, b, false, false, false, bias, relu, true)
+			if d := maxAbsDiff(fastOut, exact); d > fastGemmTolerance {
+				t.Fatalf("%dx%dx%d relu=%v: fast diverges from exact by %g", sh.m, sh.k, sh.n, relu, d)
+			}
+		}
+	}
+}
+
+// TestFastGemmRelaxedSkipTolerance plants denormal coefficients — the
+// values the relaxed skip is allowed to drop that the exact skip must
+// keep — so the 4-wide and scalar relaxed predicates actually fire,
+// and checks the total divergence stays within the fast-mode bound
+// (a dropped term contributes at most 2^-1022 * max|b| per k, far
+// below the FMA rounding difference on the normal terms).
+func TestFastGemmRelaxedSkipTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	a := randMatrix(rng, 6, 40)
+	for i := range a.Data {
+		switch {
+		case a.Data[i] < -0.5:
+			a.Data[i] = 5e-310 // denormal: relaxed skip may drop it
+		case a.Data[i] < 0:
+			a.Data[i] = 0
+		}
+	}
+	// A few rows with whole quads of denormals, so the 4-wide relaxed
+	// predicate fires as a unit.
+	for i := 0; i < a.Rows; i++ {
+		for z := 4; z < 8; z++ {
+			a.Data[i*a.Cols+z] = math.Copysign(1e-320, -1)
+		}
+	}
+	b := randMatrix(rng, 40, 12)
+	exact := NewMatrix(6, 12)
+	gemm(exact, a, b, false, false, false, nil, false, false)
+	fastOut := NewMatrix(6, 12)
+	gemm(fastOut, a, b, false, false, false, nil, false, true)
+	if d := maxAbsDiff(fastOut, exact); d > fastGemmTolerance {
+		t.Fatalf("relaxed denormal skip diverges by %g", d)
+	}
+}
+
+// TestFastGemmDeterministic pins fast mode's run-to-run determinism:
+// relaxed precision never means nondeterminism — repeated fast
+// products over the same inputs must agree in every bit.
+func TestFastGemmDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := randMatrix(rng, 64, 257)
+	b := randMatrix(rng, 257, 130)
+	bias := make([]float64, 130)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+	}
+	ref := NewMatrix(64, 130)
+	gemm(ref, a, b, false, false, false, bias, true, true)
+	for trial := 0; trial < 5; trial++ {
+		got := NewMatrix(64, 130)
+		gemm(got, a, b, false, false, false, bias, true, true)
+		for i := range got.Data {
+			if got.Data[i] != ref.Data[i] {
+				t.Fatalf("trial %d: elem %d: %v vs %v", trial, i, got.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+// TestSoftmaxInPlaceFastWithinTolerance bounds the reciprocal-multiply
+// softmax against the dividing one: probabilities differ by at most
+// one rounding of a value <= 1.
+func TestSoftmaxInPlaceFastWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	logits := randMatrix(rng, 32, 7)
+	for i := range logits.Data {
+		logits.Data[i] *= 10 // spread the probabilities out
+	}
+	exact := logits.Clone()
+	SoftmaxInPlace(exact)
+	fastOut := logits.Clone()
+	SoftmaxInPlaceFast(fastOut)
+	if d := maxAbsDiff(fastOut, exact); d > 1e-12 {
+		t.Fatalf("fast softmax diverges by %g", d)
+	}
+	for i := 0; i < fastOut.Rows; i++ {
+		var sum float64
+		for _, p := range fastOut.Row(i) {
+			if p < 0 || p > 1 {
+				t.Fatalf("row %d: probability %v out of range", i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d: probabilities sum to %v", i, sum)
+		}
+	}
+}
+
+// TestNetworkFastInference covers the opt-in plumbing: the flag is off
+// by default, toggles through SetFastInference, bounds inference
+// divergence, and never leaks into the training forward pass.
+func TestNetworkFastInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	net := NewNetwork(
+		NewDense(30, 24, rng),
+		NewReLU(),
+		NewDense(24, 12, rng),
+		NewReLU(),
+		NewDense(12, 4, rng),
+	)
+	if net.FastInference() {
+		t.Fatal("fast inference must be off by default")
+	}
+	x := randMatrix(rng, 20, 30)
+	exact := net.PredictInto(nil, x)
+
+	net.SetFastInference(true)
+	if !net.FastInference() {
+		t.Fatal("SetFastInference(true) did not stick")
+	}
+	fastOut := net.PredictInto(nil, x)
+	if d := maxAbsDiff(fastOut, exact); d > fastGemmTolerance {
+		t.Fatalf("fast inference diverges from exact by %g", d)
+	}
+
+	// The training forward pass must not consult the flag: with fast
+	// inference on, Forward(train=true) stays byte-identical to the
+	// default kernels' output.
+	trainOn := net.Forward(x, true).Clone()
+	net.SetFastInference(false)
+	trainOff := net.Forward(x, true).Clone()
+	if d := maxAbsDiff(trainOn, trainOff); d != 0 {
+		t.Fatalf("training forward saw the fast flag: diff %g", d)
+	}
+}

@@ -13,6 +13,15 @@ import (
 type Network struct {
 	Layers []Layer
 
+	// fastInfer opts the INFERENCE path into the relaxed-precision
+	// kernels (FMA accumulation, fused softmax callers, relaxed zero
+	// skipping). It is deliberately not a persisted field and is never
+	// consulted by Forward(x, true), Backward, or Fit: training and
+	// saved models always use the bit-exact kernels (enforced by the
+	// fastmath analyzer). Toggle it before serving, not concurrently
+	// with in-flight Predict calls.
+	fastInfer bool
+
 	// arenas recycles inference scratch across Predict calls; each
 	// concurrent caller borrows its own Arena, so inference on a shared
 	// trained network is race-free and allocation-free at steady state.
@@ -21,6 +30,18 @@ type Network struct {
 
 // NewNetwork builds a network from layers.
 func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// SetFastInference opts this network's inference passes in or out of
+// the relaxed-precision fast mode. Fast mode trades bit-exactness for
+// speed: results stay within the documented tolerance of the default
+// kernels (see DESIGN.md §7) but are not byte-identical, so it is OFF
+// by default and must never feed training or persisted artifacts.
+// Set it once before serving; it must not be toggled concurrently with
+// in-flight inference calls.
+func (n *Network) SetFastInference(on bool) { n.fastInfer = on }
+
+// FastInference reports whether relaxed-precision inference is enabled.
+func (n *Network) FastInference() bool { return n.fastInfer }
 
 // Forward runs the stack; train enables dropout and other
 // training-only behaviour. Training passes reuse per-layer workspace
@@ -51,7 +72,7 @@ func (n *Network) inferArena(x *Matrix, ws *Arena) *Matrix {
 		case *Dense:
 			if followedByReLU {
 				l.checkIn(x)
-				x = l.inferInto(ws.take(x.Rows, l.Out), x, true)
+				x = l.inferInto(ws.take(x.Rows, l.Out), x, true, ws.fast)
 				i++
 				continue
 			}
@@ -81,6 +102,7 @@ func (n *Network) PredictInto(dst, x *Matrix) *Matrix {
 	if ws == nil {
 		ws = new(Arena)
 	}
+	ws.fast = n.fastInfer
 	y := n.inferArena(x, ws)
 	if dst == nil {
 		dst = NewMatrix(y.Rows, y.Cols)
@@ -104,6 +126,7 @@ func (n *Network) PredictApply(x *Matrix, visit func(y *Matrix)) {
 	if ws == nil {
 		ws = new(Arena)
 	}
+	ws.fast = n.fastInfer
 	visit(n.inferArena(x, ws))
 	ws.reset()
 	n.arenas.Put(ws)

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// poolReference is the generic (argmax-capable) pooling loop, kept as
+// the semantic reference for the window-2 inference fast paths: best
+// starts at the first window element and is replaced only on a
+// strictly greater candidate, so ties keep the earlier element and
+// NaN candidates never win (x > NaN and NaN > x are both false).
+func poolReference(m *MaxPool1D, out, x *Matrix) {
+	outLen := m.OutLen()
+	for b := 0; b < x.Rows; b++ {
+		row := x.Row(b)
+		dst := out.Row(b)
+		for p := 0; p < outLen; p++ {
+			base := p * m.Stride
+			for ch := 0; ch < m.Ch; ch++ {
+				best := row[base*m.Ch+ch]
+				for w := 1; w < m.Window; w++ {
+					if v := row[(base+w)*m.Ch+ch]; v > best {
+						best = v
+					}
+				}
+				dst[p*m.Ch+ch] = best
+			}
+		}
+	}
+}
+
+// TestMaxPool1DWindow2MatchesReference pins the window-2 inference
+// fast path (pool2AVX on amd64, the sliced scalar form elsewhere)
+// byte-identical to the generic loop — including the edge semantics
+// the MAXPD lane ordering was chosen for: a NaN in the second window
+// slot must lose to the first, -0 vs +0 ties must keep the first
+// slot's value, and equal values must not flip signs.
+func TestMaxPool1DWindow2MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	geoms := []struct{ inLen, ch, stride int }{
+		{10, 12, 2}, // the CNN stack's shape family: channel quads + remainder
+		{9, 7, 2},   // odd channels: scalar tail
+		{6, 1, 2},   // single channel: tail only
+		{8, 4, 1},   // overlapping windows
+		{4, 16, 2},  // pure quads, no tail
+	}
+	for _, g := range geoms {
+		m := NewMaxPool1D(g.inLen, g.ch, 2, g.stride)
+		x := randMatrix(rng, 5, g.inLen*g.ch)
+		// Seed the edge cases across both window slots.
+		specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0}
+		for i := range x.Data {
+			if rng.Intn(4) == 0 {
+				x.Data[i] = specials[rng.Intn(len(specials))]
+			}
+		}
+		// Force exact ties (same value in both window slots) on a few
+		// positions of every row.
+		for b := 0; b < x.Rows; b++ {
+			row := x.Row(b)
+			for p := 0; p+2 <= g.inLen; p += 3 {
+				for ch := 0; ch < g.ch; ch += 2 {
+					row[(p+1)*g.ch+ch] = row[p*g.ch+ch]
+				}
+			}
+		}
+		want := NewMatrix(5, m.OutLen()*g.ch)
+		poolReference(m, want, x)
+		got := NewMatrix(5, m.OutLen()*g.ch)
+		m.pool(got, x, nil)
+		for i := range got.Data {
+			gv, wv := got.Data[i], want.Data[i]
+			if gv != wv && !(math.IsNaN(gv) && math.IsNaN(wv)) {
+				t.Fatalf("inLen=%d ch=%d stride=%d: elem %d: fast path %v != reference %v",
+					g.inLen, g.ch, g.stride, i, gv, wv)
+			}
+		}
+		// Sign-exactness for zeros (== cannot tell -0 from +0).
+		for i := range got.Data {
+			if got.Data[i] == 0 && math.Signbit(got.Data[i]) != math.Signbit(want.Data[i]) {
+				t.Fatalf("inLen=%d ch=%d stride=%d: elem %d: zero sign differs (fast %v, reference %v)",
+					g.inLen, g.ch, g.stride, i, math.Signbit(got.Data[i]), math.Signbit(want.Data[i]))
+			}
+		}
+	}
+}
+
+// TestMaxPool1DWindow2TrainingAgrees pins the training path (argmax
+// recording, generic loop) against the inference fast path on the same
+// finite inputs: the forward values must match even though the code
+// paths differ.
+func TestMaxPool1DWindow2TrainingAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	m := NewMaxPool1D(10, 12, 2, 2)
+	x := randMatrix(rng, 4, 10*12)
+	train := m.Forward(x, true).Clone()
+	infer := m.Forward(x, false)
+	if d := maxAbsDiff(train, infer); d != 0 {
+		t.Fatalf("training and inference pooling disagree by %g", d)
+	}
+}

@@ -1,0 +1,82 @@
+package par
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// collectRanges runs one ForChunkedGrain call and returns the [lo, hi)
+// ranges the body observed, sorted by lo.
+func collectRanges(p *Pool, n, grain int) [][2]int {
+	var mu sync.Mutex
+	var out [][2]int
+	p.ForChunkedGrain(n, grain, func(lo, hi int) {
+		mu.Lock()
+		out = append(out, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// TestForChunkedGrainOwnershipDeterministic is the sharded-GEMM
+// ownership contract, stressed on real pools: the chunk boundaries a
+// call hands out are a pure function of (n, grain, worker count) —
+// which worker claims which chunk varies run to run, but the set of
+// [lo, hi) ranges never does. The parallel kernels rely on exactly
+// this: statically owned row ranges make sharded output byte-identical
+// to serial output regardless of scheduling.
+func TestForChunkedGrainOwnershipDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 5, 63, 64, 65, 257, 1000} {
+			for _, grain := range []int{1, 7, 64, 1000} {
+				ref := collectRanges(p, n, grain)
+				for trial := 0; trial < 20; trial++ {
+					got := collectRanges(p, n, grain)
+					if len(got) != len(ref) {
+						t.Fatalf("workers=%d n=%d grain=%d: trial %d handed out %d ranges, first run %d",
+							workers, n, grain, trial, len(got), len(ref))
+					}
+					for i := range got {
+						if got[i] != ref[i] {
+							t.Fatalf("workers=%d n=%d grain=%d: trial %d range %d = %v, first run %v",
+								workers, n, grain, trial, i, got[i], ref[i])
+						}
+					}
+				}
+				// The stable boundaries must also be a partition of [0, n).
+				next := 0
+				for i, r := range ref {
+					if r[0] != next || r[1] <= r[0] {
+						t.Fatalf("workers=%d n=%d grain=%d: range %d = %v does not continue the partition at %d",
+							workers, n, grain, i, r, next)
+					}
+					next = r[1]
+				}
+				if next != n && !(n <= 0 && next == 0) {
+					t.Fatalf("workers=%d n=%d grain=%d: ranges cover [0, %d), want [0, %d)", workers, n, grain, next, n)
+				}
+			}
+		}
+	}
+}
+
+// TestForChunkedGrainEdges pins the degenerate inputs the sharded
+// kernels lean on: n = 0 must invoke nothing, and 0 < n <= grain must
+// collapse to one serial full-range call.
+func TestForChunkedGrainEdges(t *testing.T) {
+	p := NewPool(8)
+	for _, n := range []int{0, -3} {
+		if got := collectRanges(p, n, 4); len(got) != 0 {
+			t.Fatalf("n=%d: body invoked with ranges %v, want none", n, got)
+		}
+	}
+	for _, n := range []int{1, 4, 7} {
+		got := collectRanges(p, n, 7)
+		if len(got) != 1 || got[0] != [2]int{0, n} {
+			t.Fatalf("n=%d grain=7: got ranges %v, want exactly [0 %d)", n, got, n)
+		}
+	}
+}
