@@ -11,6 +11,7 @@ package soteria_test
 // paper's Fig. 3 describes.
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"soteria/internal/features"
 	"soteria/internal/gea"
 	"soteria/internal/labeling"
+	"soteria/internal/lint"
 	"soteria/internal/malgen"
 	"soteria/internal/ngram"
 	"soteria/internal/walk"
@@ -247,6 +249,64 @@ func BenchmarkStaticCFGExtraction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := disasm.Disassemble(s.Binary); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- soterialint engine benchmarks ----------------------------------------
+
+// lintBenchOptions mirrors the driver's defaults over the real tree.
+func lintBenchOptions(b *testing.B) lint.RunOptions {
+	b.Helper()
+	root, module, err := lint.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lint.RunOptions{Root: root, Module: module, Tests: true, Patterns: []string{"./..."}}
+}
+
+func lintBenchIteration(b *testing.B, opts lint.RunOptions) *lint.RunResult {
+	b.Helper()
+	res, err := lint.Run(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Broken) > 0 {
+		b.Fatalf("repo does not type-check: %v", res.Broken[0].Err)
+	}
+	return res
+}
+
+// BenchmarkSoterialintCold measures a full load + type-check + fact
+// propagation + ten-analyzer pass over the whole module, cache bypassed.
+func BenchmarkSoterialintCold(b *testing.B) {
+	opts := lintBenchOptions(b)
+	opts.NoCache = true
+	lintBenchIteration(b, opts) // untimed: warm the OS file caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lintBenchIteration(b, opts)
+	}
+}
+
+// BenchmarkSoterialintWarm measures the steady-state re-lint an unchanged
+// tree pays: a snapshot check plus a cached-diagnostic replay. Setting
+// SOTERIALINT_BENCH_NOCACHE forces every iteration through the full
+// analysis instead, which is what the tool cost before the fact cache
+// existed — that mode records the baseline the warm numbers diff against.
+func BenchmarkSoterialintWarm(b *testing.B) {
+	opts := lintBenchOptions(b)
+	if os.Getenv("SOTERIALINT_BENCH_NOCACHE") != "" {
+		opts.NoCache = true
+	} else {
+		opts.CacheDir = b.TempDir()
+		lintBenchIteration(b, opts) // prime the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := lintBenchIteration(b, opts)
+		if !opts.NoCache && !res.FromCache {
+			b.Fatal("warm iteration missed the cache")
 		}
 	}
 }

@@ -235,7 +235,7 @@ func serveHandler(reg *soteria.Registry, bat *soteria.Batcher) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		dec, err := bat.Submit(cfg, salt)
+		dec, err := bat.SubmitCtx(r.Context(), cfg, salt)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

@@ -1,18 +1,30 @@
 // Command soterialint runs the repository's invariant analyzers
 // (internal/lint) over module packages: determinism of model-affecting
 // code, internal/par pool discipline, checked errors on persistence
-// paths, gram-key construction kept behind the ngram API, and
-// relaxed-precision fast mode contained to serving paths. It is
+// paths, gram-key construction kept behind the ngram API,
+// relaxed-precision fast mode contained to serving paths, sync-value
+// copy safety, and context propagation through the serving tier. It is
 // part of the full verify pipeline (see ROADMAP.md) and backs
 // lint_repo_test.go, which fails `go test ./...` on any new violation.
 //
 // Usage:
 //
-//	soterialint [-json] [-tests=true] [-analyzers a,b] [pattern ...]
+//	soterialint [-json] [-tests=true] [-analyzers a,b] [-facts]
+//	            [-no-cache] [-cache dir] [pattern ...]
 //
 // Patterns are module-relative directories (./internal/core), trees
 // (./internal/...), or the whole module (./..., the default). Exit
 // status: 0 clean, 1 findings, 2 load or usage errors.
+//
+// Analysis is interprocedural: a whole-repo call graph with
+// per-function summaries lets the analyzers follow wall-clock reads,
+// fast-mode toggles, discarded persistence errors, and dropped
+// contexts through wrapper functions. Results are memoized in an
+// on-disk fact cache (default <root>/.soterialint.cache) keyed by the
+// content hash of every analyzed directory, so an unchanged tree
+// re-lints without re-parsing anything; -no-cache bypasses it, -cache
+// relocates it, and -facts dumps the computed function summaries
+// instead of findings.
 //
 // Intentional exceptions are suppressed in place with
 // `//lint:ignore <analyzer> <reason>` on the offending line or the
@@ -34,6 +46,10 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonSchemaVersion identifies the -json document shape; it bumps on
+// any field or ordering change so downstream consumers can pin it.
+const jsonSchemaVersion = 2
+
 // jsonDiag is one finding in -json output, with the file path relative
 // to the module root.
 type jsonDiag struct {
@@ -46,10 +62,13 @@ type jsonDiag struct {
 
 // jsonReport is the -json document, shaped like cmd/benchreport's
 // output: a self-describing object a CI step can consume directly.
+// Diagnostics are sorted by (file, line, col, analyzer), so the same
+// tree always serializes to the same bytes.
 type jsonReport struct {
-	Module      string     `json:"module"`
-	Count       int        `json:"count"`
-	Diagnostics []jsonDiag `json:"diagnostics"`
+	SchemaVersion int        `json:"schemaVersion"`
+	Module        string     `json:"module"`
+	Count         int        `json:"count"`
+	Diagnostics   []jsonDiag `json:"diagnostics"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -62,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		analyzers = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		rootFlag  = fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
 		modFlag   = fs.String("module", "", "module path (default: read from go.mod)")
+		facts     = fs.Bool("facts", false, "dump per-function summaries instead of findings")
+		noCache   = fs.Bool("no-cache", false, "skip the fact cache entirely (no read, no write)")
+		cacheDir  = fs.String("cache", "", "fact cache directory (default: <root>/.soterialint.cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,30 +122,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 			module = foundMod
 		}
 	}
+	cache := *cacheDir
+	if cache == "" {
+		cache = filepath.Join(root, ".soterialint.cache")
+	}
 
-	loader := lint.NewLoader(root, module, *tests)
-	pkgs, err := loader.LoadPatterns(fs.Args())
+	res, err := lint.Run(lint.RunOptions{
+		Root:      root,
+		Module:    module,
+		Tests:     *tests,
+		Patterns:  fs.Args(),
+		Analyzers: suite,
+		CacheDir:  cache,
+		NoCache:   *noCache,
+		WantFacts: *facts,
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, "soterialint:", err)
 		return 2
 	}
-
-	broken := false
-	var diags []lint.Diagnostic
-	for _, pkg := range pkgs {
-		if len(pkg.Errors) > 0 {
-			// Findings over a package that does not type-check are
-			// unreliable; refuse rather than under-report.
-			broken = true
-			for _, e := range pkg.Errors {
-				fmt.Fprintf(stderr, "soterialint: %s: %v\n", pkg.Path, e)
-			}
-			continue
+	if len(res.Broken) > 0 {
+		// Findings over a package that does not type-check are
+		// unreliable; refuse rather than under-report.
+		for _, b := range res.Broken {
+			fmt.Fprintf(stderr, "soterialint: %s: %v\n", b.Path, b.Err)
 		}
-		diags = append(diags, lint.RunPackage(pkg, suite)...)
-	}
-	if broken {
 		return 2
+	}
+	if *facts {
+		for _, id := range res.Facts.FuncIDs() {
+			fmt.Fprintf(stdout, "%s: %s\n", id, res.Facts.TaintedBy(id))
+		}
+		return 0
 	}
 
 	rel := func(file string) string {
@@ -133,8 +163,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return file
 	}
 	if *jsonOut {
-		rep := jsonReport{Module: module, Count: len(diags), Diagnostics: []jsonDiag{}}
-		for _, d := range diags {
+		rep := jsonReport{SchemaVersion: jsonSchemaVersion, Module: module, Count: len(res.Diags), Diagnostics: []jsonDiag{}}
+		for _, d := range res.Diags {
 			rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
 				File: rel(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
 				Analyzer: d.Analyzer, Message: d.Message,
@@ -147,11 +177,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range res.Diags {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 		}
 	}
-	if len(diags) > 0 {
+	if len(res.Diags) > 0 {
 		return 1
 	}
 	return 0

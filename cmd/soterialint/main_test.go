@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,8 @@ import (
 
 	"soteria/internal/lint"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
 
 func repoRoot(t *testing.T) string {
 	t.Helper()
@@ -102,6 +105,104 @@ func stamp() int64 {
 	d := rep.Diagnostics[0]
 	if d.File != "internal/features/bad.go" || d.Analyzer != "determinism" || !strings.Contains(d.Message, "time.Now") {
 		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+}
+
+// goldenModule seeds a fixed multi-package module whose findings span
+// several analyzers and files, exercising the report's sort order.
+func goldenModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/core/save.go", `package core
+
+import (
+	"os"
+	"time"
+)
+
+func save(path string, data []byte) {
+	_ = time.Now()
+	f, _ := os.Create(path)
+	f.Write(data)
+	f.Close()
+}
+`)
+	write("internal/features/feat.go", `package features
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	return root
+}
+
+// The -json report must be byte-stable: same tree, same bytes, across
+// runs and cache states, pinned by a golden file. Regenerate with
+// `go test ./cmd/soterialint -run TestRunJSONGolden -update`.
+func TestRunJSONGolden(t *testing.T) {
+	root := goldenModule(t)
+	jsonRun := func(extra ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-json", "-root", root, "-module", "soteria"}, extra...)
+		args = append(args, "./...")
+		if code := run(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	cacheDir := filepath.Join(root, ".cache")
+	first := jsonRun("-cache", cacheDir)  // cold: full analysis
+	second := jsonRun("-cache", cacheDir) // warm: replayed from cache
+	third := jsonRun("-no-cache")         // bypassed: full analysis again
+	if first != second {
+		t.Errorf("cold and warm-cache reports differ:\ncold:\n%s\nwarm:\n%s", first, second)
+	}
+	if first != third {
+		t.Errorf("cached and uncached reports differ:\ncached:\n%s\nuncached:\n%s", first, third)
+	}
+
+	golden := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(first), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	if first != string(want) {
+		t.Errorf("report drifted from golden file:\ngot:\n%s\nwant:\n%s", first, want)
+	}
+}
+
+// -facts dumps sorted per-function summaries instead of findings.
+func TestRunFactsDump(t *testing.T) {
+	root := goldenModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-facts", "-root", root, "-module", "soteria", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "soteria/internal/features.stamp: reads-clock") {
+		t.Errorf("-facts output missing stamp's clock fact:\n%s", out)
+	}
+	if !strings.Contains(out, "soteria/internal/core.save:") {
+		t.Errorf("-facts output missing save's summary:\n%s", out)
 	}
 }
 

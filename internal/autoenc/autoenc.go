@@ -434,7 +434,7 @@ func TrainGrouped(x *nn.Matrix, groups []int, cfg Config) (*Detector, error) {
 	for i, r := range calibRows {
 		copy(calibX.Row(i), z.Row(r))
 	}
-	rowRE := nn.RMSE(net.Predict(calibX), calibX)
+	rowRE := nn.RMSE(net.PredictExact(calibX), calibX)
 	sums := make(map[int]float64)
 	counts := make(map[int]int)
 	var order []int

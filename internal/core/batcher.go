@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -115,14 +116,31 @@ func NewBatcher(p *Pipeline, cfg BatcherConfig) *Batcher {
 // racing Close returns either its decision or ErrBatcherClosed, never
 // hangs.
 func (b *Batcher) Submit(c *disasm.CFG, salt int64) (*Decision, error) {
+	return b.SubmitCtx(context.Background(), c, salt)
+}
+
+// SubmitCtx is Submit with cancellation: a caller that gives up —
+// typically an HTTP handler whose client disconnected — stops waiting
+// at the next select instead of holding its goroutine until the batch
+// completes. Cancellation before the handoff withdraws the request
+// entirely; after the handoff the work is already coalesced into a
+// batch (batch composition never affects other requests' results, so
+// the batch runs regardless), and only the wait is abandoned.
+func (b *Batcher) SubmitCtx(ctx context.Context, c *disasm.CFG, salt int64) (*Decision, error) {
 	r := &request{cfg: c, salt: salt, done: make(chan struct{}), t0: b.met.waitNs.Start()}
 	select {
 	case b.reqs <- r:
 	case <-b.stop:
 		return nil, ErrBatcherClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	<-r.done
-	return r.dec, r.err
+	select {
+	case <-r.done:
+		return r.dec, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Close stops accepting new requests, serves every request already

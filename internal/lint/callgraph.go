@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FuncID returns the canonical identifier of a function or method,
+// stable across the separate type-checks the loader performs (the
+// analysis view of a package and the clean view its importers see hold
+// distinct *types.Func objects for the same source function, so
+// identity must go through a name, not a pointer):
+//
+//	soteria/internal/core.Train
+//	soteria/internal/core.(*Pipeline).Analyze
+//
+// Functions without a package (builtins, error.Error) map to "".
+func FuncID(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := ""
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+		ptr = "*"
+	}
+	name := "?"
+	switch rt := t.(type) {
+	case *types.Named:
+		name = rt.Obj().Name()
+	case *types.Interface:
+		name = "interface"
+	}
+	return fn.Pkg().Path() + ".(" + ptr + name + ")." + fn.Name()
+}
+
+// calleeFunc resolves the statically known target of a call expression:
+// a plain function, a method on a concrete or interface value, or a
+// qualified pkg.Func reference. Calls through function values and
+// built-ins resolve to nil — the call graph is deliberately limited to
+// static edges, which is sound for the "does this reach X" taint
+// queries the analyzers make (a miss weakens a check, never breaks a
+// clean build).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// moduleOf returns the module root segment of a package path
+// ("soteria" for "soteria/internal/core").
+func moduleOf(pkgPath string) string {
+	if i := strings.IndexByte(pkgPath, '/'); i >= 0 {
+		return pkgPath[:i]
+	}
+	return pkgPath
+}
+
+// ComputeFacts builds the whole-repo fact store over every loaded
+// package: a call graph with per-function base summaries (summary.go),
+// then a bottom-up fixed-point propagation over its strongly connected
+// components, so recursion and mutual recursion converge.
+func ComputeFacts(pkgs []*Package) *Facts {
+	nodes := make(map[string]*funcNode)
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			continue
+		}
+		collectPackageNodes(pkg, nodes)
+	}
+	for _, n := range nodes {
+		sort.Strings(n.callees)
+		n.callees = dedupSorted(n.callees)
+	}
+	propagateFacts(nodes)
+	return &Facts{funcs: nodes}
+}
+
+// collectPackageNodes adds one node per function declaration in pkg
+// (package-level var initializers and init functions share a synthetic
+// <pkg>.init node), with base facts and static call edges. Calls made
+// inside nested function literals are attributed to the enclosing
+// declaration: whether the literal runs immediately or later, the
+// enclosing function is what made the behaviour reachable, which is the
+// conservative direction for taint.
+func collectPackageNodes(pkg *Package, nodes map[string]*funcNode) {
+	base := strings.TrimSuffix(pkg.Path, "_test")
+	node := func(id string, returnsErr bool) *funcNode {
+		n := nodes[id]
+		if n == nil {
+			n = &funcNode{id: id, pkg: base}
+			nodes[id] = n
+		}
+		n.returnsError = n.returnsError || returnsErr
+		return n
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				fn, _ := pkg.Info.Defs[d.Name].(*types.Func)
+				id := FuncID(fn)
+				if id == "" || d.Body == nil {
+					continue
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				n := node(id, sig != nil && returnsError(sig))
+				if sig != nil && hasContextParam(sig) {
+					n.facts |= FactReceivesContext
+				}
+				summarizeBody(pkg, d.Body, n)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						summarizeBody(pkg, v, node(pkg.Path+".init", false))
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasContextParam reports whether any parameter of sig is a
+// context.Context.
+func hasContextParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// propagateFacts runs the bottom-up propagation: Tarjan's algorithm
+// yields strongly connected components in reverse topological order
+// (callees before callers), so one pass over the components — with a
+// local fixed point inside each component for recursion — reaches the
+// global fixed point.
+func propagateFacts(nodes map[string]*funcNode) {
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Iterative Tarjan (explicit stack: deep synthetic call chains in
+	// tests must not overflow the goroutine stack).
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	var stack []string
+	next := 0
+
+	type frame struct {
+		id string
+		ci int // next callee index to visit
+	}
+	var sccs [][]string
+	for _, root := range ids {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{id: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			n := nodes[fr.id]
+			advanced := false
+			for fr.ci < len(n.callees) {
+				c := n.callees[fr.ci]
+				fr.ci++
+				if nodes[c] == nil {
+					continue
+				}
+				if _, seen := index[c]; !seen {
+					index[c], low[c] = next, next
+					next++
+					stack = append(stack, c)
+					onStack[c] = true
+					work = append(work, frame{id: c})
+					advanced = true
+					break
+				}
+				if onStack[c] && low[c] < low[fr.id] {
+					low[fr.id] = low[c]
+				}
+			}
+			if advanced {
+				continue
+			}
+			id := fr.id
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].id
+				if low[id] < low[parent] {
+					low[parent] = low[id]
+				}
+			}
+			if low[id] == index[id] {
+				var scc []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == id {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+
+	for _, scc := range sccs {
+		for changed := true; changed; {
+			changed = false
+			for _, id := range scc {
+				n := nodes[id]
+				for _, c := range n.callees {
+					cn := nodes[c]
+					if cn == nil {
+						continue
+					}
+					add := cn.facts & propagatedFacts
+					if cn.facts&FactForwardsPersistError != 0 && n.returnsError {
+						add |= FactForwardsPersistError
+					}
+					if add&^n.facts != 0 {
+						n.facts |= add
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}

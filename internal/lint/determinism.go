@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // determinismScope lists the packages whose output feeds feature
@@ -58,6 +59,8 @@ func runDeterminism(pass *Pass) {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
 				checkNondetSource(pass, n)
+			case *ast.CallExpr:
+				checkTransitiveNondet(pass, n)
 			case *ast.RangeStmt:
 				if t := pass.Info.TypeOf(n.X); t != nil && isMap(t) {
 					checkMapRange(pass, n, parents)
@@ -65,6 +68,34 @@ func runDeterminism(pass *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// checkTransitiveNondet uses the whole-repo fact store (when present)
+// to flag calls into out-of-scope module code that reaches the wall
+// clock or the global RNG: the syntactic rules catch direct reads
+// inside scoped packages, so a helper package just outside the scope
+// list is exactly the hole summaries close. In-scope callees are
+// skipped — their own reads are flagged at the source.
+func checkTransitiveNondet(pass *Pass, call *ast.CallExpr) {
+	if pass.Facts == nil {
+		return
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	base := strings.TrimSuffix(fn.Pkg().Path(), "_test")
+	if determinismScope[base] {
+		return
+	}
+	facts := pass.Facts.TaintedBy(FuncID(fn))
+	if facts&FactReadsClock != 0 {
+		pass.Reportf(call.Pos(), "call to %s reaches a wall-clock read (time.Now/Since/Until) outside the determinism scope; model-affecting code must be a pure function of its inputs and seed", fn.Name())
+		return
+	}
+	if facts&FactReadsGlobalRand != 0 {
+		pass.Reportf(call.Pos(), "call to %s reaches the unseeded global math/rand source; construct a seeded *rand.Rand and pass it down instead", fn.Name())
 	}
 }
 

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule materializes files into a fresh temp module and returns
+// its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const cacheFixtureSrc = `package features
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+
+func cacheRun(t *testing.T, root, cacheDir string, noCache bool) *RunResult {
+	t.Helper()
+	res, err := Run(RunOptions{
+		Root:     root,
+		Module:   "soteria",
+		Patterns: []string{"./..."},
+		CacheDir: cacheDir,
+		NoCache:  noCache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func diagStrings(res *RunResult) []string {
+	out := make([]string, len(res.Diags))
+	for i, d := range res.Diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func TestFactCacheWarmHitAndInvalidation(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/features/feat.go": cacheFixtureSrc,
+	})
+	cacheDir := filepath.Join(root, ".cache")
+
+	cold := cacheRun(t, root, cacheDir, false)
+	if cold.FromCache {
+		t.Fatal("first run claims a cache hit on an empty cache")
+	}
+	if len(cold.Diags) != 1 {
+		t.Fatalf("seeded module produced %d diagnostics, want 1: %v", len(cold.Diags), diagStrings(cold))
+	}
+
+	warm := cacheRun(t, root, cacheDir, false)
+	if !warm.FromCache {
+		t.Fatal("second run over an unchanged tree missed the cache")
+	}
+	if fmt.Sprint(diagStrings(warm)) != fmt.Sprint(diagStrings(cold)) {
+		t.Fatalf("cached diagnostics differ:\ncold: %v\nwarm: %v", diagStrings(cold), diagStrings(warm))
+	}
+
+	// Any content change to a matched directory must invalidate.
+	path := filepath.Join(root, "internal", "features", "feat.go")
+	if err := os.WriteFile(path, []byte(cacheFixtureSrc+"\nfunc Extra() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := cacheRun(t, root, cacheDir, false)
+	if edited.FromCache {
+		t.Fatal("run after an edit still served the stale cache")
+	}
+
+	// A new file in a matched directory must invalidate too.
+	again := cacheRun(t, root, cacheDir, false)
+	if !again.FromCache {
+		t.Fatal("cache did not re-warm after the edit's full run")
+	}
+	if err := os.WriteFile(filepath.Join(root, "internal", "features", "extra.go"), []byte("package features\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res := cacheRun(t, root, cacheDir, false); res.FromCache {
+		t.Fatal("run after adding a file still served the stale cache")
+	}
+}
+
+func TestFactCacheNoCacheBypasses(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/features/feat.go": cacheFixtureSrc,
+	})
+	cacheDir := filepath.Join(root, ".cache")
+	cacheRun(t, root, cacheDir, false) // prime
+	if res := cacheRun(t, root, cacheDir, true); res.FromCache {
+		t.Fatal("-no-cache run read the cache")
+	}
+}
+
+func TestFactCacheNeverCachesBrokenRuns(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/features/feat.go": "package features\n\nfunc Broken() { undefined() }\n",
+	})
+	cacheDir := filepath.Join(root, ".cache")
+	first := cacheRun(t, root, cacheDir, false)
+	if len(first.Broken) == 0 {
+		t.Fatal("type-broken module reported no broken packages")
+	}
+	second := cacheRun(t, root, cacheDir, false)
+	if second.FromCache {
+		t.Fatal("broken run was served from cache; broken runs must never be cached")
+	}
+	if len(second.Broken) == 0 {
+		t.Fatal("second run over the broken module lost the broken-package report")
+	}
+}
+
+func TestRunWantFactsReturnsStore(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/features/feat.go": cacheFixtureSrc,
+	})
+	res, err := Run(RunOptions{
+		Root:      root,
+		Module:    "soteria",
+		Patterns:  []string{"./..."},
+		CacheDir:  filepath.Join(root, ".cache"),
+		WantFacts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Facts == nil {
+		t.Fatal("WantFacts run returned no fact store")
+	}
+	if got := res.Facts.TaintedBy("soteria/internal/features.Stamp"); got&FactReadsClock == 0 {
+		t.Fatalf("Stamp facts = %v, want reads-clock", got)
+	}
+}

@@ -92,7 +92,9 @@ func checkFastFreeBody(pass *Pass, fn *ast.FuncDecl) {
 		case *ast.CallExpr:
 			if name := calleeName(n); fastToggleName(name) {
 				pass.Reportf(n.Pos(), "%s must not be reached from %s: fast mode is a serving-time knob and stays off for training and persistence", name, fn.Name.Name)
+				return true
 			}
+			checkTransitiveFast(pass, n, fn.Name.Name)
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
 				var name string
@@ -109,6 +111,24 @@ func checkFastFreeBody(pass *Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// checkTransitiveFast uses the whole-repo fact store (when present) to
+// extend rule 1 through the call graph: a training/persistence-family
+// function must not call anything that transitively toggles or enables
+// fast mode, even when the toggle hides two helpers deep. Direct
+// toggle calls are rule 1's domain and skipped here.
+func checkTransitiveFast(pass *Pass, call *ast.CallExpr, enclosing string) {
+	if pass.Facts == nil {
+		return
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fastToggleName(fn.Name()) {
+		return
+	}
+	if pass.Facts.Has(FuncID(fn), FactTouchesFastToggle) {
+		pass.Reportf(call.Pos(), "call to %s from %s reaches a fast-mode toggle; training and persistence must stay on the bit-exact kernels end to end", fn.Name(), enclosing)
+	}
 }
 
 // checkFastFields flags exported Fast* fields in json-serialized

@@ -23,6 +23,14 @@ import (
 //
 // Suppression directives (//lint:ignore) are honored, so fixtures also
 // exercise the ignore machinery.
+//
+// A SUBDIRECTORY under testdata/<analyzer>/ is a directory fixture: a
+// miniature multi-package module exercising the interprocedural mode.
+// Every .go file in it carries a `//fixture:file <rel/path>` line
+// naming its location inside a synthesized module named "soteria"; the
+// harness materializes the module in a temp dir, loads every package,
+// computes whole-repo facts, and runs the analyzer facts-on. Want
+// comments work as in single-file fixtures, matched per file.
 
 var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
 
@@ -52,6 +60,11 @@ func TestFixtures(t *testing.T) {
 			}
 			n := 0
 			for _, e := range ents {
+				if e.IsDir() {
+					n++
+					runDirFixture(t, a, filepath.Join(dir, e.Name()))
+					continue
+				}
 				if !strings.HasSuffix(e.Name(), ".go") {
 					continue
 				}
@@ -63,6 +76,157 @@ func TestFixtures(t *testing.T) {
 			}
 		})
 	}
+}
+
+// wantsIn extracts the want declarations of one fixture source, keyed
+// by line number.
+func wantsIn(t *testing.T, path string, lines []string) map[int][]string {
+	t.Helper()
+	want := make(map[int][]string)
+	for i, line := range lines {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, q := range regexp.MustCompile(`"(?:[^"\\]|\\.)*"`).FindAllString(m[1], -1) {
+			s, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %s", path, i+1, q)
+			}
+			want[i+1] = append(want[i+1], s)
+		}
+	}
+	return want
+}
+
+// fixtureKey addresses one fixture line across a multi-file module.
+type fixtureKey struct {
+	file string // module-relative, forward slashes
+	line int
+}
+
+// materializeDirFixture writes a directory fixture into a temp module
+// and returns the module root plus the expected diagnostics. wantOnly
+// maps each materialized file back to its source for messages.
+func materializeDirFixture(t *testing.T, dir string) (string, map[fixtureKey][]string) {
+	t.Helper()
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module soteria\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[fixtureKey][]string)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		lines := strings.Split(string(src), "\n")
+		rel := ""
+		for _, line := range lines {
+			if i := strings.Index(line, "//fixture:file "); i >= 0 {
+				rel = strings.TrimSpace(line[i+len("//fixture:file "):])
+			}
+		}
+		if rel == "" {
+			t.Fatalf("%s: directory fixture file lacks a //fixture:file line", path)
+		}
+		dst := filepath.Join(tmp, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, src, 0o644); err != nil {
+			return err
+		}
+		for line, subs := range wantsIn(t, path, lines) {
+			want[fixtureKey{rel, line}] = subs
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmp, want
+}
+
+// loadDirFixture loads every package of a materialized fixture module,
+// failing the test on type errors.
+func loadDirFixture(t *testing.T, tmp string) []*Package {
+	t.Helper()
+	loader := NewLoader(tmp, "soteria", true)
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Errorf("fixture package %s does not type-check: %v", pkg.Path, e)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return pkgs
+}
+
+// runDirFixture materializes one directory fixture, runs the analyzer
+// facts-on over the whole module, and matches diagnostics against the
+// want comments.
+func runDirFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Run(filepath.Base(dir), func(t *testing.T) {
+		tmp, want := materializeDirFixture(t, dir)
+		pkgs := loadDirFixture(t, tmp)
+		facts := ComputeFacts(pkgs)
+		got := make(map[fixtureKey][]string)
+		for _, pkg := range pkgs {
+			for _, d := range RunPackageFacts(pkg, []*Analyzer{a}, facts) {
+				rel, err := filepath.Rel(tmp, d.Pos.Filename)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := fixtureKey{filepath.ToSlash(rel), d.Pos.Line}
+				got[k] = append(got[k], d.Message)
+			}
+		}
+		keys := make(map[fixtureKey]bool)
+		for k := range want {
+			keys[k] = true
+		}
+		for k := range got {
+			keys[k] = true
+		}
+		ordered := make([]fixtureKey, 0, len(keys))
+		for k := range keys {
+			ordered = append(ordered, k)
+		}
+		sort.Slice(ordered, func(i, j int) bool {
+			if ordered[i].file != ordered[j].file {
+				return ordered[i].file < ordered[j].file
+			}
+			return ordered[i].line < ordered[j].line
+		})
+		for _, k := range ordered {
+			w, g := want[k], got[k]
+			if len(g) != len(w) {
+				t.Errorf("%s:%d: got %d diagnostics %q, want %d matching %q", k.file, k.line, len(g), g, len(w), w)
+				continue
+			}
+			for _, sub := range w {
+				found := false
+				for _, msg := range g {
+					if strings.Contains(msg, sub) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s:%d: no diagnostic matching %q in %q", k.file, k.line, sub, g)
+				}
+			}
+		}
+	})
 }
 
 func runFixture(t *testing.T, root string, a *Analyzer, path string) {
@@ -92,20 +256,7 @@ func runFixture(t *testing.T, root string, a *Analyzer, path string) {
 			t.FailNow()
 		}
 
-		want := make(map[int][]string) // line -> expected message substrings
-		for i, line := range lines {
-			m := wantRE.FindStringSubmatch(line)
-			if m == nil {
-				continue
-			}
-			for _, q := range regexp.MustCompile(`"(?:[^"\\]|\\.)*"`).FindAllString(m[1], -1) {
-				s, err := strconv.Unquote(q)
-				if err != nil {
-					t.Fatalf("%s:%d: bad want string %s", path, i+1, q)
-				}
-				want[i+1] = append(want[i+1], s)
-			}
-		}
+		want := wantsIn(t, path, lines) // line -> expected message substrings
 
 		got := make(map[int][]string)
 		for _, d := range RunPackage(pkg, []*Analyzer{a}) {

@@ -57,6 +57,11 @@ type Pass struct {
 	// test packages carry a "_test" suffix. Analyzers use it to scope
 	// themselves (see BasePath).
 	PkgPath string
+	// Facts is the whole-repo interprocedural fact store, populated when
+	// the pass is part of a multi-package run (RunPackageFacts / Run).
+	// Nil in single-package mode; every Facts query is nil-safe, so
+	// analyzers degrade to their intraprocedural rules.
+	Facts *Facts
 
 	report func(Diagnostic)
 }
@@ -87,6 +92,8 @@ func All() []*Analyzer {
 		BatchMissAnalyzer,
 		ObsHotAnalyzer,
 		FastMathAnalyzer,
+		LockSafeAnalyzer,
+		CtxFlowAnalyzer,
 	}
 }
 
@@ -113,11 +120,21 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// RunPackage applies every analyzer to one loaded package, filters the
-// results through //lint:ignore suppressions, and returns the surviving
-// diagnostics sorted by position. Malformed suppressions (missing
-// analyzer or reason) are reported under the pseudo-analyzer "ignore".
+// RunPackage applies every analyzer to one loaded package in
+// single-package (intraprocedural) mode: no fact store is attached, so
+// summary-driven rules stay silent and only the syntactic rules fire.
+// Results are filtered through //lint:ignore suppressions and returned
+// sorted by position. Malformed suppressions (missing analyzer or
+// reason) are reported under the pseudo-analyzer "ignore".
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunPackageFacts(pkg, analyzers, nil)
+}
+
+// RunPackageFacts is RunPackage with a whole-repo fact store attached
+// to every pass, enabling the interprocedural rules. Run (factcache.go)
+// computes facts once across all loaded packages and calls this per
+// package.
+func RunPackageFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -127,6 +144,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			PkgPath:  pkg.Path,
+			Facts:    facts,
 			report:   func(d Diagnostic) { diags = append(diags, d) },
 		}
 		a.Run(pass)

@@ -7,9 +7,10 @@ import (
 )
 
 // TestRepoIsLintClean is the tier-1 gate: it runs the full analyzer
-// suite over every package in the module (tests included) and fails on
-// any diagnostic. A new violation anywhere in the tree breaks
-// `go test ./...`, not just `go run ./cmd/soterialint ./...`.
+// suite over every package in the module (tests included), with
+// whole-repo interprocedural facts, and fails on any diagnostic. A new
+// violation anywhere in the tree breaks `go test ./...`, not just
+// `go run ./cmd/soterialint ./...`.
 func TestRepoIsLintClean(t *testing.T) {
 	root := moduleRoot(t)
 	loader := NewLoader(root, "soteria", true)
@@ -20,14 +21,18 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("no packages loaded")
 	}
+	var clean []*Package
 	for _, pkg := range pkgs {
 		for _, e := range pkg.Errors {
 			t.Errorf("%s: type error: %v", pkg.Path, e)
 		}
-		if len(pkg.Errors) > 0 {
-			continue
+		if len(pkg.Errors) == 0 {
+			clean = append(clean, pkg)
 		}
-		for _, d := range RunPackage(pkg, All()) {
+	}
+	facts := ComputeFacts(clean)
+	for _, pkg := range clean {
+		for _, d := range RunPackageFacts(pkg, All(), facts) {
 			rel, err := filepath.Rel(root, d.Pos.Filename)
 			if err != nil {
 				rel = d.Pos.Filename
@@ -148,6 +153,39 @@ func Train(c *Classifier) {
 	c.net.SetFastInference(true)
 }
 `)
+	write("internal/core/lockbad.go", `package core
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func lookup(r registry, key string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[key]
+}
+`)
+	write("cmd/srv/main.go", `package main
+
+import (
+	"context"
+	"net/http"
+)
+
+func main() {
+	http.HandleFunc("/work", func(w http.ResponseWriter, r *http.Request) {
+		_ = doWork(context.Background())
+	})
+}
+
+func doWork(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+`)
 	write("internal/core/obsbad.go", `package core
 
 import (
@@ -173,7 +211,10 @@ func observeAll(c *obs.Counter, xs []float64, out []float64) {
 		if len(pkg.Errors) > 0 {
 			t.Fatalf("%s: seeded module does not type-check: %v", pkg.Path, pkg.Errors)
 		}
-		for _, d := range RunPackage(pkg, All()) {
+	}
+	facts := ComputeFacts(pkgs)
+	for _, pkg := range pkgs {
+		for _, d := range RunPackageFacts(pkg, All(), facts) {
 			hits[d.Analyzer]++
 		}
 	}

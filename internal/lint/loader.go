@@ -340,6 +340,26 @@ func (l *Loader) LoadFile(file, asPath string) (*Package, error) {
 // relative to the module root and loads every matching package
 // directory in deterministic order.
 func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	dirs, err := MatchDirs(l.Root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkgs, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		out = append(out, pkgs...)
+	}
+	return out, nil
+}
+
+// MatchDirs resolves ./dir, ./dir/..., and ./... patterns relative to
+// root into the sorted list of package directories they denote, without
+// parsing anything — the fact cache uses it to fingerprint a run's
+// inputs before deciding whether loading is needed at all.
+func MatchDirs(root string, patterns []string) ([]string, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -360,7 +380,7 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 		} else if strings.HasSuffix(pat, "/...") {
 			pat, recursive = strings.TrimSuffix(pat, "/..."), true
 		}
-		start := filepath.Join(l.Root, filepath.FromSlash(pat))
+		start := filepath.Join(root, filepath.FromSlash(pat))
 		if !recursive {
 			add(start)
 			continue
@@ -387,15 +407,7 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 		}
 	}
 	sort.Strings(dirs)
-	var out []*Package
-	for _, dir := range dirs {
-		pkgs, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", dir, err)
-		}
-		out = append(out, pkgs...)
-	}
-	return out, nil
+	return dirs, nil
 }
 
 func hasGoFiles(dir string) bool {

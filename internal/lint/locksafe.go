@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafeAnalyzer enforces the two mechanical rules that keep the
+// repository's synchronization honest, everywhere in the module:
+//
+//  1. values containing sync primitives (sync.Mutex, RWMutex,
+//     WaitGroup, Once, Cond, Pool, Map, or any sync/atomic value type)
+//     must never be copied. A copied mutex guards nothing; a copied
+//     atomic counter silently forks. Flagged: by-value parameters,
+//     results, and method receivers whose type contains such state,
+//     plain copy assignments from an existing value, and `range`
+//     clauses whose value variable copies one per iteration.
+//     Fresh construction (composite literals, constructor calls) is
+//     fine — only copies of already-live values are dangerous.
+//  2. a variable or field accessed through sync/atomic functions
+//     (atomic.AddUint64(&s.n, …)) must be accessed that way everywhere:
+//     mixing atomic and plain loads/stores on the same word is a data
+//     race the race detector only catches when the schedule cooperates.
+//
+// Both rules are type-driven and apply to every package; there is no
+// scope list because a copied lock is wrong no matter where it lives.
+var LockSafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc:  "forbid copying sync-bearing values and mixing atomic with plain access",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *Pass) {
+	atomicObjs, atomicArgs := collectAtomicAccess(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkSyncFields(pass, n.Recv, "receiver", n.Name.Name)
+				}
+				checkSyncFields(pass, n.Type.Params, "parameter", n.Name.Name)
+				checkSyncFields(pass, n.Type.Results, "result", n.Name.Name)
+			case *ast.FuncLit:
+				checkSyncFields(pass, n.Type.Params, "parameter", "func literal")
+			case *ast.AssignStmt:
+				checkSyncCopy(pass, n)
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.Info.TypeOf(n.Value); syncBearing(t) {
+						pass.Reportf(n.Value.Pos(), "range value copies %s, which contains sync state, on every iteration; range over indices or pointers instead", typeName(pass, t))
+					}
+				}
+			}
+			return true
+		})
+	}
+	reportPlainAccess(pass, atomicObjs, atomicArgs)
+}
+
+// checkSyncFields flags by-value fields (receiver, params, results)
+// whose type contains sync state. what selects the message shape.
+func checkSyncFields(pass *Pass, fl *ast.FieldList, what, fnName string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil || isPointerLike(t) || !syncBearing(t) {
+			continue
+		}
+		if what == "receiver" {
+			pass.Reportf(field.Pos(), "method %s has a value receiver of type %s, which contains sync state; copying it on every call breaks the lock — use a pointer receiver", fnName, typeName(pass, t))
+			continue
+		}
+		name := "value"
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(), "%s %q of %s is passed by value but its type %s contains sync state; use a pointer", what, name, fnName, typeName(pass, t))
+	}
+}
+
+// checkSyncCopy flags assignments that duplicate an already-live
+// sync-bearing value: the right-hand side names an existing value
+// (identifier, selector, index, or dereference) rather than
+// constructing a fresh one.
+func checkSyncCopy(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if !copiesExisting(rhs) {
+			continue
+		}
+		t := pass.Info.TypeOf(rhs)
+		if !syncBearing(t) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "assignment copies a value of type %s, which contains sync state; share it through a pointer instead", typeName(pass, t))
+	}
+}
+
+// copiesExisting reports whether expr denotes an existing value being
+// read (and therefore copied on assignment), as opposed to a composite
+// literal, constructor call, or conversion producing a fresh value.
+func copiesExisting(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true // *p copies the pointee
+	}
+	return false
+}
+
+// isPointerLike reports whether t shares rather than copies its
+// underlying storage on assignment.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// syncBearing reports whether copying a value of type t would copy a
+// sync primitive: the type is (or contains, through struct fields or
+// array elements) one of the sync package's value types or a
+// sync/atomic value type. Pointers, slices, maps, and channels stop
+// the recursion — they share, not copy.
+func syncBearing(t types.Type) bool {
+	return syncBearingRec(t, make(map[types.Type]bool))
+}
+
+func syncBearingRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+					return true
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					return true
+				}
+			}
+		}
+		return syncBearingRec(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if syncBearingRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return syncBearingRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// typeName renders t relative to the pass's package for messages.
+func typeName(pass *Pass, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}
+
+// collectAtomicAccess finds every variable or field whose address is
+// taken by a sync/atomic function call, returning the accessed objects
+// and the exact &x argument nodes (exempted from the plain-access
+// sweep).
+func collectAtomicAccess(pass *Pass) (map[types.Object]bool, map[ast.Node]bool) {
+	objs := make(map[types.Object]bool)
+	args := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := pkgFunc(pass.Info, sel, "sync/atomic"); !ok {
+				return true
+			}
+			if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				var obj types.Object
+				switch target := ast.Unparen(un.X).(type) {
+				case *ast.Ident:
+					obj = pass.Info.ObjectOf(target)
+				case *ast.SelectorExpr:
+					obj = pass.Info.ObjectOf(target.Sel)
+				}
+				if obj != nil {
+					objs[obj] = true
+					args[un] = true
+				}
+			}
+			return true
+		})
+	}
+	return objs, args
+}
+
+// reportPlainAccess flags every use of an atomically-accessed object
+// outside the recorded atomic call arguments.
+func reportPlainAccess(pass *Pass, objs map[types.Object]bool, args map[ast.Node]bool) {
+	if len(objs) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if args[n] {
+				return false // the sanctioned &x inside an atomic call
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.ObjectOf(id)
+			if obj == nil || !objs[obj] {
+				return true
+			}
+			if _, isField := obj.(*types.Var); !isField {
+				return true
+			}
+			if defPos := obj.Pos(); defPos == id.Pos() {
+				return true // the declaration itself
+			}
+			pass.Reportf(id.Pos(), "%q is accessed with sync/atomic elsewhere; this plain access races with it — use the atomic API everywhere", id.Name)
+			return true
+		})
+	}
+}

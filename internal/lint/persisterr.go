@@ -71,6 +71,8 @@ func runPersistErr(pass *Pass) {
 				if call, ok := n.X.(*ast.CallExpr); ok {
 					if name, ok := discardsPersistError(pass, call); ok {
 						pass.Reportf(call.Pos(), "error returned by %s is discarded; check it, or discard explicitly with `_ =` and a //lint:ignore reason", name)
+					} else if name, ok := discardsForwardedPersistError(pass, call); ok {
+						pass.Reportf(call.Pos(), "error returned by %s is discarded, and %s forwards a persistence error (Save/Encode/Close family); check it", name, name)
 					}
 				}
 			case *ast.DeferStmt:
@@ -98,10 +100,36 @@ func discardsPersistError(pass *Pass, call *ast.CallExpr) (string, bool) {
 	return name, true
 }
 
+// discardsForwardedPersistError is the interprocedural extension of
+// discardsPersistError: with whole-repo facts, a call to a function
+// whose name is NOT in the persist family but whose summary shows it
+// forwards a persistence error (a wrapper around Save/Encode/Close) is
+// the same silent truncation one hop removed.
+func discardsForwardedPersistError(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if pass.Facts == nil {
+		return "", false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || persistFamily(fn.Name()) {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	if !pass.Facts.Has(FuncID(fn), FactForwardsPersistError) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
 func checkDeferred(pass *Pass, def *ast.DeferStmt, writers map[types.Object]bool) {
 	call := def.Call
 	name, ok := discardsPersistError(pass, call)
 	if !ok {
+		if name, ok := discardsForwardedPersistError(pass, call); ok {
+			pass.Reportf(call.Pos(), "deferred %s discards a forwarded persistence error; call it explicitly before returning and check the result", name)
+		}
 		return
 	}
 	if name != "Close" {

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// summarizeBody walks one function body (or package-level initializer
+// expression) and records base facts and static call edges on n. Nested
+// function literals are included: conservatively, defining a literal
+// that does X means the enclosing function may reach X.
+func summarizeBody(pkg *Package, body ast.Node, n *funcNode) {
+	info := pkg.Info
+	sanctioned := n.pkg == obsPath // observability boundary: clock reads allowed
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			summarizeCall(pkg, node, n, sanctioned)
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				name := ""
+				switch e := lhs.(type) {
+				case *ast.SelectorExpr:
+					name = e.Sel.Name
+				case *ast.Ident:
+					// Only persistent state counts: a local variable
+					// named fast (e.g. snapshotting ws.fast) flips
+					// nothing that outlives the call.
+					if obj := info.ObjectOf(e); obj != nil && obj.Parent() == pkg.Types.Scope() {
+						name = e.Name
+					}
+				}
+				if name == "" || !fastFieldName(name) {
+					continue
+				}
+				// Forcing exact mode (assigning the literal false) is
+				// always safe and deliberately not a fact: it is how
+				// exact-only paths shield themselves.
+				if i < len(node.Rhs) && isFalseLiteral(info, node.Rhs[i]) {
+					continue
+				}
+				n.facts |= FactTouchesFastToggle
+			}
+		}
+		return true
+	})
+}
+
+// summarizeCall records the facts and the call edge of one call site.
+func summarizeCall(pkg *Package, call *ast.CallExpr, n *funcNode, sanctioned bool) {
+	info := pkg.Info
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && !sanctioned {
+		if name, ok := pkgFunc(info, sel, "time"); ok {
+			switch name {
+			case "Now", "Since", "Until":
+				n.facts |= FactReadsClock
+			}
+		}
+		for _, path := range []string{"math/rand", "math/rand/v2"} {
+			name, ok := pkgFunc(info, sel, path)
+			if !ok {
+				continue
+			}
+			if _, isFunc := info.Uses[sel.Sel].(*types.Func); isFunc && !randConstructors[name] {
+				n.facts |= FactReadsGlobalRand
+			}
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if name, ok := pkgFunc(info, sel, "context"); ok && (name == "Background" || name == "TODO") {
+			n.facts |= FactCallsBareContext
+		}
+	}
+
+	name := calleeName(call)
+	if fastToggleName(name) {
+		n.facts |= FactTouchesFastToggle
+	}
+	if n.returnsError && persistFamily(name) {
+		if sig, ok := info.TypeOf(call.Fun).(*types.Signature); ok && returnsError(sig) {
+			exempt := false
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && alwaysNilErrWriter(info.TypeOf(sel.X)) {
+				exempt = true
+			}
+			if !exempt {
+				n.facts |= FactForwardsPersistError
+			}
+		}
+	}
+
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if isLockAcquire(fn) {
+		n.facts |= FactAcquiresLock
+	}
+	// Only module-internal edges enter the graph: stdlib bodies are not
+	// loaded, so edges into them could never carry facts.
+	if moduleOf(fn.Pkg().Path()) == moduleOf(n.pkg) {
+		n.callees = append(n.callees, FuncID(fn))
+	}
+}
+
+// isLockAcquire matches sync.Mutex/RWMutex Lock-family methods.
+func isLockAcquire(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && (named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// isFalseLiteral reports whether expr is the constant false.
+func isFalseLiteral(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value)
+}

@@ -1,0 +1,32 @@
+// Handlers and ctx-carrying functions must not mint fresh contexts.
+//
+//fixture:pkgpath soteria/cmd/lintfixture
+package lintfixture
+
+import (
+	"context"
+	"net/http"
+)
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "derive from r.Context()"
+	work(ctx)
+}
+
+func workCtx(ctx context.Context, n int) int {
+	inner := context.TODO() // want "derive from the ctx parameter"
+	_ = inner
+	return n
+}
+
+// work accepts a context, so callers that hand theirs over are clean.
+func work(ctx context.Context) { _ = ctx }
+
+// A handler that derives from the request is clean.
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	work(r.Context())
+}
+
+var _ = handle
+var _ = workCtx
+var _ = handleOK

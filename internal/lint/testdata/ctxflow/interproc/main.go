@@ -1,0 +1,20 @@
+// A handler on the serving tier calling the bare-context wrapper.
+//
+//fixture:file cmd/srv/main.go
+package main
+
+import (
+	"net/http"
+
+	"soteria/internal/core"
+)
+
+func handler(p *core.Pipeline) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p.Kick() // want "reaches context.Background/TODO"
+	}
+}
+
+func main() {
+	http.Handle("/kick", handler(&core.Pipeline{}))
+}

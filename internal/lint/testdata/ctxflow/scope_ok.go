@@ -1,0 +1,20 @@
+// Outside the serving tier (root package, internal/core, cmd tools)
+// ctxflow does not apply: a data-prep helper with a context parameter
+// may build its own background context for detached work.
+package lintfixture
+
+import (
+	"context"
+	"net/http"
+)
+
+func detached(ctx context.Context) context.Context {
+	return context.Background()
+}
+
+func offTierHandler(w http.ResponseWriter, r *http.Request) {
+	_ = context.TODO()
+}
+
+var _ = detached
+var _ = offTierHandler

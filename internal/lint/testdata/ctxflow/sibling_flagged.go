@@ -1,0 +1,45 @@
+// Calling a function that has a context-accepting sibling drops the
+// caller's context.
+//
+//fixture:pkgpath soteria/cmd/lintfixture2
+package lintfixture
+
+import (
+	"context"
+	"net/http"
+)
+
+type queue struct{}
+
+func (q *queue) Submit(n int) int { return n }
+
+func (q *queue) SubmitCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func enqueue(n int) int { return n }
+
+func enqueueCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func serve(w http.ResponseWriter, r *http.Request) {
+	var q queue
+	q.Submit(1)                 // want "call SubmitCtx"
+	enqueue(2)                  // want "call enqueueCtx"
+	q.SubmitCtx(r.Context(), 3) // passing it through is clean
+	enqueueCtx(r.Context(), 4)  // likewise
+}
+
+// Outside a handler or ctx function nothing is checked: there is no
+// context in hand to propagate.
+func batch() {
+	var q queue
+	q.Submit(5)
+	enqueue(6)
+}
+
+var _ = serve
+var _ = batch

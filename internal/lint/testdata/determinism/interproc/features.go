@@ -1,0 +1,13 @@
+// An in-scope package calling the clock-tainted helper: clean to the
+// syntactic rules (no direct time.Now here), caught by the fact store.
+//
+//fixture:file internal/features/features.go
+package features
+
+import "soteria/internal/timeutil"
+
+// BuildID folds a wall-clock stamp into a feature artifact — exactly
+// the bug class that breaks bit-identical reproduction.
+func BuildID(seed int64) int64 {
+	return seed ^ timeutil.Stamp() // want "reaches a wall-clock read"
+}

@@ -1,0 +1,15 @@
+// A helper package OUTSIDE the determinism scope whose innocuous-
+// looking API reads the wall clock two hops down. The syntactic rule
+// never sees it; the summary-driven rule follows the chain.
+//
+//fixture:file internal/timeutil/timeutil.go
+package timeutil
+
+import "time"
+
+// Stamp returns a run identifier. Nothing in the name says "clock".
+func Stamp() int64 { return stampImpl() }
+
+func stampImpl() int64 { return nowUnix() }
+
+func nowUnix() int64 { return time.Now().UnixNano() }

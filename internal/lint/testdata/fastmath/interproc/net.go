@@ -1,0 +1,17 @@
+// A fast-mode toggle hidden behind two helper hops: no
+// training-family function touches it directly, so the syntactic
+// containment rules pass; the summary-driven rule follows the chain
+// from the Fit root.
+//
+//fixture:file internal/nnx/net.go
+package nnx
+
+type Net struct {
+	fastInfer bool
+}
+
+func (n *Net) SetFastInference(on bool) { n.fastInfer = on }
+
+// warm looks like harmless setup; enable is the second hop.
+func warm(n *Net)   { enable(n) }
+func enable(n *Net) { n.SetFastInference(true) }

@@ -1,0 +1,13 @@
+// The training root: calls only the innocuous-looking warm helper.
+//
+//fixture:file internal/nnx/train.go
+package nnx
+
+// Fit is a training-family root; reaching a fast toggle through warm
+// is the violation the whole-repo facts expose.
+func Fit(n *Net, epochs int) {
+	warm(n) // want "reaches a fast-mode toggle"
+	for i := 0; i < epochs; i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,23 @@
+// Mixing sync/atomic access with plain access on the same word.
+package lintfixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+func record(s *stats) {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddUint64(&s.misses, 1)
+}
+
+func snapshot(s *stats) (uint64, uint64) {
+	h := atomic.LoadUint64(&s.hits)
+	m := s.misses // want "accessed with sync/atomic elsewhere"
+	return h, m
+}
+
+var _ = record
+var _ = snapshot

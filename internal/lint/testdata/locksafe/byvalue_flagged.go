@@ -1,0 +1,34 @@
+// Sync-bearing values passed by value: receivers, params, results.
+package lintfixture
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g Guarded) Bump() { // want "value receiver"
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func useGuarded(g Guarded) int { // want "passed by value"
+	return g.n
+}
+
+func makeGuarded() Guarded { // want "passed by value"
+	var g Guarded
+	return g
+}
+
+// Pointer forms are fine on all three positions.
+func (g *Guarded) BumpPtr()        { g.mu.Lock(); g.n++; g.mu.Unlock() }
+func useGuardedPtr(g *Guarded) int { return g.n }
+func makeGuardedPtr() *Guarded     { return new(Guarded) }
+
+var _ = useGuarded
+var _ = makeGuarded
+var _ = useGuardedPtr
+var _ = makeGuardedPtr

@@ -1,0 +1,36 @@
+// Copy assignments and range copies of sync-bearing values.
+package lintfixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	rows [4]counter
+}
+
+func copies(src *counter, all []counter, tbl *table) {
+	fresh := counter{} // constructing a fresh value is fine
+	dup := *src        // want "copies a value"
+	one := all[0]      // want "copies a value"
+	row := tbl.rows[1] // want "copies a value"
+	again := fresh     // want "copies a value"
+	_, _, _, _ = dup, one, row, again
+}
+
+func ranges(all []counter) int {
+	total := 0
+	for _, c := range all { // want "range value copies"
+		total += c.n
+	}
+	for i := range all { // index form shares, never copies
+		total += all[i].n
+	}
+	return total
+}
+
+var _ = copies
+var _ = ranges

@@ -1,0 +1,36 @@
+// Clean synchronization patterns locksafe must not flag.
+package lintfixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type safeCache struct {
+	mu   sync.Mutex
+	hits atomic.Uint64
+	m    map[string]int
+}
+
+// Pointer receiver, pointer params, atomic wrapper types used through
+// their methods: all clean.
+func (c *safeCache) Get(key string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits.Add(1)
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func newSafeCache() *safeCache {
+	return &safeCache{m: make(map[string]int)}
+}
+
+// Sharing through pointers is not copying.
+func share(c *safeCache) *safeCache {
+	alias := c
+	return alias
+}
+
+var _ = newSafeCache
+var _ = share

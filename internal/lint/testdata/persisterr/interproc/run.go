@@ -1,0 +1,28 @@
+// Discarding the wrapper's error: invisible to the name-based rule,
+// caught by the forwards-persist-error summary.
+//
+//fixture:file internal/core/run.go
+package core
+
+import "os"
+
+func runCheckpoint(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	checkpoint(f) // want "forwards a persistence error"
+	return nil
+}
+
+// Checking the wrapper's error is clean.
+func runCheckpointOK(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return checkpoint(f)
+}
+
+var _ = runCheckpoint
+var _ = runCheckpointOK

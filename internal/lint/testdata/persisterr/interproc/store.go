@@ -1,0 +1,18 @@
+// A persistence error laundered through a wrapper whose name is not in
+// the persist family: the syntactic rule keys on callee names, so
+// flushState hides the discarded Close error until summaries track it.
+//
+//fixture:file internal/core/store.go
+package core
+
+import "os"
+
+// flushState forwards Close's error under a neutral name.
+func flushState(f *os.File) error {
+	return f.Close()
+}
+
+// checkpoint forwards it one more hop.
+func checkpoint(f *os.File) error {
+	return flushState(f)
+}

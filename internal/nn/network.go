@@ -51,6 +51,15 @@ func (n *Network) Forward(x *Matrix, train bool) *Matrix {
 	if !train {
 		return n.PredictInto(nil, x)
 	}
+	return n.forwardTrain(x)
+}
+
+// forwardTrain is the training-only forward pass: dropout enabled,
+// layer workspaces reused, never the relaxed-precision kernels. Fit
+// calls this directly (not Forward) so the training path has no static
+// route to the fast-mode machinery — the fastmath analyzer proves the
+// separation over the whole call graph.
+func (n *Network) forwardTrain(x *Matrix) *Matrix {
 	for _, l := range n.Layers {
 		x = l.Forward(x, true)
 	}
@@ -98,20 +107,49 @@ func (n *Network) inferArena(x *Matrix, ws *Arena) *Matrix {
 // performs no allocation. Safe for concurrent use on a shared trained
 // network.
 func (n *Network) PredictInto(dst, x *Matrix) *Matrix {
+	ws := n.acquireArena()
+	ws.fast = n.fastInfer
+	y := n.inferArena(x, ws)
+	dst = copyOut(dst, y)
+	ws.reset()
+	n.arenas.Put(ws)
+	return dst
+}
+
+// PredictExact runs inference on the bit-exact kernels unconditionally,
+// ignoring the fast-inference flag. Training, validation, and
+// calibration go through here: metrics that pick the best epoch or set
+// a detection threshold must never be computed with relaxed precision,
+// even on a network someone already toggled into fast mode. Safe for
+// concurrent use on a shared trained network.
+func (n *Network) PredictExact(x *Matrix) *Matrix {
+	ws := n.acquireArena()
+	ws.fast = false
+	y := n.inferArena(x, ws)
+	out := copyOut(nil, y)
+	ws.reset()
+	n.arenas.Put(ws)
+	return out
+}
+
+// acquireArena checks an inference workspace out of the pool.
+func (n *Network) acquireArena() *Arena {
 	ws, _ := n.arenas.Get().(*Arena)
 	if ws == nil {
 		ws = new(Arena)
 	}
-	ws.fast = n.fastInfer
-	y := n.inferArena(x, ws)
+	return ws
+}
+
+// copyOut copies y into dst, allocating when dst is nil and rejecting
+// shape mismatches.
+func copyOut(dst, y *Matrix) *Matrix {
 	if dst == nil {
 		dst = NewMatrix(y.Rows, y.Cols)
 	} else if dst.Rows != y.Rows || dst.Cols != y.Cols {
 		panic(fmt.Sprintf("nn: PredictInto dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, y.Rows, y.Cols))
 	}
 	copy(dst.Data, y.Data)
-	ws.reset()
-	n.arenas.Put(ws)
 	return dst
 }
 
@@ -122,10 +160,7 @@ func (n *Network) PredictInto(dst, x *Matrix) *Matrix {
 // modify it in place (e.g. a softmax over logits). Safe for concurrent
 // use on a shared trained network.
 func (n *Network) PredictApply(x *Matrix, visit func(y *Matrix)) {
-	ws, _ := n.arenas.Get().(*Arena)
-	if ws == nil {
-		ws = new(Arena)
-	}
+	ws := n.acquireArena()
 	ws.fast = n.fastInfer
 	visit(n.inferArena(x, ws))
 	ws.reset()
@@ -270,7 +305,7 @@ func (t *Trainer) Fit(x, y *Matrix, cfg TrainConfig) ([]float64, error) {
 			}
 			bx := gatherRowsInto(&t.bx, x, idx[start:end])
 			by := gatherRowsInto(&t.by, y, idx[start:end])
-			pred := t.Net.Forward(bx, true)
+			pred := t.Net.forwardTrain(bx)
 			loss, grad := t.computeLoss(pred, by)
 			t.Net.Backward(grad)
 			t.Opt.Step(params)
@@ -284,7 +319,7 @@ func (t *Trainer) Fit(x, y *Matrix, cfg TrainConfig) ([]float64, error) {
 			break
 		}
 		if valX != nil {
-			valLoss, _ := t.computeLoss(t.Net.Predict(valX), valY)
+			valLoss, _ := t.computeLoss(t.Net.PredictExact(valX), valY)
 			if valLoss < bestVal {
 				bestVal = valLoss
 				bestWeights = t.Net.SaveWeights()

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full per-PR verification: build, tests, vet, formatting, the repo's
+# own ten-analyzer lint pass, and the race detector over every package
+# with concurrency. Mirrors the "Full verify" block in ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== soterialint (ten analyzers, interprocedural facts)"
+go run ./cmd/soterialint ./...
+
+echo "== race suite"
+go test -race ./internal/features ./internal/nn ./internal/core \
+    ./internal/par ./internal/walk ./internal/autoenc ./internal/cnn \
+    ./internal/obs ./internal/lint
+
+echo "verify: OK"
