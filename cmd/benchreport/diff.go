@@ -118,6 +118,46 @@ func diffMetrics(base, cur map[string]float64) []MetricDiff {
 	return out
 }
 
+// writeDiffContext prints a header identifying both sides of a baseline
+// diff — where the baseline came from, when each report was generated,
+// and on what CPU — so a pasted diff is self-describing and
+// cross-machine comparisons announce themselves instead of masquerading
+// as regressions. Fields a report predates (old baselines had no cpu
+// line) are simply omitted.
+func writeDiffContext(w io.Writer, baselinePath string, base, cur *Report) {
+	fmt.Fprintf(w, "baseline: %s%s\n", baselinePath, reportContext(base))
+	fmt.Fprintf(w, "current:  this run%s\n", reportContext(cur))
+	if base.CPU != "" && cur.CPU != "" && base.CPU != cur.CPU {
+		fmt.Fprintln(w, "note: reports come from different CPUs; ns/op deltas reflect hardware as well as code")
+	}
+}
+
+// reportContext formats a report's generatedAt/platform/cpu fields as a
+// parenthesized suffix, empty when the report carries none of them.
+func reportContext(r *Report) string {
+	var parts []string
+	if r.GeneratedAt != "" {
+		parts = append(parts, r.GeneratedAt)
+	}
+	if r.GOOS != "" || r.GOARCH != "" {
+		parts = append(parts, r.GOOS+"/"+r.GOARCH)
+	}
+	if r.CPU != "" {
+		parts = append(parts, r.CPU)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	out := " ("
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out + ")"
+}
+
 // writeDiffs renders the comparison as an aligned table plus notes on
 // unmatched names, and reports whether any benchmark regressed. Custom
 // metrics follow the table as informational per-benchmark lines.

@@ -144,6 +144,45 @@ func TestDiffToleratesMetriclessBaseline(t *testing.T) {
 	}
 }
 
+func TestWriteDiffContext(t *testing.T) {
+	base := &Report{GeneratedAt: "2026-01-02T03:04:05Z", GOOS: "linux",
+		GOARCH: "amd64", CPU: "Old CPU @ 2.0GHz"}
+	cur := &Report{GeneratedAt: "2026-08-07T00:00:00Z", GOOS: "linux",
+		GOARCH: "amd64", CPU: "New CPU @ 3.0GHz"}
+	var sb strings.Builder
+	writeDiffContext(&sb, "BENCH_3.json", base, cur)
+	out := sb.String()
+	for _, want := range []string{
+		"baseline: BENCH_3.json (2026-01-02T03:04:05Z, linux/amd64, Old CPU @ 2.0GHz)",
+		"current:  this run (2026-08-07T00:00:00Z, linux/amd64, New CPU @ 3.0GHz)",
+		"different CPUs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Same CPU: no cross-machine warning.
+	cur.CPU = base.CPU
+	sb.Reset()
+	writeDiffContext(&sb, "BENCH_3.json", base, cur)
+	if strings.Contains(sb.String(), "different CPUs") {
+		t.Fatalf("same-CPU diff warned about hardware:\n%s", sb.String())
+	}
+
+	// A baseline predating cpu/platform capture omits the suffix rather
+	// than printing empty parentheses, and cannot trigger the warning.
+	sb.Reset()
+	writeDiffContext(&sb, "BENCH_1.json", &Report{}, cur)
+	out = sb.String()
+	if !strings.Contains(out, "baseline: BENCH_1.json\n") {
+		t.Errorf("field-less baseline should print bare path:\n%s", out)
+	}
+	if strings.Contains(out, "different CPUs") {
+		t.Errorf("missing baseline CPU must not warn:\n%s", out)
+	}
+}
+
 func TestWriteDiffs(t *testing.T) {
 	diffs := []BenchDiff{
 		{Name: "BenchmarkFit", BaseNsPerOp: 1000, NsPerOp: 400, NsRatio: 0.4, BaseAllocs: 100, Allocs: 5},

@@ -141,6 +141,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 			os.Exit(1)
 		}
+		writeDiffContext(os.Stdout, *baseline, base, rep)
 		diffs, onlyBase, onlyCur := Diff(base, rep, *maxRegress)
 		if writeDiffs(os.Stdout, diffs, onlyBase, onlyCur) {
 			fmt.Fprintf(os.Stderr, "benchreport: regression beyond %.2fx vs %s\n", *maxRegress, *baseline)

@@ -5,12 +5,19 @@
 // Usage:
 //
 //	soteria [-load model.json | -train-per-class N] [-save model.json] \
-//	        [-serve addr] [-fast] file.sotb [file2.sotb ...]
+//	        [-serve addr] [-fast] [-cache-dir DIR | -no-cache] \
+//	        [-cache-max-bytes N] file.sotb [file2.sotb ...]
 //
 // Training data is generated on the fly (the corpus generator is the
 // dataset substitute; see DESIGN.md); -save persists the trained system
 // and -load skips training entirely. Analysis prints one line per
 // input: verdict, reconstruction error, and class.
+//
+// Repeat submissions are served from a content-addressed feature/
+// verdict cache (in-memory by default; -cache-dir persists it across
+// restarts, -cache-max-bytes bounds it, -no-cache disables it). Cache
+// keys include the model fingerprint, so swapping models never serves
+// stale verdicts.
 //
 // -serve starts an HTTP server instead of analyzing files: POST raw
 // SOTB bytes to /analyze (optional ?salt=N) for a JSON decision served
@@ -49,8 +56,14 @@ func run(args []string) error {
 	savePath := fs.String("save", "", "save the trained model to this path")
 	serveAddr := fs.String("serve", "", "serve /analyze, /metrics, /healthz, /debug/pprof on this address instead of analyzing files")
 	fast := fs.Bool("fast", false, "relaxed-precision scoring (FMA kernels, fused softmax); scores within documented tolerance of the default bit-exact mode")
+	cacheDir := fs.String("cache-dir", "", "persist the feature/verdict cache in this directory (default: in-memory only)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", soteria.DefaultCacheMaxBytes, "byte budget for the feature/verdict cache (LRU-evicted past it)")
+	noCache := fs.Bool("no-cache", false, "disable the feature/verdict cache entirely")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *noCache && *cacheDir != "" {
+		return fmt.Errorf("-no-cache and -cache-dir conflict: pick one")
 	}
 	// A loaded model is already trained, so training flags given next to
 	// -load would be silently ignored; diagnose the conflict instead.
@@ -139,6 +152,34 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "fast scoring enabled (relaxed-precision kernels)")
 	}
 
+	// The result cache attaches after persistence and the fast toggle:
+	// keys pin the final model fingerprint, and cached entries always
+	// come from whichever scoring mode is serving. Close flushes the
+	// record log; a degraded cache (I/O error mid-run) surfaces here
+	// rather than being lost.
+	if !*noCache {
+		cache, err := soteria.OpenCache(soteria.CacheConfig{
+			Dir:      *cacheDir,
+			MaxBytes: *cacheMaxBytes,
+			Obs:      reg,
+		})
+		if err != nil {
+			return err
+		}
+		closeCache := func() {
+			if cerr := cache.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "soteria: cache: %v\n", cerr)
+			}
+		}
+		defer closeCache()
+		if err := sys.AttachCache(cache); err != nil {
+			return err
+		}
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "cache: %s (%d entries replayed)\n", *cacheDir, cache.Len())
+		}
+	}
+
 	if *serveAddr != "" {
 		sys.Instrument(reg) // no-op after Train with Obs; wires a loaded model
 		bat := sys.NewBatcher(soteria.BatcherConfig{})
@@ -147,11 +188,12 @@ func run(args []string) error {
 		return http.ListenAndServe(*serveAddr, serveHandler(reg, bat))
 	}
 
-	// Parse and disassemble per file (so an unreadable file is named
-	// precisely), then score the whole set in one batched pass — the
-	// salt stays the file's position, so decisions match the former
-	// one-at-a-time loop exactly.
-	cfgs := make([]*soteria.CFG, len(files))
+	// Validate each file up front (so an unreadable or malformed file is
+	// named precisely), then score the whole set from raw bytes in one
+	// batched pass — the binary path consults the content-addressed
+	// cache, and the salt stays the file's position, so decisions match
+	// the former one-at-a-time loop exactly.
+	raws := make([][]byte, len(files))
 	salts := make([]int64, len(files))
 	for i, f := range files {
 		raw, err := os.ReadFile(f)
@@ -162,16 +204,16 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", f, err)
 		}
-		cfgs[i], err = soteria.Disassemble(bin)
-		if err != nil {
+		if _, err := soteria.Disassemble(bin); err != nil {
 			return fmt.Errorf("%s: %w", f, err)
 		}
+		raws[i] = raw
 		salts[i] = int64(i)
 	}
 	if len(files) == 0 {
 		return nil
 	}
-	decs, err := sys.AnalyzeBatch(cfgs, salts)
+	decs, err := sys.AnalyzeBinaryBatch(raws, salts)
 	if err != nil {
 		return err
 	}

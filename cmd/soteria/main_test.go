@@ -76,6 +76,58 @@ func TestRunConflictingFlags(t *testing.T) {
 		strings.Contains(err.Error(), "conflict") {
 		t.Fatalf("plain -load err = %v, want file-open error", err)
 	}
+	// -no-cache with -cache-dir is contradictory.
+	if err := run([]string{"-no-cache", "-cache-dir", "/tmp/x", "x.sotb"}); err == nil ||
+		!strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("no-cache+cache-dir err = %v, want conflict diagnosis", err)
+	}
+}
+
+// TestRunCacheDir pins the persistent-cache CLI path: a second run over
+// the same file with the same model must replay the first run's entries
+// from -cache-dir, and -no-cache must run clean end to end.
+func TestRunCacheDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.json")
+	cacheDir := filepath.Join(dir, "cache")
+	sample := filepath.Join(dir, "sample.sotb")
+
+	gen := malgen.NewGenerator(malgen.Config{Seed: 6})
+	s, err := gen.SampleSized(malgen.Gafgyt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.Binary.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sample, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"-train-per-class", "3", "-save", model, "-cache-dir", cacheDir, sample}); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	log := filepath.Join(cacheDir, "cache.log")
+	fi, err := os.Stat(log)
+	if err != nil {
+		t.Fatalf("cache log not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("cache log is empty after an analyzing run")
+	}
+	// Second run loads the same model, so the fingerprint matches and
+	// the analysis is served from the replayed cache (same output either
+	// way — this guards that the replay path runs end to end).
+	if err := run([]string{"-load", model, "-cache-dir", cacheDir, sample}); err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	if err := run([]string{"-load", model, "-no-cache", sample}); err != nil {
+		t.Fatalf("no-cache run: %v", err)
+	}
 }
 
 // TestRunSaveOnly pins the train-and-save path with no analysis files:

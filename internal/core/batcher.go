@@ -8,6 +8,7 @@ import (
 
 	"soteria/internal/disasm"
 	"soteria/internal/obs"
+	"soteria/internal/store"
 )
 
 // BatcherConfig tunes the micro-batching front door.
@@ -44,6 +45,11 @@ type request struct {
 	dec  *Decision
 	err  error
 	done chan struct{}
+	// key is the request's cache key; withKey marks it valid (set for
+	// every request when the pipeline has a cache attached), which asks
+	// the scoring stage to fill the cache with this sample's results.
+	key     store.Key
+	withKey bool
 	// t0 is the queue-wait start stamp, the zero time when the batcher
 	// is uninstrumented (obs.Histogram.Start on nil reads no clock).
 	t0 time.Time
@@ -70,6 +76,7 @@ type Batcher struct {
 	// collector-only scratch, reused across batches.
 	cfgs  []*disasm.CFG
 	salts []int64
+	keys  []store.Key
 
 	// met holds the batcher's metrics; all fields are nil unless the
 	// pipeline was Instrumented before NewBatcher.
@@ -126,8 +133,57 @@ func (b *Batcher) Submit(c *disasm.CFG, salt int64) (*Decision, error) {
 // entirely; after the handoff the work is already coalesced into a
 // batch (batch composition never affects other requests' results, so
 // the batch runs regardless), and only the wait is abandoned.
+//
+// With a cache attached to the pipeline, a verdict hit returns without
+// ever occupying a batch slot, and concurrent submissions of identical
+// (content, salt) coalesce onto one in-flight computation: only the
+// first enters the batch stream, the rest wait for its published
+// verdict (falling back to their own submission if it fails). Results
+// stay bit-identical to uncached Submits.
 func (b *Batcher) SubmitCtx(ctx context.Context, c *disasm.CFG, salt int64) (*Decision, error) {
-	r := &request{cfg: c, salt: salt, done: make(chan struct{}), t0: b.met.waitNs.Start()}
+	cache := b.p.cache
+	if cache == nil {
+		return b.enqueue(ctx, &request{cfg: c, salt: salt, done: make(chan struct{}), t0: b.met.waitNs.Start()})
+	}
+	k := b.p.cfgKey(c, salt)
+	t := b.p.met.cacheHitNs.Start()
+	v, hit, fl, leader := cache.Join(k)
+	if hit {
+		b.p.met.cacheHitNs.Stop(t)
+		return decisionOf(v), nil
+	}
+	if !leader {
+		// Another submitter is already computing this key; wait for its
+		// verdict rather than duplicating the work in the batch.
+		select {
+		case <-fl.Done():
+			if v, ok := fl.Result(); ok {
+				return decisionOf(v), nil
+			}
+			// The leader failed or gave up: do the work ourselves,
+			// uncoordinated (no retry loop — a second failure is ours).
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-b.stop:
+			return nil, ErrBatcherClosed
+		}
+		return b.enqueue(ctx, &request{cfg: c, salt: salt, key: k, withKey: true, done: make(chan struct{}), t0: b.met.waitNs.Start()})
+	}
+	d, err := b.enqueue(ctx, &request{cfg: c, salt: salt, key: k, withKey: true, done: make(chan struct{}), t0: b.met.waitNs.Start()})
+	// Publish to the followers whatever happened — on success the
+	// scoring stage already stored the verdict; on failure (including
+	// our own cancellation) ok=false sends them back to submit
+	// themselves.
+	var vv store.Verdict
+	if err == nil {
+		vv = verdictOf(d)
+	}
+	cache.Finish(k, fl, vv, err == nil)
+	return d, err
+}
+
+// enqueue hands one request to the collector and waits for completion.
+func (b *Batcher) enqueue(ctx context.Context, r *request) (*Decision, error) {
 	select {
 	case b.reqs <- r:
 	case <-b.stop:
@@ -229,12 +285,22 @@ func (b *Batcher) serve(batch []*request, reason *obs.Counter) {
 	b.met.batchSize.Observe(float64(len(batch)))
 	b.cfgs = b.cfgs[:0]
 	b.salts = b.salts[:0]
+	b.keys = b.keys[:0]
+	withKeys := true
 	for _, r := range batch {
 		b.cfgs = append(b.cfgs, r.cfg)
 		b.salts = append(b.salts, r.salt)
+		b.keys = append(b.keys, r.key)
+		if !r.withKey {
+			withKeys = false
+		}
 		b.met.waitNs.Stop(r.t0)
 	}
-	decs, errs := b.p.analyzeBatch(b.cfgs, b.salts)
+	var keys []store.Key
+	if withKeys && b.p.cache != nil {
+		keys = b.keys
+	}
+	decs, errs := b.p.analyzeBatch(b.cfgs, b.salts, keys)
 	for i, r := range batch {
 		r.dec, r.err = decs[i], errs[i]
 		close(r.done)

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"soteria/internal/disasm"
+	"soteria/internal/malgen"
+	"soteria/internal/obs"
+	"soteria/internal/store"
+)
+
+// The cache tests share one small trained pipeline (training dominates
+// the test time; the cache behaviours under test are all post-training).
+var (
+	cacheTestOnce sync.Once
+	cacheTestPipe *Pipeline
+	cacheTestReg  *obs.Registry
+	cacheTestRaws [][]byte
+	cacheTestErr  error
+)
+
+func cachePipeline(t *testing.T) (*Pipeline, *obs.Registry, [][]byte) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full pipeline training")
+	}
+	cacheTestOnce.Do(func() {
+		g := malgen.NewGenerator(malgen.Config{Seed: 7})
+		var samples []*malgen.Sample
+		for _, c := range malgen.Classes {
+			for i := 0; i < 6; i++ {
+				s, err := g.Sample(c)
+				if err != nil {
+					cacheTestErr = err
+					return
+				}
+				samples = append(samples, s)
+			}
+		}
+		opts := testOptions()
+		opts.DetectorEpochs = 10
+		opts.ClassifierEpochs = 5
+		cacheTestPipe, cacheTestErr = Train(samples, opts)
+		if cacheTestErr != nil {
+			return
+		}
+		cacheTestReg = obs.NewRegistry()
+		cacheTestPipe.Instrument(cacheTestReg)
+		for _, s := range samples {
+			raw, err := s.Binary.Encode()
+			if err != nil {
+				cacheTestErr = err
+				return
+			}
+			cacheTestRaws = append(cacheTestRaws, raw)
+		}
+	})
+	if cacheTestErr != nil {
+		t.Fatal(cacheTestErr)
+	}
+	return cacheTestPipe, cacheTestReg, cacheTestRaws
+}
+
+func memCache(t *testing.T) *store.Cache {
+	t.Helper()
+	c, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return c
+}
+
+func sameDecision(a, b *Decision) bool {
+	return a.Adversarial == b.Adversarial && a.RE == b.RE && a.Class == b.Class
+}
+
+// TestCachedDecisionEquivalence pins the acceptance property: for the
+// same (content, salt, model), the uncached path, the cache-miss path,
+// the verdict-hit path, and the feature-tier-only path all produce
+// bit-identical decisions.
+func TestCachedDecisionEquivalence(t *testing.T) {
+	p, _, raws := cachePipeline(t)
+	raw := raws[0]
+	const salt = 42
+
+	baseline, err := p.AnalyzeBinary(raw, salt) // uncached
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := memCache(t)
+	if err := p.AttachCache(c); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p.AttachCache(nil); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	miss, err := p.AnalyzeBinary(raw, salt) // full miss, fills both tiers
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecision(baseline, miss) {
+		t.Fatalf("miss path differs: %+v vs %+v", miss, baseline)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("miss filled %d entries, want verdict+features", c.Len())
+	}
+	hit, err := p.AnalyzeBinary(raw, salt) // verdict hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecision(baseline, hit) {
+		t.Fatalf("verdict-hit path differs: %+v vs %+v", hit, baseline)
+	}
+
+	// Feature-tier-only: a fresh cache seeded with just the feature blob
+	// (the state after a verdict eviction) must rescore to the identical
+	// decision and backfill the verdict tier.
+	k := p.byteKey(raw, salt)
+	blob, ok := c.Features(k)
+	if !ok {
+		t.Fatal("feature tier not filled")
+	}
+	c2 := memCache(t)
+	c2.PutFeatures(k, append([]float64(nil), blob...))
+	if err := p.AttachCache(c2); err != nil {
+		t.Fatal(err)
+	}
+	featHit, err := p.AnalyzeBinary(raw, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecision(baseline, featHit) {
+		t.Fatalf("feature-hit path differs: %+v vs %+v", featHit, baseline)
+	}
+	if _, ok := c2.Verdict(k); !ok {
+		t.Fatal("feature hit did not backfill the verdict tier")
+	}
+
+	// Different salt must not be served from the cache.
+	other, err := p.AnalyzeBinary(raw, salt+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherBase, err := p.Analyze(mustCFG(t, p, raw), salt+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecision(other, otherBase) {
+		t.Fatalf("salt+1 decision differs from uncached: %+v vs %+v", other, otherBase)
+	}
+}
+
+func mustCFG(t *testing.T, p *Pipeline, raw []byte) *disasm.CFG {
+	t.Helper()
+	cfgs, err := p.disassembleAll([][]byte{raw}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfgs[0]
+}
+
+// TestFingerprintInvalidatesAcrossModels shares one cache between two
+// different models: their keys must be disjoint, so neither can serve
+// the other's verdicts.
+func TestFingerprintInvalidatesAcrossModels(t *testing.T) {
+	p1, _, raws := cachePipeline(t)
+	raw := raws[0]
+	const salt = 7
+
+	// A second, different model (different seed => different weights).
+	g := malgen.NewGenerator(malgen.Config{Seed: 8})
+	var samples []*malgen.Sample
+	for _, cl := range malgen.Classes {
+		for i := 0; i < 4; i++ {
+			s, err := g.Sample(cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples = append(samples, s)
+		}
+	}
+	opts := testOptions()
+	opts.Seed = 99
+	opts.DetectorEpochs = 5
+	opts.ClassifierEpochs = 3
+	p2, err := Train(samples, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp1, err := p1.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := p2.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp2 {
+		t.Fatal("different models share a fingerprint")
+	}
+
+	base2, err := p2.AnalyzeBinary(raw, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := memCache(t)
+	if err := p1.AttachCache(shared); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p1.AttachCache(nil); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := p2.AttachCache(shared); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p1.AnalyzeBinary(raw, salt); err != nil { // p1 fills the cache
+		t.Fatal(err)
+	}
+	if p1.byteKey(raw, salt) == p2.byteKey(raw, salt) {
+		t.Fatal("two models produced the same cache key")
+	}
+	if _, ok := shared.Verdict(p2.byteKey(raw, salt)); ok {
+		t.Fatal("p1's fill is visible under p2's key")
+	}
+	got, err := p2.AnalyzeBinary(raw, salt) // must be p2's own (fresh) result
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecision(got, base2) {
+		t.Fatalf("p2 under shared cache = %+v, want its own %+v", got, base2)
+	}
+}
+
+// TestSaveLoadFingerprintStable pins the restart story: a loaded model
+// fingerprints identically to the one that was saved, so a persistent
+// cache stays hot across process restarts.
+func TestSaveLoadFingerprintStable(t *testing.T) {
+	p, _, _ := cachePipeline(t)
+	fp1, err := p.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := p2.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatal("fingerprint changed across Save/Load")
+	}
+}
+
+// TestAnalyzeBinaryBatchPartition mixes verdict hits, feature hits and
+// misses in one batch and checks every decision matches the uncached
+// baseline, and that a fully warm re-run does no scoring work.
+func TestAnalyzeBinaryBatchPartition(t *testing.T) {
+	p, reg, raws := cachePipeline(t)
+	n := len(raws)
+	salts := make([]int64, n)
+	for i := range salts {
+		salts[i] = int64(100 + i)
+	}
+	baseline, err := p.AnalyzeBinaryBatch(raws, salts) // uncached
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := memCache(t)
+	if err := p.AttachCache(c); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p.AttachCache(nil); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	// Pre-warm a third of the keys so the batch sees all three kinds.
+	for i := 0; i < n; i += 3 {
+		if _, err := p.AnalyzeBinary(raws[i], salts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := p.AnalyzeBinaryBatch(raws, salts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !sameDecision(got[i], baseline[i]) {
+			t.Fatalf("sample %d: cached batch %+v != baseline %+v", i, got[i], baseline[i])
+		}
+	}
+
+	// Fully warm: the whole batch must serve from the verdict tier
+	// without scoring a single sample.
+	before := samplesCount(reg)
+	again, err := p.AnalyzeBinaryBatch(raws, salts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := samplesCount(reg); after != before {
+		t.Fatalf("warm batch scored %d samples, want 0", after-before)
+	}
+	for i := range again {
+		if !sameDecision(again[i], baseline[i]) {
+			t.Fatalf("sample %d: warm batch %+v != baseline %+v", i, again[i], baseline[i])
+		}
+	}
+}
+
+func samplesCount(reg *obs.Registry) uint64 {
+	v, _ := reg.Snapshot()["pipeline.samples"].(uint64)
+	return v
+}
+
+// TestVerdictHitAllocationBound pins the warm verdict-hit budget: a
+// repeat AnalyzeBinary is a hash, a map lookup, and one Decision —
+// at most 5 allocations, instrumented.
+func TestVerdictHitAllocationBound(t *testing.T) {
+	p, _, raws := cachePipeline(t)
+	raw := raws[2]
+	const salt = 77
+	c := memCache(t)
+	if err := p.AttachCache(c); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p.AttachCache(nil); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if _, err := p.AnalyzeBinary(raw, salt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := p.AnalyzeBinary(raw, salt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 5 {
+		t.Fatalf("verdict hit allocates %.0f/op, budget is 5", allocs)
+	}
+}
+
+// TestBatcherSingleflight submits the same (CFG, salt) from many
+// goroutines through a cold cache: exactly one submission may do the
+// scoring work; everyone must get the identical decision.
+func TestBatcherSingleflight(t *testing.T) {
+	p, reg, raws := cachePipeline(t)
+	cfg := mustCFG(t, p, raws[1])
+	const salt = 4242
+
+	baseline, err := p.Analyze(cfg, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := memCache(t)
+	if err := p.AttachCache(c); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p.AttachCache(nil); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	b := NewBatcher(p, BatcherConfig{MaxBatch: 4})
+	defer b.Close()
+
+	before := samplesCount(reg)
+	const n = 16
+	var wg sync.WaitGroup
+	decs := make([]*Decision, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			decs[i], errs[i] = b.Submit(cfg, salt)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submitter %d: %v", i, errs[i])
+		}
+		if !sameDecision(decs[i], baseline) {
+			t.Fatalf("submitter %d: %+v != baseline %+v", i, decs[i], baseline)
+		}
+	}
+	if scored := samplesCount(reg) - before; scored != 1 {
+		t.Fatalf("%d samples scored for %d identical submissions, want 1", scored, n)
+	}
+
+	// Warm resubmission is a pure hit: still no extra scoring.
+	d, err := b.Submit(cfg, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecision(d, baseline) {
+		t.Fatalf("warm submit %+v != baseline %+v", d, baseline)
+	}
+	if scored := samplesCount(reg) - before; scored != 1 {
+		t.Fatalf("warm submit scored again (%d total)", scored)
+	}
+
+	// A different salt is different work.
+	if _, err := b.Submit(cfg, salt+1); err != nil {
+		t.Fatal(err)
+	}
+	if scored := samplesCount(reg) - before; scored != 2 {
+		t.Fatalf("new salt scored %d samples total, want 2", scored)
+	}
+}

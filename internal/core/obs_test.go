@@ -135,8 +135,8 @@ func TestObsScoringAddsNoAllocations(t *testing.T) {
 		fillBenchChunk(p, c, vecs)
 		out := make([]*Decision, len(vecs))
 		errs := make([]error, len(vecs))
-		p.scoreChunk(c, out, errs) // warm scratch pools
-		return testing.AllocsPerRun(50, func() { p.scoreChunk(c, out, errs) })
+		p.scoreChunk(c, out, errs, nil) // warm scratch pools
+		return testing.AllocsPerRun(50, func() { p.scoreChunk(c, out, errs, nil) })
 	}
 
 	plainAllocs := measure(plain)

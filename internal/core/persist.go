@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -65,6 +66,23 @@ func (p *Pipeline) Save(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// Fingerprint hashes the pipeline's full serialized state — the exact
+// bytes Save would write, which cover options, vocabularies, detector
+// state and classifier weights. Two pipelines share a fingerprint iff
+// they are the same model, so it is the model-identity component of
+// cache keys: any retraining, weight change or option change yields a
+// different fingerprint and thereby invalidates every prior cache
+// entry without touching the cache itself.
+func (p *Pipeline) Fingerprint() ([32]byte, error) {
+	h := sha256.New()
+	if err := p.Save(h); err != nil {
+		return [32]byte{}, fmt.Errorf("core: fingerprint: %w", err)
+	}
+	var fp [32]byte
+	h.Sum(fp[:0])
+	return fp, nil
 }
 
 // Load rebuilds a trained pipeline from Save output.

@@ -19,6 +19,7 @@ import (
 	"soteria/internal/nn"
 	"soteria/internal/obs"
 	"soteria/internal/par"
+	"soteria/internal/store"
 )
 
 // Options configures pipeline training. Zero values default to reduced
@@ -61,6 +62,10 @@ type Options struct {
 	// produces bit-identical models and decisions to one trained
 	// without. Not persisted.
 	Obs *obs.Registry `json:"-"`
+	// Cache, when non-nil, is attached to the trained pipeline (see
+	// Pipeline.AttachCache): verdicts and feature vectors are memoized
+	// under the freshly trained model's fingerprint. Not persisted.
+	Cache *store.Cache `json:"-"`
 }
 
 // DefaultOptions returns a CI-scale configuration that trains in tens of
@@ -118,6 +123,13 @@ type Pipeline struct {
 	// copied into the chunk matrices before the set returns to the pool.
 	vecs sync.Pool
 
+	// cache, when non-nil, memoizes verdicts and feature vectors under
+	// modelFP (the fingerprint pinned at AttachCache time). Every cache
+	// interaction is gated on the nil check, so an uncached pipeline
+	// runs the exact pre-cache path.
+	cache   *store.Cache
+	modelFP [32]byte
+
 	// reg is the registry Instrument was called with (nil when
 	// uninstrumented); Batchers built on this pipeline pick it up.
 	reg *obs.Registry
@@ -132,15 +144,17 @@ type Pipeline struct {
 // the par.Overlap stage closures, never the par.For worker bodies
 // inside them (the obshot analyzer enforces the latter).
 type pipelineObs struct {
-	extractNs *obs.Histogram // extraction stage latency per chunk
-	scoreNs   *obs.Histogram // scoring stage latency per chunk
-	samples   *obs.Counter   // samples scored (decisions produced)
-	errors    *obs.Counter   // per-sample extraction failures
+	extractNs  *obs.Histogram // extraction stage latency per chunk
+	scoreNs    *obs.Histogram // scoring stage latency per chunk
+	samples    *obs.Counter   // samples scored (decisions produced)
+	errors     *obs.Counter   // per-sample extraction failures
+	cacheHitNs *obs.Histogram // verdict-cache hit-path latency
 }
 
 // Instrument registers the analyze path's metrics ("pipeline.extract_ns",
-// "pipeline.score_ns", "pipeline.samples", "pipeline.errors") in r and
-// instruments the detector's drift metrics. Idempotent; a nil registry
+// "pipeline.score_ns", "pipeline.samples", "pipeline.errors", plus the
+// "cache.hit_ns" hit-path latency histogram) in r and instruments the
+// detector's drift metrics. Idempotent; a nil registry
 // is a no-op (the pipeline stays on the uninstrumented fast path). Not
 // safe to call concurrently with Analyze/AnalyzeBatch — instrument
 // before serving. Observations are write-only and never affect
@@ -151,10 +165,11 @@ func (p *Pipeline) Instrument(r *obs.Registry) {
 	}
 	p.reg = r
 	p.met = pipelineObs{
-		extractNs: r.Histogram("pipeline.extract_ns", obs.DurationBuckets()),
-		scoreNs:   r.Histogram("pipeline.score_ns", obs.DurationBuckets()),
-		samples:   r.Counter("pipeline.samples"),
-		errors:    r.Counter("pipeline.errors"),
+		extractNs:  r.Histogram("pipeline.extract_ns", obs.DurationBuckets()),
+		scoreNs:    r.Histogram("pipeline.score_ns", obs.DurationBuckets()),
+		samples:    r.Counter("pipeline.samples"),
+		errors:     r.Counter("pipeline.errors"),
+		cacheHitNs: r.Histogram("cache.hit_ns", obs.DurationBuckets()),
 	}
 	p.Detector.Instrument(r)
 }
@@ -266,6 +281,11 @@ func Train(samples []*malgen.Sample, opts Options) (*Pipeline, error) {
 
 	p := &Pipeline{Extractor: ext, Detector: det, Ensemble: ens, opts: opts}
 	p.Instrument(opts.Obs)
+	if opts.Cache != nil {
+		if err := p.AttachCache(opts.Cache); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -276,6 +296,14 @@ func (p *Pipeline) Analyze(c *disasm.CFG, salt int64) (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.scoreVectors(v)
+}
+
+// scoreVectors runs the scoring half of Analyze — detector error plus
+// ensemble vote — over already-extracted representations. It is the
+// shared tail of the fresh path and the feature-cache hit path, which
+// is what keeps cached decisions bit-identical to uncached ones.
+func (p *Pipeline) scoreVectors(v *features.Vectors) (*Decision, error) {
 	var re float64
 	if p.opts.PerWalkDetector {
 		re = p.Detector.SampleError(v.CombinedWalks)
@@ -348,7 +376,7 @@ func (p *Pipeline) AnalyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision,
 	if len(cfgs) != len(salts) {
 		return nil, fmt.Errorf("core: %d cfgs but %d salts", len(cfgs), len(salts))
 	}
-	out, errs := p.analyzeBatch(cfgs, salts)
+	out, errs := p.analyzeBatch(cfgs, salts, nil)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -360,8 +388,10 @@ func (p *Pipeline) AnalyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision,
 // analyzeBatch is AnalyzeBatch with per-sample error reporting: errs[i]
 // is non-nil exactly when sample i failed, and out[i] is non-nil
 // otherwise. The Batcher serves coalesced requests through this form so
-// one bad CFG fails only its submitter.
-func (p *Pipeline) analyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision, []error) {
+// one bad CFG fails only its submitter. A non-nil keys slice (parallel
+// to cfgs) asks the scoring stage to fill the attached cache with each
+// successful sample's features and verdict; nil runs fully uncached.
+func (p *Pipeline) analyzeBatch(cfgs []*disasm.CFG, salts []int64, keys []store.Key) ([]*Decision, []error) {
 	n := len(cfgs)
 	out := make([]*Decision, n)
 	errs := make([]error, n)
@@ -390,7 +420,7 @@ func (p *Pipeline) analyzeBatch(cfgs []*disasm.CFG, salts []int64) ([]*Decision,
 		},
 		func(ci, slot int) {
 			t := p.met.scoreNs.Start()
-			p.scoreChunk(slots[slot], out, errs)
+			p.scoreChunk(slots[slot], out, errs, keys)
 			p.met.scoreNs.Stop(t)
 		})
 	for _, c := range slots {
@@ -459,8 +489,11 @@ func (p *Pipeline) extractChunk(c *chunkBuf, cfgs []*disasm.CFG, salts []int64, 
 // scoreChunk runs the batched scoring stage over one extracted chunk —
 // one standardize+forward+RMSE pass for the detector and one forward
 // per labeling for the ensemble — and scatters decisions into the
-// batch-level output.
-func (p *Pipeline) scoreChunk(c *chunkBuf, out []*Decision, errs []error) {
+// batch-level output. With a non-nil keys slice it also fills the
+// attached cache from the chunk's rows; this runs in the serial
+// scoring stage, the sanctioned place for shared-state side effects
+// (the extraction stage's par.For bodies must stay pure).
+func (p *Pipeline) scoreChunk(c *chunkBuf, out []*Decision, errs []error, keys []store.Key) {
 	failed := 0
 	for _, err := range c.errs {
 		if err != nil {
@@ -492,10 +525,43 @@ func (p *Pipeline) scoreChunk(c *chunkBuf, out []*Decision, errs []error) {
 			Class:       malgen.Class(c.cls[i]),
 		}
 	}
+	if p.cache != nil && keys != nil {
+		wc := p.Extractor.Config().WalkCount
+		for i := 0; i < c.n; i++ {
+			if c.errs[i] != nil {
+				continue
+			}
+			k := keys[c.lo+i]
+			p.cache.PutFeatures(k, p.packChunkVectors(c, i, wc))
+			p.cache.PutVerdict(k, verdictOf(out[c.lo+i]))
+		}
+	}
 }
 
-// AnalyzeBinary disassembles and analyzes a raw SOTB binary.
+// AnalyzeBinary disassembles and analyzes a raw SOTB binary. With a
+// cache attached, the verdict tier is consulted before any parsing or
+// disassembly (a hit is a pure hash lookup) and the feature tier
+// before extraction; a full miss computes the decision on the normal
+// path and fills both tiers.
 func (p *Pipeline) AnalyzeBinary(bin []byte, salt int64) (*Decision, error) {
+	if p.cache == nil {
+		return p.analyzeBinaryFresh(bin, salt, store.Key{}, false)
+	}
+	k := p.byteKey(bin, salt)
+	t := p.met.cacheHitNs.Start()
+	if v, ok := p.cache.Verdict(k); ok {
+		p.met.cacheHitNs.Stop(t)
+		return decisionOf(v), nil
+	}
+	if d, ok, err := p.scoreCachedFeatures(k); ok {
+		return d, err
+	}
+	return p.analyzeBinaryFresh(bin, salt, k, true)
+}
+
+// analyzeBinaryFresh is the uncached single-binary path; with fill set
+// it stores the computed features and verdict under k.
+func (p *Pipeline) analyzeBinaryFresh(bin []byte, salt int64, k store.Key, fill bool) (*Decision, error) {
 	parsed, err := parseBinary(bin)
 	if err != nil {
 		return nil, err
@@ -504,29 +570,101 @@ func (p *Pipeline) AnalyzeBinary(bin []byte, salt int64) (*Decision, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: disassemble: %w", err)
 	}
-	return p.Analyze(cfg, salt)
+	v, err := p.Extractor.Extract(cfg, salt)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.scoreVectors(v)
+	if err == nil && fill {
+		p.fillCache(k, v, d)
+	}
+	return d, err
 }
 
 // AnalyzeBinaryBatch disassembles and analyzes many raw SOTB binaries
 // in one batched pass. A binary that fails to parse or disassemble
-// aborts the batch with its index in the error.
+// aborts the batch with its index in the error. With a cache attached
+// the batch partitions: verdict hits are served immediately, feature
+// hits skip straight to scoring, and only true misses flow through the
+// two-stage extract/score pipeline (which fills the cache as it goes).
+// Per-sample results are bit-identical either way.
 func (p *Pipeline) AnalyzeBinaryBatch(bins [][]byte, salts []int64) ([]*Decision, error) {
 	if len(bins) != len(salts) {
 		return nil, fmt.Errorf("core: %d binaries but %d salts", len(bins), len(salts))
 	}
-	cfgs := make([]*disasm.CFG, len(bins))
+	if p.cache == nil {
+		cfgs, err := p.disassembleAll(bins, nil)
+		if err != nil {
+			return nil, err
+		}
+		return p.AnalyzeBatch(cfgs, salts)
+	}
+
+	out := make([]*Decision, len(bins))
+	keys := make([]store.Key, len(bins))
+	var missIdx []int
 	for i, bin := range bins {
-		parsed, err := parseBinary(bin)
+		keys[i] = p.byteKey(bin, salts[i])
+		if v, ok := p.cache.Verdict(keys[i]); ok {
+			out[i] = decisionOf(v)
+			continue
+		}
+		d, ok, err := p.scoreCachedFeatures(keys[i])
 		if err != nil {
 			return nil, fmt.Errorf("core: sample %d: %w", i, err)
 		}
+		if ok {
+			out[i] = d
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	missBins := make([][]byte, len(missIdx))
+	missSalts := make([]int64, len(missIdx))
+	missKeys := make([]store.Key, len(missIdx))
+	for j, i := range missIdx {
+		missBins[j] = bins[i]
+		missSalts[j] = salts[i]
+		missKeys[j] = keys[i]
+	}
+	cfgs, err := p.disassembleAll(missBins, missIdx)
+	if err != nil {
+		return nil, err
+	}
+	decs, errs := p.analyzeBatch(cfgs, missSalts, missKeys)
+	for j, i := range missIdx {
+		if errs[j] != nil {
+			return nil, fmt.Errorf("core: sample %d: %w", i, errs[j])
+		}
+		out[i] = decs[j]
+	}
+	return out, nil
+}
+
+// disassembleAll parses and disassembles every binary; a failure
+// aborts with the sample's index. idx, when non-nil, maps local
+// positions back to the caller's original indices for error messages.
+func (p *Pipeline) disassembleAll(bins [][]byte, idx []int) ([]*disasm.CFG, error) {
+	cfgs := make([]*disasm.CFG, len(bins))
+	for i, bin := range bins {
+		n := i
+		if idx != nil {
+			n = idx[i]
+		}
+		parsed, err := parseBinary(bin)
+		if err != nil {
+			return nil, fmt.Errorf("core: sample %d: %w", n, err)
+		}
 		g, err := disasm.Disassemble(parsed)
 		if err != nil {
-			return nil, fmt.Errorf("core: sample %d: disassemble: %w", i, err)
+			return nil, fmt.Errorf("core: sample %d: disassemble: %w", n, err)
 		}
 		cfgs[i] = g
 	}
-	return p.AnalyzeBatch(cfgs, salts)
+	return cfgs, nil
 }
 
 // Options returns the training options.

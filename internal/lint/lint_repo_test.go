@@ -3,6 +3,7 @@ package lint
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -221,6 +222,78 @@ func observeAll(c *obs.Counter, xs []float64, out []float64) {
 	for _, a := range All() {
 		if hits[a.Name] == 0 {
 			t.Errorf("seeded violation for %s not caught (hits: %v)", a.Name, hits)
+		}
+	}
+}
+
+// TestStoreScopeHasTeeth proves persisterr really polices the store
+// package: a seeded internal/store file with the record log's classic
+// failure modes (discarded Rename after a snapshot, discarded Truncate
+// during tail recovery, deferred Close on a write-opened log) must
+// produce a diagnostic for each.
+func TestStoreScopeHasTeeth(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "internal", "store", "bad.go")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package store
+
+import "os"
+
+func rotate(tmp, dst string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	os.Rename(tmp, dst)
+	return nil
+}
+
+func recoverTail(f *os.File, good int64) {
+	f.Truncate(good)
+}
+
+var (
+	_ = rotate
+	_ = recoverTail
+)
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "soteria", false)
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("%s: seeded module does not type-check: %v", pkg.Path, pkg.Errors)
+		}
+		for _, d := range RunPackage(pkg, []*Analyzer{PersistErrAnalyzer}) {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	for _, want := range []string{
+		"error returned by Rename is discarded",
+		"error returned by Truncate is discarded",
+		`deferred Close on "f" discards the error`,
+	} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in %q", want, msgs)
 		}
 	}
 }

@@ -8,15 +8,18 @@ import (
 
 // PersistErrAnalyzer enforces checked errors on persistence paths in
 // the packages that read and write models, binaries, and reports
-// (core, disasm, and every cmd tool): a silently failed Save/Encode/
-// Close produces a truncated model file that Load rejects — or worse,
-// loads into a subtly different pipeline. Three rules:
+// (core, disasm, store, and every cmd tool): a silently failed Save/
+// Encode/Close produces a truncated model file that Load rejects — or
+// worse, loads into a subtly different pipeline; a silently failed
+// Rename/Truncate leaves the store's record log half-rotated. Three
+// rules:
 //
 //  1. a call statement that discards an error returned by a
-//     persist-family function (Close, Flush, Sync, Save*, Load*,
-//     Encode*, Decode*, Write*, Persist*, Marshal*, Unmarshal*,
-//     ReadFrom) is flagged; assign the error or discard it explicitly
-//     with `_ =` plus a //lint:ignore reason when truly irrelevant;
+//     persist-family function (Close, Flush, Sync, Rename, Truncate,
+//     Save*, Load*, Encode*, Decode*, Write*, Persist*, Marshal*,
+//     Unmarshal*, ReadFrom) is flagged; assign the error or discard it
+//     explicitly with `_ =` plus a //lint:ignore reason when truly
+//     irrelevant;
 //  2. deferring a non-Close persist call (defer w.Flush()) discards
 //     its error and is flagged;
 //  3. `defer f.Close()` on a file obtained from os.Create/os.OpenFile
@@ -28,7 +31,7 @@ import (
 // (their write errors are documented to be always nil).
 var PersistErrAnalyzer = &Analyzer{
 	Name: "persisterr",
-	Doc:  "forbid discarded errors on save/load/encode/decode/close paths in core, disasm, and cmd tools",
+	Doc:  "forbid discarded errors on save/load/encode/decode/close paths in core, disasm, store, and cmd tools",
 	Run:  runPersistErr,
 }
 
@@ -36,11 +39,13 @@ func persistErrInScope(base string) bool {
 	return base == "soteria" ||
 		base == "soteria/internal/core" ||
 		base == "soteria/internal/disasm" ||
+		base == "soteria/internal/store" ||
 		strings.HasPrefix(base, "soteria/cmd/")
 }
 
 var persistExact = map[string]bool{
 	"Close": true, "Flush": true, "Sync": true, "ReadFrom": true,
+	"Rename": true, "Truncate": true,
 }
 
 var persistPrefixes = []string{
@@ -198,7 +203,8 @@ func returnsError(sig *types.Signature) bool {
 }
 
 // alwaysNilErrWriter exempts in-memory writers whose Write/WriteString
-// errors are documented to always be nil.
+// errors are documented to always be nil. hash.Hash qualifies by its
+// contract: "It never returns an error."
 func alwaysNilErrWriter(t types.Type) bool {
 	if t == nil {
 		return false
@@ -211,7 +217,7 @@ func alwaysNilErrWriter(t types.Type) bool {
 		return false
 	}
 	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
-	case "strings.Builder", "bytes.Buffer":
+	case "strings.Builder", "bytes.Buffer", "hash.Hash":
 		return true
 	}
 	return false

@@ -4,7 +4,9 @@ package fixture
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
+	"hash"
 	"os"
 	"strings"
 )
@@ -41,4 +43,16 @@ func render(items []string) string {
 		buf.WriteString(it)
 	}
 	return sb.String() + buf.String()
+}
+
+// hash.Hash's Write is contractually error-free ("It never returns an
+// error"), so digest construction stays unflagged.
+func digest(parts [][]byte) [32]byte {
+	var h hash.Hash = sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }

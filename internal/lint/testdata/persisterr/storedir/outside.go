@@ -1,0 +1,17 @@
+// Scope contrast: the same discarded Rename/Truncate/Close calls in a
+// package outside the persistence scope produce no diagnostics — the
+// analyzer polices model/log durability, not every file operation in
+// the repo.
+//
+//fixture:file internal/walk/scratch.go
+package walk
+
+import "os"
+
+func scratchCleanup(tmp, dst string, f *os.File) {
+	os.Rename(tmp, dst)
+	f.Truncate(0)
+	f.Close()
+}
+
+var _ = scratchCleanup

@@ -1,0 +1,70 @@
+// The store package is persistence-critical: its record log survives
+// crashes only because every rotation step (write temp, sync, close,
+// rename) checks its error. This fixture pins the store scope plus the
+// Rename/Truncate family members added for it.
+//
+//fixture:file internal/store/rotate.go
+package store
+
+import "os"
+
+// rotateBad drops every error that decides whether the rotated log is
+// durable: the snapshot may be half-written, unsynced, and the rename
+// may have failed with the old log already gone.
+func rotateBad(tmp, dst string, data []byte) {
+	f, _ := os.Create(tmp)
+	f.Write(data)       // want "error returned by Write is discarded"
+	f.Sync()            // want "error returned by Sync is discarded"
+	f.Close()           // want "error returned by Close is discarded"
+	os.Rename(tmp, dst) // want "error returned by Rename is discarded"
+}
+
+// truncateBad recovers a corrupt tail but discards the truncation
+// result, leaving the garbage frame in place on failure.
+func truncateBad(f *os.File, good int64) {
+	f.Truncate(good) // want "error returned by Truncate is discarded"
+}
+
+// appendBad defers Close on an append-opened log file: the deferred
+// error is the only signal the appended record reached disk.
+func appendBad(path string, rec []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred Close on \"f\" discards the error"
+	_, err = f.Write(rec)
+	return err
+}
+
+// rotateGood is the sanctioned shape: every durability step checked,
+// the temp file removed (best effort, not persist-family) on failure.
+func rotateGood(tmp, dst string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+var (
+	_ = rotateBad
+	_ = truncateBad
+	_ = appendBad
+	_ = rotateGood
+)

@@ -1,0 +1,256 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, dir string, max int64) *Cache {
+	t.Helper()
+	c, err := Open(Config{Dir: dir, MaxBytes: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func closeCache(t *testing.T, c *Cache) {
+	t.Helper()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartReplay(t *testing.T) {
+	dir := t.TempDir()
+	c := openTemp(t, dir, 0)
+	want := Verdict{Adversarial: true, RE: 3.25, Class: 1}
+	feats := []float64{0.5, -1, 42}
+	c.PutVerdict(testKey(1), want)
+	c.PutFeatures(testKey(1), feats)
+	c.PutVerdict(testKey(2), Verdict{Class: 2})
+	closeCache(t, c)
+
+	// A fresh Open over the same dir must serve everything as hits.
+	c2 := openTemp(t, dir, 0)
+	defer closeCache(t, c2)
+	if c2.Len() != 3 {
+		t.Fatalf("replayed Len = %d, want 3", c2.Len())
+	}
+	got, ok := c2.Verdict(testKey(1))
+	if !ok || got != want {
+		t.Fatalf("replayed verdict = %+v, %v", got, ok)
+	}
+	f, ok := c2.Features(testKey(1))
+	if !ok || len(f) != 3 || f[0] != 0.5 || f[1] != -1 || f[2] != 42 {
+		t.Fatalf("replayed features = %v, %v", f, ok)
+	}
+	if _, ok := c2.Verdict(testKey(2)); !ok {
+		t.Fatal("second key lost across restart")
+	}
+}
+
+func TestLatestWriteWinsOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	c := openTemp(t, dir, 0)
+	c.PutVerdict(testKey(1), Verdict{Class: 1})
+	c.PutVerdict(testKey(1), Verdict{Class: 9})
+	closeCache(t, c)
+
+	c2 := openTemp(t, dir, 0)
+	defer closeCache(t, c2)
+	v, ok := c2.Verdict(testKey(1))
+	if !ok || v.Class != 9 {
+		t.Fatalf("replay kept %+v, want the later write", v)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c2.Len())
+	}
+}
+
+// TestCorruptTailRecovery simulates a crash mid-append: the log's tail
+// is damaged three different ways, and each time replay must keep
+// every intact record, truncate the garbage, and accept new appends
+// that survive the next restart.
+func TestCorruptTailRecovery(t *testing.T) {
+	corruptions := map[string]func(path string, t *testing.T){
+		"truncated mid-record": func(path string, t *testing.T) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"flipped payload byte": func(path string, t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-3] ^= 0xff
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"garbage frame appended": func(path string, t *testing.T) {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c := openTemp(t, dir, 0)
+			c.PutVerdict(testKey(1), Verdict{Class: 1})
+			c.PutVerdict(testKey(2), Verdict{Class: 2}) // tail record: the victim
+			closeCache(t, c)
+
+			path := filepath.Join(dir, logName)
+			corrupt(path, t)
+
+			c2 := openTemp(t, dir, 0)
+			if _, ok := c2.Verdict(testKey(1)); !ok {
+				t.Fatal("intact record lost")
+			}
+			// Appending after recovery must land after the truncated
+			// tail, not behind garbage.
+			c2.PutVerdict(testKey(3), Verdict{Class: 3})
+			closeCache(t, c2)
+
+			c3 := openTemp(t, dir, 0)
+			defer closeCache(t, c3)
+			if _, ok := c3.Verdict(testKey(1)); !ok {
+				t.Fatal("intact record lost after reappend")
+			}
+			if _, ok := c3.Verdict(testKey(3)); !ok {
+				t.Fatal("post-recovery append lost")
+			}
+		})
+	}
+}
+
+func TestNotACacheLog(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("definitely not a log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a foreign file as the log")
+	}
+}
+
+// TestRotationCompactsDeadWeight overwrites one key until the log
+// passes the rotation threshold, then checks the log shrank back to
+// roughly one live record and still replays correctly.
+func TestRotationCompactsDeadWeight(t *testing.T) {
+	dir := t.TempDir()
+	c := openTemp(t, dir, 0)
+	feats := make([]float64, 4096) // ~32KB per record
+	for i := range feats {
+		feats[i] = float64(i)
+	}
+	// ~64 overwrites of a 32KB record pass the 1MB threshold with only
+	// one record live.
+	for i := 0; i < 80; i++ {
+		feats[0] = float64(i)
+		put := append([]float64(nil), feats...)
+		c.PutFeatures(testKey(1), put)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > rotateThreshold {
+		t.Fatalf("log not compacted: %d bytes", fi.Size())
+	}
+	closeCache(t, c)
+
+	c2 := openTemp(t, dir, 0)
+	defer closeCache(t, c2)
+	f, ok := c2.Features(testKey(1))
+	if !ok || f[0] != 79 {
+		t.Fatalf("post-rotation replay = %v, %v; want last write", f[:1], ok)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c2.Len())
+	}
+}
+
+// TestRotationPreservesLRUOrder checks the snapshot is written oldest
+// first: after rotation + replay, eviction order matches pre-rotation
+// recency.
+func TestRotationPreservesLRUOrder(t *testing.T) {
+	dir := t.TempDir()
+	c := openTemp(t, dir, 0)
+	for i := byte(1); i <= 3; i++ {
+		c.PutVerdict(testKey(i), Verdict{Class: int32(i)})
+	}
+	c.Verdict(testKey(1)) // 1 becomes most recent; 2 is now LRU
+	c.mu.Lock()
+	c.maybeRotateLockedForTest()
+	c.mu.Unlock()
+	closeCache(t, c)
+
+	// Replay under a budget that holds exactly two entries: key 2 (the
+	// oldest) must be the one evicted.
+	c2 := openTemp(t, dir, 2*entryOverhead)
+	defer closeCache(t, c2)
+	if _, ok := c2.Verdict(testKey(2)); ok {
+		t.Fatal("LRU entry survived budgeted replay")
+	}
+	if _, ok := c2.Verdict(testKey(3)); !ok {
+		t.Fatal("recent entry evicted")
+	}
+	if _, ok := c2.Verdict(testKey(1)); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}
+
+// maybeRotateLockedForTest forces a rotation regardless of thresholds.
+func (c *Cache) maybeRotateLockedForTest() {
+	c.logBytes = rotateThreshold + 2*c.live
+	c.maybeRotateLocked()
+}
+
+func TestEvictedEntriesStayDeadAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	c := openTemp(t, dir, 2*entryOverhead)
+	for i := byte(1); i <= 5; i++ {
+		c.PutVerdict(testKey(i), Verdict{Class: int32(i)})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	closeCache(t, c)
+
+	// The log still holds all five records, but replay re-applies the
+	// budget: only the two most recent survive.
+	c2 := openTemp(t, dir, 2*entryOverhead)
+	defer closeCache(t, c2)
+	if c2.Len() != 2 {
+		t.Fatalf("replayed Len = %d, want 2", c2.Len())
+	}
+	for i := byte(1); i <= 3; i++ {
+		if _, ok := c2.Verdict(testKey(i)); ok {
+			t.Fatalf("evicted key %d resurrected by replay", i)
+		}
+	}
+	for i := byte(4); i <= 5; i++ {
+		if _, ok := c2.Verdict(testKey(i)); !ok {
+			t.Fatalf("recent key %d lost", i)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"soteria/internal/isa"
 	"soteria/internal/malgen"
 	"soteria/internal/obs"
+	"soteria/internal/store"
 )
 
 // Class identifies a sample class (Benign or a malware family).
@@ -171,6 +172,37 @@ func (s *System) SetFastScoring(on bool) { s.pipeline.SetFastScoring(on) }
 
 // FastScoring reports whether relaxed-precision scoring is enabled.
 func (s *System) FastScoring() bool { return s.pipeline.FastScoring() }
+
+// Cache is a crash-safe, content-addressed result cache: it memoizes
+// feature vectors and verdicts keyed by (content hash, salt, model
+// fingerprint), turning repeat submissions of identical input into
+// hash lookups. See OpenCache and System.AttachCache.
+type Cache = store.Cache
+
+// CacheConfig configures OpenCache: an on-disk directory (empty for
+// memory-only), a byte budget, and an optional metric registry for
+// hit/miss/evict counters.
+type CacheConfig = store.Config
+
+// DefaultCacheMaxBytes is the cache byte budget used when
+// CacheConfig.MaxBytes is unset.
+const DefaultCacheMaxBytes = store.DefaultMaxBytes
+
+// OpenCache opens (or creates) a result cache. With a Dir, entries
+// persist across restarts via an append-only record log (a corrupt
+// tail from a crash is truncated away on open). Close the cache when
+// done.
+func OpenCache(cfg CacheConfig) (*Cache, error) { return store.Open(cfg) }
+
+// AttachCache attaches (nil detaches) a result cache to the system:
+// AnalyzeBinary, AnalyzeBinaryBatch and Batcher submissions consult it
+// before doing any work and fill it as they compute. Keys include the
+// model's fingerprint, so a cache may be shared between models (or
+// survive a retrain) without ever serving stale verdicts, and cached
+// decisions are bit-identical to uncached ones. Attach before serving
+// traffic, not concurrently with Analyze calls. Also reachable at
+// training time via Options.Cache.
+func (s *System) AttachCache(c *Cache) error { return s.pipeline.AttachCache(c) }
 
 // Registry is a named metric namespace for the serving path's
 // observability layer; its Handler serves an expvar-style JSON snapshot
