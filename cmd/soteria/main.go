@@ -5,8 +5,9 @@
 // Usage:
 //
 //	soteria [-load model.json | -train-per-class N] [-save model.json] \
-//	        [-serve addr] [-fast] [-cache-dir DIR | -no-cache] \
-//	        [-cache-max-bytes N] file.sotb [file2.sotb ...]
+//	        [-serve addr | -fleet addr -replicas N|url,...] [-fast] \
+//	        [-cache-dir DIR | -no-cache] [-cache-max-bytes N] \
+//	        file.sotb [file2.sotb ...]
 //
 // Training data is generated on the fly (the corpus generator is the
 // dataset substitute; see DESIGN.md); -save persists the trained system
@@ -24,7 +25,16 @@
 // through a micro-batching Batcher, GET /metrics for the observability
 // registry's JSON snapshot (training and serving metrics; see DESIGN.md
 // §9), GET /healthz for liveness, and /debug/pprof/ for the standard
-// profiles.
+// profiles. The server shuts down gracefully on SIGINT/SIGTERM: the
+// listener stops, in-flight requests finish, and the Batcher drains.
+//
+// -fleet starts the scale-out serving tier (DESIGN.md §11) instead: a
+// front door on addr that routes /analyze across replicas with
+// least-loaded routing, health-gated membership, and deadline-aware
+// load shedding. -replicas N spawns N in-process replicas (each an
+// independent model copy with its own Batcher and in-memory cache);
+// -replicas url1,url2 fronts already-running -serve processes and
+// needs no model at all.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"soteria"
@@ -55,6 +66,8 @@ func run(args []string) error {
 	loadPath := fs.String("load", "", "load a trained model instead of training")
 	savePath := fs.String("save", "", "save the trained model to this path")
 	serveAddr := fs.String("serve", "", "serve /analyze, /metrics, /healthz, /debug/pprof on this address instead of analyzing files")
+	fleetAddr := fs.String("fleet", "", "serve a fleet front door on this address (requires -replicas)")
+	replicasSpec := fs.String("replicas", "", "fleet replicas: an integer N to spawn in-process, or comma-separated base URLs of running -serve processes")
 	fast := fs.Bool("fast", false, "relaxed-precision scoring (FMA kernels, fused softmax); scores within documented tolerance of the default bit-exact mode")
 	cacheDir := fs.String("cache-dir", "", "persist the feature/verdict cache in this directory (default: in-memory only)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", soteria.DefaultCacheMaxBytes, "byte budget for the feature/verdict cache (LRU-evicted past it)")
@@ -82,8 +95,44 @@ func run(args []string) error {
 	if len(files) > 0 && *serveAddr != "" {
 		return fmt.Errorf("-serve and file arguments conflict: serve mode analyzes via POST /analyze")
 	}
-	if len(files) == 0 && *savePath == "" && *serveAddr == "" {
+	if len(files) > 0 && *fleetAddr != "" {
+		return fmt.Errorf("-fleet and file arguments conflict: fleet mode analyzes via POST /analyze")
+	}
+	if *fleetAddr != "" && *serveAddr != "" {
+		return fmt.Errorf("-fleet and -serve conflict: pick one serving mode")
+	}
+	if *replicasSpec != "" && *fleetAddr == "" {
+		return fmt.Errorf("-replicas requires -fleet: replicas only exist behind a front door")
+	}
+	// Resolve the replica spec: an integer spawns in-process replicas
+	// (needs a model), URLs front already-running servers (needs none).
+	var fleetN int
+	var fleetURLs []string
+	if *fleetAddr != "" {
+		switch n, err := strconv.Atoi(*replicasSpec); {
+		case *replicasSpec == "":
+			return fmt.Errorf("-fleet requires -replicas (an integer count or comma-separated URLs)")
+		case err == nil && n < 1:
+			return fmt.Errorf("-replicas %d: need at least one replica", n)
+		case err == nil:
+			fleetN = n
+		default:
+			fleetURLs = strings.Split(*replicasSpec, ",")
+		}
+	}
+	if fleetN > 0 && *cacheDir != "" {
+		return fmt.Errorf("-cache-dir and -replicas %d conflict: spawned replicas use independent in-memory caches", fleetN)
+	}
+	if len(fleetURLs) > 0 && (*loadPath != "" || *savePath != "") {
+		return fmt.Errorf("-fleet over replica URLs proxies to running servers and loads no model; drop -load/-save")
+	}
+	if len(files) == 0 && *savePath == "" && *serveAddr == "" && *fleetAddr == "" {
 		return fmt.Errorf("usage: soteria [flags] file.sotb [file2.sotb ...]")
+	}
+
+	// URL-mode fleet needs no model: go straight to the front door.
+	if len(fleetURLs) > 0 {
+		return serveFleetFront(*fleetAddr, fleetURLs, nil)
 	}
 
 	// In serve mode the registry is live from the start, so training
@@ -157,7 +206,9 @@ func run(args []string) error {
 	// come from whichever scoring mode is serving. Close flushes the
 	// record log; a degraded cache (I/O error mid-run) surfaces here
 	// rather than being lost.
-	if !*noCache {
+	// Spawned fleet replicas attach their own per-replica caches, so the
+	// base system stays cacheless in that mode.
+	if !*noCache && fleetN == 0 {
 		cache, err := soteria.OpenCache(soteria.CacheConfig{
 			Dir:      *cacheDir,
 			MaxBytes: *cacheMaxBytes,
@@ -183,9 +234,13 @@ func run(args []string) error {
 	if *serveAddr != "" {
 		sys.Instrument(reg) // no-op after Train with Obs; wires a loaded model
 		bat := sys.NewBatcher(soteria.BatcherConfig{})
+		// serveSingle drains the batcher once the listener stops; this
+		// deferred Close is idempotent backstop for listener errors.
 		defer bat.Close()
-		fmt.Fprintf(os.Stderr, "serving on %s (/analyze, /metrics, /healthz, /debug/pprof/)\n", *serveAddr)
-		return http.ListenAndServe(*serveAddr, serveHandler(reg, bat))
+		return serveSingle(*serveAddr, reg, bat)
+	}
+	if fleetN > 0 {
+		return serveFleetSpawn(*fleetAddr, fleetN, sys, *fast, *noCache, *cacheMaxBytes)
 	}
 
 	// Validate each file up front (so an unreadable or malformed file is

@@ -83,6 +83,29 @@ func TestRunConflictingFlags(t *testing.T) {
 	}
 }
 
+// TestRunFleetFlagConflicts pins the -fleet/-replicas usage surface:
+// every contradictory combination is diagnosed before any model or
+// network work happens.
+func TestRunFleetFlagConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"fleet without replicas", []string{"-fleet", "127.0.0.1:0"}},
+		{"replicas without fleet", []string{"-replicas", "2", "-save", "x.json"}},
+		{"fleet with serve", []string{"-fleet", "127.0.0.1:0", "-replicas", "2", "-serve", "127.0.0.1:0"}},
+		{"fleet with files", []string{"-fleet", "127.0.0.1:0", "-replicas", "2", "x.sotb"}},
+		{"zero replicas", []string{"-fleet", "127.0.0.1:0", "-replicas", "0"}},
+		{"spawn with cache-dir", []string{"-fleet", "127.0.0.1:0", "-replicas", "2", "-cache-dir", "/tmp/x"}},
+		{"url replicas with load", []string{"-fleet", "127.0.0.1:0", "-replicas", "http://a,http://b", "-load", "m.json"}},
+	}
+	for _, tc := range cases {
+		if err := run(tc.args); err == nil {
+			t.Errorf("%s: want usage error, got nil", tc.name)
+		}
+	}
+}
+
 // TestRunCacheDir pins the persistent-cache CLI path: a second run over
 // the same file with the same model must replay the first run's entries
 // from -cache-dir, and -no-cache must run clean end to end.

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"soteria"
+	"soteria/internal/fleet"
+)
+
+// shutdownGrace bounds how long a stopping server waits for in-flight
+// work before giving up the drain.
+const shutdownGrace = 10 * time.Second
+
+// newHTTPServer wraps a handler with the serving tier's protective
+// timeouts: ReadHeaderTimeout stops slow-loris header dribble from
+// pinning goroutines, IdleTimeout reaps abandoned keep-alive
+// connections. Body reads stay unbounded-in-time because /analyze
+// accepts multi-megabyte uploads from slow links; MaxBytesReader
+// bounds their size instead.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
+// serveGracefully serves srv on ln until SIGINT/SIGTERM (or a listener
+// failure), then shuts down in order: stop the listener and wait for
+// in-flight HTTP requests (srv.Shutdown), then run each drain hook —
+// front doors drain before their replicas, batchers close after their
+// servers stop feeding them. It owns the process lifecycle, so the
+// root context is minted here and every drain hook receives the
+// grace-bounded child.
+func serveGracefully(srv *http.Server, ln net.Listener, drains ...func(context.Context) error) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of re-queueing
+	fmt.Fprintln(os.Stderr, "shutting down...")
+	gctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := srv.Shutdown(gctx)
+	for _, drain := range drains {
+		if derr := drain(gctx); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+// serveSingle runs one-replica serve mode: the existing handler
+// surface behind a hardened http.Server, with the Batcher drained
+// (Close serves whatever is still queued) only after the listener has
+// stopped accepting work.
+func serveSingle(addr string, reg *soteria.Registry, bat *soteria.Batcher) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving on %s (/analyze, /metrics, /healthz, /debug/pprof/)\n", ln.Addr())
+	return serveGracefully(newHTTPServer(serveHandler(reg, bat)), ln,
+		func(context.Context) error { bat.Close(); return nil })
+}
+
+// replicaServer is one in-process serving replica: an independent
+// System copy with its own registry, cache, Batcher, and loopback
+// listener — the same isolation as N separate -serve processes,
+// without the process management.
+type replicaServer struct {
+	url        string
+	srv        *http.Server
+	ln         net.Listener
+	bat        *soteria.Batcher
+	closeCache func()
+}
+
+// spawnReplica builds and starts one replica from the saved model
+// image.
+func spawnReplica(model []byte, fast, noCache bool, cacheMaxBytes int64) (*replicaServer, error) {
+	reg := soteria.NewRegistry()
+	sys, err := soteria.Load(bytes.NewReader(model))
+	if err != nil {
+		return nil, fmt.Errorf("replica model: %w", err)
+	}
+	sys.Instrument(reg)
+	if fast {
+		sys.SetFastScoring(true)
+	}
+	closeCache := func() {}
+	if !noCache {
+		cache, err := soteria.OpenCache(soteria.CacheConfig{MaxBytes: cacheMaxBytes, Obs: reg})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AttachCache(cache); err != nil {
+			return nil, err
+		}
+		closeCache = func() {
+			if cerr := cache.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "soteria: replica cache: %v\n", cerr)
+			}
+		}
+	}
+	bat := sys.NewBatcher(soteria.BatcherConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		bat.Close()
+		closeCache()
+		return nil, err
+	}
+	r := &replicaServer{
+		url:        "http://" + ln.Addr().String(),
+		srv:        newHTTPServer(serveHandler(reg, bat)),
+		ln:         ln,
+		bat:        bat,
+		closeCache: closeCache,
+	}
+	go func() {
+		if serr := r.srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "soteria: replica %s: %v\n", r.url, serr)
+		}
+	}()
+	return r, nil
+}
+
+// drain stops the replica: listener first, then the Batcher (serving
+// its queued tail), then the cache log.
+func (r *replicaServer) drain(ctx context.Context) error {
+	err := r.srv.Shutdown(ctx)
+	r.bat.Close()
+	r.closeCache()
+	return err
+}
+
+// frontdoorHandler mounts the fleet surface: /analyze routed by the
+// front door, /metrics for the fleet.* registry, /healthz for the door
+// itself.
+func frontdoorHandler(door *fleet.Frontdoor, reg *soteria.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/analyze", door)
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// serveFleetSpawn runs the scale-out tier in one process: n in-process
+// replicas (each a full System copy with its own Batcher and cache) on
+// loopback listeners, fronted by a fleet.Frontdoor on addr. Shutdown
+// order on signal: front listener, door drain (in-flight proxied
+// requests finish), prober stop, then each replica.
+func serveFleetSpawn(addr string, n int, sys *soteria.System, fast, noCache bool, cacheMaxBytes int64) error {
+	var model bytes.Buffer
+	if err := sys.Save(&model); err != nil {
+		return fmt.Errorf("snapshot model for replicas: %w", err)
+	}
+	replicas := make([]*replicaServer, 0, n)
+	stopAll := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		for _, r := range replicas {
+			if err := r.drain(sctx); err != nil {
+				fmt.Fprintf(os.Stderr, "soteria: replica %s drain: %v\n", r.url, err)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		r, err := spawnReplica(model.Bytes(), fast, noCache, cacheMaxBytes)
+		if err != nil {
+			stopAll()
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+		replicas = append(replicas, r)
+	}
+	urls := make([]string, len(replicas))
+	for i, r := range replicas {
+		urls[i] = r.url
+	}
+	fmt.Fprintf(os.Stderr, "spawned %d replicas: %s\n", n, strings.Join(urls, " "))
+	// The front door tears the replicas down as its last drain step; if
+	// it fails before serving (bad address, bad config), do it here.
+	drained := false
+	err := serveFleetFront(addr, urls, func() { drained = true; stopAll() })
+	if !drained {
+		stopAll()
+	}
+	return err
+}
+
+// serveFleetFront serves a fleet front door on addr over the given
+// replica base URLs. afterDrain (optional) runs last in the shutdown
+// sequence, after the door has drained — the spawn path hands its
+// replica teardown in through it.
+func serveFleetFront(addr string, urls []string, afterDrain func()) error {
+	reg := soteria.NewRegistry()
+	door, err := fleet.New(fleet.Config{Backends: urls, Obs: reg})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		door.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fleet front door on %s over %d replicas (/analyze, /metrics, /healthz)\n",
+		ln.Addr(), len(urls))
+	return serveGracefully(newHTTPServer(frontdoorHandler(door, reg)), ln,
+		func(ctx context.Context) error { return door.Shutdown(ctx) },
+		func(context.Context) error {
+			door.Close()
+			if afterDrain != nil {
+				afterDrain()
+			}
+			return nil
+		})
+}

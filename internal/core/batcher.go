@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"soteria/internal/disasm"
@@ -78,6 +79,12 @@ type Batcher struct {
 	salts []int64
 	keys  []store.Key
 
+	// depth counts requests handed off to the collector but not yet
+	// served — the batcher's queue backlog. It is the saturation signal
+	// admission control keys on: the fleet front door sheds when a
+	// replica's depth says new work cannot be served in time.
+	depth atomic.Int64
+
 	// met holds the batcher's metrics; all fields are nil unless the
 	// pipeline was Instrumented before NewBatcher.
 	met batcherObs
@@ -91,6 +98,8 @@ type batcherObs struct {
 	flushFull  *obs.Counter   // batches flushed at MaxBatch
 	flushTimer *obs.Counter   // batches flushed by the MaxWait timer
 	flushClose *obs.Counter   // batches flushed by Close/drain
+	queueDepth *obs.Gauge     // requests handed off but not yet served
+	rejected   *obs.Counter   // submissions turned away before handoff
 }
 
 // NewBatcher starts a batcher over a trained pipeline. Callers must
@@ -111,6 +120,8 @@ func NewBatcher(p *Pipeline, cfg BatcherConfig) *Batcher {
 			flushFull:  r.Counter("batcher.flush_full"),
 			flushTimer: r.Counter("batcher.flush_timer"),
 			flushClose: r.Counter("batcher.flush_close"),
+			queueDepth: r.Gauge("batcher.queue_depth"),
+			rejected:   r.Counter("batcher.rejected"),
 		}
 	}
 	go b.collect()
@@ -183,12 +194,21 @@ func (b *Batcher) SubmitCtx(ctx context.Context, c *disasm.CFG, salt int64) (*De
 }
 
 // enqueue hands one request to the collector and waits for completion.
+// The queue-depth gauge brackets the handoff: it rises when the
+// collector accepts the request and falls when serve completes it, so
+// its value is the number of coalesced-but-unserved requests — the
+// backlog admission control reads. A submission turned away before the
+// handoff (closed batcher, cancelled context) counts as rejected
+// instead; a caller that abandons its wait after the handoff does not,
+// because the batch still serves its slot.
 func (b *Batcher) enqueue(ctx context.Context, r *request) (*Decision, error) {
 	select {
 	case b.reqs <- r:
 	case <-b.stop:
+		b.met.rejected.Inc()
 		return nil, ErrBatcherClosed
 	case <-ctx.Done():
+		b.met.rejected.Inc()
 		return nil, ctx.Err()
 	}
 	select {
@@ -197,6 +217,22 @@ func (b *Batcher) enqueue(ctx context.Context, r *request) (*Decision, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// QueueDepth reports how many requests have been handed to the
+// collector but not yet served — the batcher's current backlog.
+// Safe for concurrent use; in-process admission control (a co-located
+// fleet front door) reads it directly, remote consumers read the
+// "batcher.queue_depth" gauge from /metrics.
+func (b *Batcher) QueueDepth() int { return int(b.depth.Load()) }
+
+// accept records one received request into the current batch, stepping
+// the queue depth. Depth moves only on the collector goroutine (up
+// here, down in serve), so the gauge can never transiently undercount
+// a submitter racing a flush.
+func (b *Batcher) accept(batch []*request, r *request) []*request {
+	b.met.queueDepth.Set(float64(b.depth.Add(1)))
+	return append(batch, r)
 }
 
 // Close stops accepting new requests, serves every request already
@@ -224,7 +260,7 @@ func (b *Batcher) collect() {
 		batch = batch[:0]
 		select {
 		case r := <-b.reqs:
-			batch = append(batch, r)
+			batch = b.accept(batch, r)
 		case <-b.stop:
 			b.drain(batch)
 			return
@@ -234,7 +270,7 @@ func (b *Batcher) collect() {
 		for waiting && len(batch) < b.cfg.MaxBatch {
 			select {
 			case r := <-b.reqs:
-				batch = append(batch, r)
+				batch = b.accept(batch, r)
 			case <-timer.C:
 				waiting = false
 			case <-b.stop:
@@ -262,7 +298,7 @@ func (b *Batcher) drain(batch []*request) {
 	for {
 		select {
 		case r := <-b.reqs:
-			batch = append(batch, r)
+			batch = b.accept(batch, r)
 			if len(batch) >= b.cfg.MaxBatch {
 				b.serve(batch, b.met.flushClose)
 				batch = batch[:0]
@@ -305,6 +341,7 @@ func (b *Batcher) serve(batch []*request, reason *obs.Counter) {
 		r.dec, r.err = decs[i], errs[i]
 		close(r.done)
 	}
+	b.met.queueDepth.Set(float64(b.depth.Add(int64(-len(batch)))))
 	// Drop the scratch's CFG references now that the batch is served:
 	// the entries would otherwise pin the last batch's graphs until the
 	// next serve (or forever, on the final batch before Close). Every

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -196,6 +197,90 @@ func TestObsBatcherMetrics(t *testing.T) {
 	}
 	if waits != requests {
 		t.Fatalf("queue waits observed = %d, want %d", waits, requests)
+	}
+}
+
+// TestObsBatcherBackpressure pins the backpressure signals admission
+// control reads: batcher.queue_depth rises with accepted submissions
+// and returns to zero once every request is served, QueueDepth agrees
+// with the gauge, and batcher.rejected counts exactly the submissions
+// turned away before the handoff.
+func TestObsBatcherBackpressure(t *testing.T) {
+	inst, reg := obsEnv(t)
+	_, corpus := batchEnv(t)
+	// A wide MaxWait window holds the first batch open, so the depth
+	// gauge is observably above zero while submissions wait for company.
+	b := NewBatcher(inst, BatcherConfig{MaxBatch: 64, MaxWait: 300 * time.Millisecond})
+
+	depth := reg.Gauge("batcher.queue_depth")
+	rejected0 := reg.Counter("batcher.rejected").Value()
+
+	const requests = 8
+	var wg sync.WaitGroup
+	for g := 0; g < requests; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := b.Submit(corpus[g%len(corpus)].CFG, int64(g)); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	// Mid-flight: the collector has accepted at least the batch-opening
+	// request and is waiting out MaxWait, so depth must rise before any
+	// serve can drop it. Bounded polling (~5s) instead of a wall-clock
+	// deadline: this package is in the determinism lint scope.
+	for i := 0; depth.Value() < 1 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := depth.Value(); got < 1 {
+		t.Fatalf("queue_depth never rose above zero mid-flight (= %v)", got)
+	}
+	if got := b.QueueDepth(); got < 1 {
+		t.Fatalf("QueueDepth disagrees with a risen gauge: %d", got)
+	}
+	wg.Wait()
+	// All requests served: the backlog must be fully drained, by both
+	// the gauge and the accessor, and nothing was rejected. Submit
+	// returns at request completion, slightly ahead of the collector's
+	// batch-level decrement, so allow the collector a moment to finish.
+	for i := 0; depth.Value() != 0 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := depth.Value(); got != 0 {
+		t.Fatalf("queue_depth after drain = %v, want 0", got)
+	}
+	if got := b.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth after drain = %d, want 0", got)
+	}
+	if got := reg.Counter("batcher.rejected").Value() - rejected0; got != 0 {
+		t.Fatalf("rejected = %d after successful submissions, want 0", got)
+	}
+
+	// Post-Close submissions are rejections, and the depth stays level.
+	b.Close()
+	if _, err := b.Submit(corpus[0].CFG, 99); err != ErrBatcherClosed {
+		t.Fatalf("Submit after Close = %v, want ErrBatcherClosed", err)
+	}
+	if got := reg.Counter("batcher.rejected").Value() - rejected0; got != 1 {
+		t.Fatalf("rejected after closed Submit = %d, want 1", got)
+	}
+	if got := depth.Value(); got != 0 {
+		t.Fatalf("queue_depth after rejection = %v, want 0", got)
+	}
+
+	// A context cancelled before the handoff is a rejection too. Against
+	// the closed batcher both ready select branches (stop, ctx.Done) are
+	// pre-handoff rejections, so the count is deterministic regardless
+	// of which one wins the select.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pre := reg.Counter("batcher.rejected").Value()
+	if _, err := b.SubmitCtx(ctx, corpus[0].CFG, 7); err == nil {
+		t.Fatal("cancelled SubmitCtx on a closed batcher must fail")
+	}
+	if got := reg.Counter("batcher.rejected").Value() - pre; got != 1 {
+		t.Fatalf("rejected after cancelled submit = %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// probeLoop drives health-gated membership: every ProbeInterval it
+// probes all backends concurrently and republishes the healthy-count
+// gauge. It exits when ctx (the Frontdoor's lifetime, cancelled by
+// Close) ends.
+func (f *Frontdoor) probeLoop(ctx context.Context) {
+	defer f.wg.Done()
+	tick := time.NewTicker(f.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		f.probeAll(ctx)
+	}
+}
+
+// probeAll runs one probe round. Backends probe concurrently so one
+// hung replica cannot delay membership decisions for the rest; the
+// round still completes within ProbeTimeout.
+func (f *Frontdoor) probeAll(ctx context.Context) {
+	done := make(chan struct{}, len(f.bes))
+	for _, be := range f.bes {
+		be := be
+		go func() {
+			f.probe(ctx, be)
+			done <- struct{}{}
+		}()
+	}
+	for range f.bes {
+		<-done
+	}
+	f.met.healthy.Set(float64(f.Healthy()))
+}
+
+// probe runs one backend's health check and, when the backend is
+// responsive and queue-depth shedding is enabled, refreshes its
+// batcher.queue_depth reading from /metrics. consecFail/consecOK are
+// prober-owned state: only this goroutine moves them.
+func (f *Frontdoor) probe(ctx context.Context, be *backend) {
+	pctx, cancel := context.WithTimeout(ctx, f.cfg.ProbeTimeout)
+	defer cancel()
+	if f.probeOnce(pctx, be) {
+		be.consecFail = 0
+		be.consecOK++
+		if !be.healthy.Load() && be.consecOK >= f.cfg.ReadmitAfter {
+			be.healthy.Store(true)
+		}
+		if f.cfg.QueueLimit >= 0 {
+			f.probeDepth(pctx, be)
+		}
+	} else {
+		be.consecOK = 0
+		be.consecFail++
+		if be.consecFail >= f.cfg.FailAfter {
+			be.healthy.Store(false)
+		}
+	}
+}
+
+// probeOnce reports whether one GET /healthz round trip succeeded.
+func (f *Frontdoor) probeOnce(ctx context.Context, be *backend) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, be.healthz, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	// Drain so the keep-alive connection is reusable.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	_ = resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// probeDepth refreshes the backend's last-known Batcher queue depth
+// from its /metrics snapshot. Best-effort: on any error the previous
+// reading stands — a stale depth only delays shedding by one probe
+// interval, while zeroing it on a transient parse failure would admit
+// traffic to a drowning replica.
+func (f *Frontdoor) probeDepth(ctx context.Context, be *backend) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, be.base+"/metrics", nil)
+	if err != nil {
+		return
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		return
+	}
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&snap); err != nil {
+		return
+	}
+	raw, ok := snap["batcher.queue_depth"]
+	if !ok {
+		return
+	}
+	var depth float64
+	if err := json.Unmarshal(raw, &depth); err != nil {
+		return
+	}
+	be.depth.Store(int64(depth))
+}

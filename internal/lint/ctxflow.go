@@ -7,7 +7,8 @@ import (
 )
 
 // CtxFlowAnalyzer enforces context propagation on the serving tier
-// (the root package, internal/core, and every cmd tool): once a
+// (the root package, internal/core, the internal/fleet front door, and
+// every cmd tool): once a
 // request carries a context, every downstream call must honor it, or
 // cancelled requests keep consuming batcher slots and worker time.
 // Inside an http.Handler body or any function that accepts a
@@ -36,6 +37,7 @@ var CtxFlowAnalyzer = &Analyzer{
 func ctxFlowInScope(base string) bool {
 	return base == "soteria" ||
 		base == "soteria/internal/core" ||
+		base == "soteria/internal/fleet" ||
 		strings.HasPrefix(base, "soteria/cmd/")
 }
 

@@ -297,3 +297,70 @@ var (
 		}
 	}
 }
+
+// TestFleetScopeHasTeeth proves ctxflow really polices internal/fleet:
+// a seeded front-door file that mints fresh contexts inside a proxy
+// handler and a ctx-carrying prober must produce a diagnostic for
+// each.
+func TestFleetScopeHasTeeth(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "internal", "fleet", "bad.go")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package fleet
+
+import (
+	"context"
+	"net/http"
+)
+
+func proxy(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background()
+	forward(ctx)
+}
+
+func probeRound(ctx context.Context) {
+	_ = context.TODO()
+}
+
+func forward(ctx context.Context) { _ = ctx }
+
+var (
+	_ = proxy
+	_ = probeRound
+)
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "soteria", false)
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("%s: seeded module does not type-check: %v", pkg.Path, pkg.Errors)
+		}
+		for _, d := range RunPackage(pkg, []*Analyzer{CtxFlowAnalyzer}) {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	for _, want := range []string{
+		"derive from r.Context()",
+		"derive from the ctx parameter",
+	} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in %q", want, msgs)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// The fleet front door is part of the serving tier: proxy handlers
+// and the prober's ctx-carrying functions must propagate request and
+// lifetime contexts instead of minting fresh ones.
+//
+//fixture:pkgpath soteria/internal/fleet
+package lintfixture
+
+import (
+	"context"
+	"net/http"
+)
+
+func proxyHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "derive from r.Context()"
+	forward(ctx)
+}
+
+func probeRound(ctx context.Context) {
+	fresh := context.TODO() // want "derive from the ctx parameter"
+	_ = fresh
+}
+
+func forward(ctx context.Context) { _ = ctx }
+
+// A handler that forwards the request's own context is clean, as is a
+// prober deriving a per-probe timeout from its parameter.
+func proxyOK(w http.ResponseWriter, r *http.Request) {
+	forward(r.Context())
+}
+
+func probeOK(ctx context.Context) {
+	child, cancel := context.WithTimeout(ctx, 0)
+	defer cancel()
+	forward(child)
+}
+
+var (
+	_ = proxyHandler
+	_ = probeRound
+	_ = proxyOK
+	_ = probeOK
+)

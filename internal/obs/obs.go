@@ -87,6 +87,16 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Add atomically accumulates delta into the gauge, for level-style
+// gauges (queue depths, in-flight counts) maintained by concurrent
+// increments and decrements rather than last-value writes.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, delta)
+}
+
 // addFloat atomically accumulates delta into a float64 stored as bits.
 func addFloat(bits *atomic.Uint64, delta float64) {
 	for {
@@ -210,6 +220,68 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return h.Sum() / float64(n)
+}
+
+// Quantile returns a bucket-interpolated estimate of the q-quantile of
+// the observed distribution: the target rank is located by a cumulative
+// sweep of the bucket counts, and the estimate interpolates linearly
+// across the owning bucket's bound interval (assuming observations
+// spread uniformly within a bucket — the standard fixed-bucket
+// estimator). The first bucket interpolates up from 0. A rank landing
+// in the overflow bucket saturates at the last finite bound: the
+// histogram cannot resolve anything past it, so choose bucket layouts
+// whose top bound exceeds the values worth distinguishing
+// (DurationBuckets tops out near one second). q is clamped to [0, 1].
+// Returns 0 on a nil histogram or before any observation.
+// Allocation-free: two passes over the fixed bucket array, no locks —
+// under concurrent observation the estimate is computed against one
+// self-consistent sweep of the counts.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Sum the buckets rather than trusting h.count: a concurrent Observe
+	// between the two would make the target rank unreachable.
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			if i >= len(h.bounds) {
+				// Overflow bucket: saturate at the last finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (target - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	// Counts shrank mid-sweep is impossible (counts only grow); reaching
+	// here means rounding pushed target past the final cumulative sum.
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Bucket is one row of a histogram snapshot: the count of observations

@@ -68,6 +68,126 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile checks the bucket-interpolated estimator
+// against distributions whose true quantiles are known, within the
+// resolution a fixed bucket layout can deliver.
+func TestHistogramQuantile(t *testing.T) {
+	// Uniform 1..1000 over unit-wide buckets: every quantile is exact up
+	// to one bucket width.
+	r := NewRegistry()
+	u := r.Histogram("u", LinearBuckets(1, 1, 1000))
+	for i := 1; i <= 1000; i++ {
+		u.Observe(float64(i))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.99, 990}, {0.999, 999}, {0.25, 250}, {1, 1000},
+	} {
+		if got := u.Quantile(tc.q); math.Abs(got-tc.want) > 1 {
+			t.Errorf("uniform Quantile(%v) = %v, want %v ± 1", tc.q, got, tc.want)
+		}
+	}
+
+	// A point mass inside one wide bucket: the estimate must land inside
+	// that bucket's interval, interpolated by rank.
+	p := r.Histogram("p", []float64{10, 100, 1000})
+	for i := 0; i < 100; i++ {
+		p.Observe(50)
+	}
+	if got := p.Quantile(0.5); got <= 10 || got > 100 {
+		t.Errorf("point-mass Quantile(0.5) = %v, want in (10, 100]", got)
+	}
+
+	// Ranks past the last bound saturate at it instead of inventing
+	// values the histogram cannot resolve.
+	o := r.Histogram("o", []float64{10, 100})
+	for i := 0; i < 10; i++ {
+		o.Observe(1e6)
+	}
+	if got := o.Quantile(0.99); got != 100 {
+		t.Errorf("overflow Quantile(0.99) = %v, want 100 (last bound)", got)
+	}
+
+	// Mixed: 90 fast + 10 slow observations — p50 stays in the fast
+	// bucket, p99 reaches the slow one.
+	m := r.Histogram("m", []float64{1, 2, 4, 8, 16})
+	for i := 0; i < 90; i++ {
+		m.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe(10)
+	}
+	if got := m.Quantile(0.5); got > 1 {
+		t.Errorf("mixed Quantile(0.5) = %v, want <= 1", got)
+	}
+	if got := m.Quantile(0.99); got <= 8 || got > 16 {
+		t.Errorf("mixed Quantile(0.99) = %v, want in (8, 16]", got)
+	}
+
+	// Edges: empty and nil histograms report 0; q is clamped.
+	e := r.Histogram("e", []float64{1})
+	if e.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile must be 0")
+	}
+	if got := u.Quantile(-1); math.Abs(got-1) > 1 {
+		t.Errorf("Quantile(-1) = %v, want ~min", got)
+	}
+	if got := u.Quantile(2); math.Abs(got-1000) > 1 {
+		t.Errorf("Quantile(2) = %v, want ~max", got)
+	}
+}
+
+// TestQuantileAllocationFree pins Quantile's zero-allocation contract —
+// loadgen and /metrics call it on live serving histograms.
+func TestQuantileAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", DurationBuckets())
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 1e4)
+	}
+	var nilH *Histogram
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.5)
+		_ = h.Quantile(0.99)
+		_ = h.Quantile(0.999)
+		_ = nilH.Quantile(0.5)
+	}); avg != 0 {
+		t.Errorf("Quantile: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestGaugeAdd covers the level-style gauge path used by the batcher's
+// queue-depth export.
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge after +3-1 = %v, want 2", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge after balanced concurrent adds = %v, want 2", got)
+	}
+	var nilG *Gauge
+	nilG.Add(5) // must not panic
+}
+
 func TestHistogramStartStop(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", DurationBuckets())
@@ -137,13 +257,14 @@ func TestObserveAllocationFree(t *testing.T) {
 	var nilC *Counter
 	var nilH *Histogram
 	checks := map[string]func(){
-		"counter":  func() { c.Add(1) },
-		"gauge":    func() { g.Set(1.5) },
-		"hist":     func() { h.Observe(12345) },
-		"ewma":     func() { e.Observe(2.5) },
-		"timer":    func() { h.Stop(h.Start()) },
-		"nil-cnt":  func() { nilC.Inc() },
-		"nil-hist": func() { nilH.Stop(nilH.Start()) },
+		"counter":   func() { c.Add(1) },
+		"gauge":     func() { g.Set(1.5) },
+		"gauge-add": func() { g.Add(1) },
+		"hist":      func() { h.Observe(12345) },
+		"ewma":      func() { e.Observe(2.5) },
+		"timer":     func() { h.Stop(h.Start()) },
+		"nil-cnt":   func() { nilC.Inc() },
+		"nil-hist":  func() { nilH.Stop(nilH.Start()) },
 	}
 	for name, fn := range checks {
 		if avg := testing.AllocsPerRun(100, fn); avg != 0 {

@@ -106,11 +106,18 @@ func (r *Registry) TrainHooks(prefix string) *TrainHooks {
 	}
 }
 
-// histSnapshot is a histogram's JSON form.
+// histSnapshot is a histogram's JSON form. The three fixed quantiles
+// are bucket-interpolated estimates (see Histogram.Quantile), published
+// so /metrics consumers — the fleet front door's admission control and
+// cmd/loadgen reports among them — read tail latency without
+// re-deriving it from the bucket table.
 type histSnapshot struct {
 	Count   uint64   `json:"count"`
 	Sum     float64  `json:"sum"`
 	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P99     float64  `json:"p99"`
+	P999    float64  `json:"p999"`
 	Buckets []Bucket `json:"buckets"`
 }
 
@@ -138,6 +145,9 @@ func (r *Registry) Snapshot() map[string]any {
 				Count:   m.Count(),
 				Sum:     m.Sum(),
 				Mean:    m.Mean(),
+				P50:     m.Quantile(0.50),
+				P99:     m.Quantile(0.99),
+				P999:    m.Quantile(0.999),
 				Buckets: m.Buckets(),
 			}
 		}
@@ -156,9 +166,15 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // Handler serves the snapshot at any path, for mounting as /metrics.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := r.WriteJSON(w); err != nil {
+		// Marshal before writing: once Encode starts streaming the 200
+		// header is committed, so a mid-write error (client gone) must
+		// not be answered with http.Error.
+		buf, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(buf, '\n'))
 	})
 }
