@@ -81,7 +81,7 @@ func TestFleetProxyMatchesDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(door.Close)
-	front := httptest.NewServer(frontdoorHandler(door, reg))
+	front := httptest.NewServer(frontdoorHandler(door, reg, urls))
 	t.Cleanup(front.Close)
 
 	for i, s := range corpus[:4] {

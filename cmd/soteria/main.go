@@ -6,7 +6,7 @@
 //
 //	soteria [-load model.json | -train-per-class N] [-save model.json] \
 //	        [-serve addr | -fleet addr -replicas N|url,...] [-fast] \
-//	        [-cache-dir DIR | -no-cache] [-cache-max-bytes N] \
+//	        [-cache-dir DIR | -no-cache] [-cache-max-bytes N] [-salt N] \
 //	        file.sotb [file2.sotb ...]
 //
 // Training data is generated on the fly (the corpus generator is the
@@ -27,6 +27,14 @@
 // §9), GET /healthz for liveness, and /debug/pprof/ for the standard
 // profiles. The server shuts down gracefully on SIGINT/SIGTERM: the
 // listener stops, in-flight requests finish, and the Batcher drains.
+//
+// Serve mode runs behind a versioned model registry (DESIGN.md §12):
+// the startup model is version one, and the /models admin API hot-swaps
+// later versions with zero downtime — POST a saved model to /models,
+// shadow-score it against live traffic (POST /models/{id}/shadow, gate
+// on the registry.shadow_* metrics), then POST /models/{id}/activate to
+// cut over. -fast applies to the startup model; admin-loaded versions
+// always serve the default bit-exact kernels.
 //
 // -fleet starts the scale-out serving tier (DESIGN.md §11) instead: a
 // front door on addr that routes /analyze across replicas with
@@ -69,6 +77,7 @@ func run(args []string) error {
 	fleetAddr := fs.String("fleet", "", "serve a fleet front door on this address (requires -replicas)")
 	replicasSpec := fs.String("replicas", "", "fleet replicas: an integer N to spawn in-process, or comma-separated base URLs of running -serve processes")
 	fast := fs.Bool("fast", false, "relaxed-precision scoring (FMA kernels, fused softmax); scores within documented tolerance of the default bit-exact mode")
+	salt := fs.Int64("salt", 0, "walk-randomness salt applied to every analyzed file (content-stable, so repeat inputs share cache entries)")
 	cacheDir := fs.String("cache-dir", "", "persist the feature/verdict cache in this directory (default: in-memory only)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", soteria.DefaultCacheMaxBytes, "byte budget for the feature/verdict cache (LRU-evicted past it)")
 	noCache := fs.Bool("no-cache", false, "disable the feature/verdict cache entirely")
@@ -208,8 +217,10 @@ func run(args []string) error {
 	// rather than being lost.
 	// Spawned fleet replicas attach their own per-replica caches, so the
 	// base system stays cacheless in that mode.
+	var cache *soteria.Cache
 	if !*noCache && fleetN == 0 {
-		cache, err := soteria.OpenCache(soteria.CacheConfig{
+		var err error
+		cache, err = soteria.OpenCache(soteria.CacheConfig{
 			Dir:      *cacheDir,
 			MaxBytes: *cacheMaxBytes,
 			Obs:      reg,
@@ -232,12 +243,26 @@ func run(args []string) error {
 	}
 
 	if *serveAddr != "" {
-		sys.Instrument(reg) // no-op after Train with Obs; wires a loaded model
-		bat := sys.NewBatcher(soteria.BatcherConfig{})
-		// serveSingle drains the batcher once the listener stops; this
-		// deferred Close is idempotent backstop for listener errors.
-		defer bat.Close()
-		return serveSingle(*serveAddr, reg, bat)
+		// Serve through the versioned model registry: the trained/loaded
+		// system becomes version one, and the /models admin API can load,
+		// shadow, and hot-swap later versions without dropping requests.
+		// Activation instruments the pipeline against reg and starts its
+		// batcher; the shared cache keyspace is fingerprint-disjoint per
+		// version.
+		mr := soteria.NewModelRegistry(soteria.ModelRegistryConfig{Obs: reg, Cache: cache})
+		// serveSingle closes the registry (draining every version's
+		// batcher) once the listener stops; this deferred Close is the
+		// idempotent backstop for listener errors.
+		defer mr.Close()
+		id, err := soteria.AddModel(mr, sys)
+		if err != nil {
+			return err
+		}
+		if err := mr.Activate(id); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serving model version %s\n", id)
+		return serveSingle(*serveAddr, reg, mr)
 	}
 	if fleetN > 0 {
 		return serveFleetSpawn(*fleetAddr, fleetN, sys, *fast, *noCache, *cacheMaxBytes)
@@ -246,8 +271,10 @@ func run(args []string) error {
 	// Validate each file up front (so an unreadable or malformed file is
 	// named precisely), then score the whole set from raw bytes in one
 	// batched pass — the binary path consults the content-addressed
-	// cache, and the salt stays the file's position, so decisions match
-	// the former one-at-a-time loop exactly.
+	// cache. Every file shares the -salt value (default 0): cache keys
+	// are (content, salt, model), so a content-stable salt lets duplicate
+	// inputs — in one run or across runs at different argv positions —
+	// share one key instead of defeating the cache positionally.
 	raws := make([][]byte, len(files))
 	salts := make([]int64, len(files))
 	for i, f := range files {
@@ -263,7 +290,7 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", f, err)
 		}
 		raws[i] = raw
-		salts[i] = int64(i)
+		salts[i] = *salt
 	}
 	if len(files) == 0 {
 		return nil
@@ -294,12 +321,16 @@ type analyzeResponse struct {
 const maxAnalyzeBody = 16 << 20
 
 // serveHandler builds the serve-mode HTTP handler: /analyze (POST raw
-// SOTB bytes, decisions via the shared micro-batching Batcher),
-// /metrics (the registry's JSON snapshot), /healthz, and the standard
-// pprof endpoints on an explicit mux (nothing else leaks in from
-// http.DefaultServeMux).
-func serveHandler(reg *soteria.Registry, bat *soteria.Batcher) http.Handler {
+// SOTB bytes, decisions via the active model version's micro-batching
+// Batcher), /models (the model registry's load/activate/shadow admin
+// API), /metrics (the registry's JSON snapshot), /healthz, and the
+// standard pprof endpoints on an explicit mux (nothing else leaks in
+// from http.DefaultServeMux).
+func serveHandler(reg *soteria.Registry, mr *soteria.ModelRegistry) http.Handler {
 	mux := http.NewServeMux()
+	admin := mr.AdminHandler()
+	mux.Handle("/models", admin)
+	mux.Handle("/models/", admin)
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -332,7 +363,7 @@ func serveHandler(reg *soteria.Registry, bat *soteria.Batcher) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		dec, err := bat.SubmitCtx(r.Context(), cfg, salt)
+		dec, err := mr.SubmitCtx(r.Context(), cfg, salt)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

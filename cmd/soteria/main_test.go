@@ -153,6 +153,62 @@ func TestRunCacheDir(t *testing.T) {
 	}
 }
 
+// TestRunDuplicateFilesShareCacheKey pins the content-stable salt fix:
+// file-mode salts used to be the argv position (salts[i] = int64(i)),
+// so the same binary listed twice — or listed at a different position
+// in a later run — got distinct cache keys and defeated the cache.
+// With a constant salt, any number of appearances of one binary, in
+// any order, produce exactly one (verdict, features) key pair.
+func TestRunDuplicateFilesShareCacheKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.json")
+	cacheDir := filepath.Join(dir, "cache")
+	fileA := filepath.Join(dir, "a.sotb")
+	fileB := filepath.Join(dir, "b.sotb") // byte-identical copy of A
+
+	gen := malgen.NewGenerator(malgen.Config{Seed: 8})
+	s, err := gen.SampleSized(malgen.Mirai, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.Binary.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{fileA, fileB} {
+		if err := os.WriteFile(f, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Run 1: the duplicate listed twice. Run 2: same content at a
+	// different argv position. Under position salts the four appearances
+	// spanned three distinct keys; under the content-stable salt they
+	// share one.
+	if err := run([]string{"-train-per-class", "3", "-save", model, "-cache-dir", cacheDir, fileA, fileB}); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run([]string{"-load", model, "-cache-dir", cacheDir, fileB, fileA}); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	cache, err := soteria.OpenCache(soteria.CacheConfig{Dir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := cache.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	// One key pair: the verdict entry plus the feature blob.
+	if n := cache.Len(); n != 2 {
+		t.Fatalf("cache holds %d entries after duplicate runs, want 2 (one verdict + one feature blob)", n)
+	}
+}
+
 // TestRunSaveOnly pins the train-and-save path with no analysis files:
 // it must train, write the model, and exit cleanly.
 func TestRunSaveOnly(t *testing.T) {
@@ -208,9 +264,16 @@ func TestServeHandler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bat := sys.NewBatcher(soteria.BatcherConfig{})
-	defer bat.Close()
-	srv := httptest.NewServer(serveHandler(reg, bat))
+	mr := soteria.NewModelRegistry(soteria.ModelRegistryConfig{Obs: reg})
+	defer mr.Close()
+	id, err := soteria.AddModel(mr, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.Activate(id); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serveHandler(reg, mr))
 	defer srv.Close()
 
 	res, err := http.Get(srv.URL + "/healthz")
@@ -263,6 +326,7 @@ func TestServeHandler(t *testing.T) {
 	for _, name := range []string{
 		"train.detector.epochs", "train.classifier.epochs",
 		"pipeline.samples", "batcher.wait_ns", "detector.re",
+		"registry.active_version",
 	} {
 		if _, ok := snap[name]; !ok {
 			t.Errorf("/metrics missing %q", name)

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -68,50 +70,48 @@ func serveGracefully(srv *http.Server, ln net.Listener, drains ...func(context.C
 }
 
 // serveSingle runs one-replica serve mode: the existing handler
-// surface behind a hardened http.Server, with the Batcher drained
-// (Close serves whatever is still queued) only after the listener has
-// stopped accepting work.
-func serveSingle(addr string, reg *soteria.Registry, bat *soteria.Batcher) error {
+// surface behind a hardened http.Server, with the model registry
+// closed (draining every version's batcher) only after the listener
+// has stopped accepting work.
+func serveSingle(addr string, reg *soteria.Registry, mr *soteria.ModelRegistry) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "serving on %s (/analyze, /metrics, /healthz, /debug/pprof/)\n", ln.Addr())
-	return serveGracefully(newHTTPServer(serveHandler(reg, bat)), ln,
-		func(context.Context) error { bat.Close(); return nil })
+	fmt.Fprintf(os.Stderr, "serving on %s (/analyze, /models, /metrics, /healthz, /debug/pprof/)\n", ln.Addr())
+	return serveGracefully(newHTTPServer(serveHandler(reg, mr)), ln,
+		func(context.Context) error { mr.Close(); return nil })
 }
 
 // replicaServer is one in-process serving replica: an independent
-// System copy with its own registry, cache, Batcher, and loopback
-// listener — the same isolation as N separate -serve processes,
-// without the process management.
+// System copy behind its own model registry, metric registry, cache,
+// and loopback listener — the same isolation as N separate -serve
+// processes, without the process management.
 type replicaServer struct {
 	url        string
 	srv        *http.Server
 	ln         net.Listener
-	bat        *soteria.Batcher
+	mr         *soteria.ModelRegistry
 	closeCache func()
 }
 
 // spawnReplica builds and starts one replica from the saved model
-// image.
+// image. Each replica carries a full model registry, so fleet-wide
+// hot swaps are per-replica swaps fanned out by the front door.
 func spawnReplica(model []byte, fast, noCache bool, cacheMaxBytes int64) (*replicaServer, error) {
 	reg := soteria.NewRegistry()
 	sys, err := soteria.Load(bytes.NewReader(model))
 	if err != nil {
 		return nil, fmt.Errorf("replica model: %w", err)
 	}
-	sys.Instrument(reg)
 	if fast {
 		sys.SetFastScoring(true)
 	}
+	var cache *soteria.Cache
 	closeCache := func() {}
 	if !noCache {
-		cache, err := soteria.OpenCache(soteria.CacheConfig{MaxBytes: cacheMaxBytes, Obs: reg})
+		cache, err = soteria.OpenCache(soteria.CacheConfig{MaxBytes: cacheMaxBytes, Obs: reg})
 		if err != nil {
-			return nil, err
-		}
-		if err := sys.AttachCache(cache); err != nil {
 			return nil, err
 		}
 		closeCache = func() {
@@ -120,18 +120,27 @@ func spawnReplica(model []byte, fast, noCache bool, cacheMaxBytes int64) (*repli
 			}
 		}
 	}
-	bat := sys.NewBatcher(soteria.BatcherConfig{})
+	mr := soteria.NewModelRegistry(soteria.ModelRegistryConfig{Obs: reg, Cache: cache})
+	id, err := soteria.AddModel(mr, sys)
+	if err == nil {
+		err = mr.Activate(id)
+	}
+	if err != nil {
+		mr.Close()
+		closeCache()
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		bat.Close()
+		mr.Close()
 		closeCache()
 		return nil, err
 	}
 	r := &replicaServer{
 		url:        "http://" + ln.Addr().String(),
-		srv:        newHTTPServer(serveHandler(reg, bat)),
+		srv:        newHTTPServer(serveHandler(reg, mr)),
 		ln:         ln,
-		bat:        bat,
+		mr:         mr,
 		closeCache: closeCache,
 	}
 	go func() {
@@ -142,21 +151,25 @@ func spawnReplica(model []byte, fast, noCache bool, cacheMaxBytes int64) (*repli
 	return r, nil
 }
 
-// drain stops the replica: listener first, then the Batcher (serving
-// its queued tail), then the cache log.
+// drain stops the replica: listener first, then the model registry
+// (every version's batcher serves its queued tail), then the cache
+// log.
 func (r *replicaServer) drain(ctx context.Context) error {
 	err := r.srv.Shutdown(ctx)
-	r.bat.Close()
+	r.mr.Close()
 	r.closeCache()
 	return err
 }
 
 // frontdoorHandler mounts the fleet surface: /analyze routed by the
-// front door, /metrics for the fleet.* registry, /healthz for the door
-// itself.
-func frontdoorHandler(door *fleet.Frontdoor, reg *soteria.Registry) http.Handler {
+// front door, /models broadcast to every replica's model registry,
+// /metrics for the fleet.* registry, /healthz for the door itself.
+func frontdoorHandler(door *fleet.Frontdoor, reg *soteria.Registry, urls []string) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/analyze", door)
+	admin := adminBroadcastHandler(urls)
+	mux.Handle("/models", admin)
+	mux.Handle("/models/", admin)
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -164,6 +177,98 @@ func frontdoorHandler(door *fleet.Frontdoor, reg *soteria.Registry) http.Handler
 	})
 	return mux
 }
+
+// adminBroadcastClient carries fleet admin fan-out requests. Loading a
+// model into a replica can take a while (the body is the whole saved
+// model), so the timeout is generous; it exists to bound a hung
+// replica, not a slow one.
+var adminBroadcastClient = &http.Client{Timeout: 2 * time.Minute}
+
+// replicaAdminResult is one replica's answer to a broadcast admin call.
+type replicaAdminResult struct {
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// adminBroadcastHandler fans a /models admin request out to every
+// replica's own registry and aggregates the answers keyed by replica
+// URL. A fleet hot swap is therefore N independent per-replica swaps:
+// each replica keeps serving through the whole sequence, so the fleet
+// never loses capacity, and the front door's health/affinity state
+// never notices. The response is 200 only when every replica accepted;
+// one failure turns it into a 502 with the per-replica detail, and the
+// operator retries (registry operations are idempotent) or rolls back.
+func adminBroadcastHandler(urls []string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body []byte
+		if r.Method != http.MethodGet {
+			var err error
+			body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxModelUpload))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		results := make(map[string]replicaAdminResult, len(urls))
+		allOK := true
+		for _, u := range urls {
+			res := broadcastOne(r, u, body)
+			if res.Error != "" || res.Status < 200 || res.Status > 299 {
+				allOK = false
+			}
+			results[u] = res
+		}
+		status := http.StatusOK
+		if !allOK {
+			status = http.StatusBadGateway
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(results)
+	})
+}
+
+// broadcastOne replays one admin request against a single replica,
+// preserving method, path, and query. The caller's request context
+// bounds the call, so an operator abandoning the broadcast stops the
+// remaining fan-out.
+func broadcastOne(r *http.Request, base string, body []byte) replicaAdminResult {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		base+r.URL.Path+querySuffix(r), bytes.NewReader(body))
+	if err != nil {
+		return replicaAdminResult{Error: err.Error()}
+	}
+	res, err := adminBroadcastClient.Do(req)
+	if err != nil {
+		return replicaAdminResult{Error: err.Error()}
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	if err != nil {
+		return replicaAdminResult{Status: res.StatusCode, Error: err.Error()}
+	}
+	out := replicaAdminResult{Status: res.StatusCode}
+	if json.Valid(raw) {
+		out.Body = raw
+	} else if len(raw) > 0 {
+		// Replica error bodies are plain text; carry them in Error so
+		// the aggregate stays one JSON document.
+		out.Error = strings.TrimSpace(string(raw))
+	}
+	return out
+}
+
+func querySuffix(r *http.Request) string {
+	if r.URL.RawQuery == "" {
+		return ""
+	}
+	return "?" + r.URL.RawQuery
+}
+
+// maxModelUpload bounds a broadcast POST /models body, matching the
+// registry admin API's own bound.
+const maxModelUpload = 256 << 20
 
 // serveFleetSpawn runs the scale-out tier in one process: n in-process
 // replicas (each a full System copy with its own Batcher and cache) on
@@ -223,9 +328,9 @@ func serveFleetFront(addr string, urls []string, afterDrain func()) error {
 		door.Close()
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fleet front door on %s over %d replicas (/analyze, /metrics, /healthz)\n",
+	fmt.Fprintf(os.Stderr, "fleet front door on %s over %d replicas (/analyze, /models, /metrics, /healthz)\n",
 		ln.Addr(), len(urls))
-	return serveGracefully(newHTTPServer(frontdoorHandler(door, reg)), ln,
+	return serveGracefully(newHTTPServer(frontdoorHandler(door, reg, urls)), ln,
 		func(ctx context.Context) error { return door.Shutdown(ctx) },
 		func(context.Context) error {
 			door.Close()

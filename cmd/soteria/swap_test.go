@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"soteria"
+)
+
+// TestServeHotSwap is the zero-downtime cutover pin, end to end over
+// the HTTP surface: live /analyze traffic runs without interruption
+// while a second model is POSTed to /models, shadow-scored against the
+// active version (shadow metrics must reach /metrics before cutover),
+// and then activated. Every response during the entire sequence must
+// be 200 with a decision bit-identical to one of the two versions'
+// direct Analyze output, and after the swap new requests must come
+// from the new version.
+func TestServeHotSwap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two models")
+	}
+	sys1, corpus := trainTinySystem(t, 21)
+	sys2, _ := trainTinySystem(t, 22)
+
+	reg := soteria.NewRegistry()
+	mr := soteria.NewModelRegistry(soteria.ModelRegistryConfig{Obs: reg})
+	defer mr.Close()
+	id1, err := soteria.AddModel(mr, sys1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.Activate(id1); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serveHandler(reg, mr))
+	defer srv.Close()
+
+	// Per-version ground truth over the traffic set, as the JSON the
+	// server would encode.
+	const nSamples = 6
+	raws := make([][]byte, nSamples)
+	want1 := make([]analyzeResponse, nSamples)
+	want2 := make([]analyzeResponse, nSamples)
+	for i := 0; i < nSamples; i++ {
+		raw, err := corpus[i].Binary.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws[i] = raw
+		d1, err := sys1.Analyze(corpus[i].CFG, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := sys2.Analyze(corpus[i].CFG, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want1[i] = analyzeResponse{Adversarial: d1.Adversarial, RE: d1.RE, Class: d1.Class.String()}
+		want2[i] = analyzeResponse{Adversarial: d2.Adversarial, RE: d2.RE, Class: d2.Class.String()}
+	}
+
+	analyzeOnce := func(i int) (analyzeResponse, error) {
+		res, err := http.Post(fmt.Sprintf("%s/analyze?salt=%d", srv.URL, i),
+			"application/octet-stream", bytes.NewReader(raws[i]))
+		if err != nil {
+			return analyzeResponse{}, err
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			return analyzeResponse{}, fmt.Errorf("/analyze status %d", res.StatusCode)
+		}
+		var got analyzeResponse
+		if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+			return analyzeResponse{}, err
+		}
+		return got, nil
+	}
+
+	// Open-loop background traffic for the whole swap sequence.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := i % nSamples
+				got, err := analyzeOnce(n)
+				if err != nil {
+					errc <- fmt.Errorf("request during swap failed: %w", err)
+					return
+				}
+				if got != want1[n] && got != want2[n] {
+					errc <- fmt.Errorf("sample %d: decision %+v matches neither version (%+v / %+v)",
+						n, got, want1[n], want2[n])
+					return
+				}
+			}
+		}(w)
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Error(err)
+		}
+	}()
+
+	// Load the candidate over the admin API.
+	var model2 bytes.Buffer
+	if err := sys2.Save(&model2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(srv.URL+"/models", "application/json", bytes.NewReader(model2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded map[string]string
+	if err := json.NewDecoder(res.Body).Decode(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	bodyClose(t, res)
+	if res.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /models status %d", res.StatusCode)
+	}
+	id2 := loaded["id"]
+	if id2 == "" || id2 == id1 {
+		t.Fatalf("candidate id %q (active %q)", id2, id1)
+	}
+
+	// Shadow every request; shadow metrics must populate in /metrics
+	// before we cut over.
+	res, err = http.Post(srv.URL+"/models/"+id2+"/shadow?every=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyClose(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("POST shadow status %d", res.StatusCode)
+	}
+	metrics := func() map[string]json.RawMessage {
+		t.Helper()
+		res, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap map[string]json.RawMessage
+		if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		bodyClose(t, res)
+		return snap
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		snap := metrics()
+		var compared uint64
+		if raw, ok := snap["registry.shadow_compared"]; ok {
+			if err := json.Unmarshal(raw, &compared); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if compared > 0 {
+			for _, name := range []string{"registry.shadow_agreement", "registry.shadow_drift_sigma"} {
+				if _, ok := snap[name]; !ok {
+					t.Fatalf("/metrics missing %q with shadow traffic flowing", name)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shadow metrics never populated in /metrics")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Cut over mid-traffic.
+	res, err = http.Post(srv.URL+"/models/"+id2+"/activate", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyClose(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("POST activate status %d", res.StatusCode)
+	}
+
+	snap := metrics()
+	var active string
+	if err := json.Unmarshal(snap["registry.active_version"], &active); err != nil {
+		t.Fatal(err)
+	}
+	if active != id2 {
+		t.Fatalf("registry.active_version = %q after cutover, want %q", active, id2)
+	}
+	var swaps uint64
+	if err := json.Unmarshal(snap["registry.swaps"], &swaps); err != nil {
+		t.Fatal(err)
+	}
+	if swaps < 1 {
+		t.Fatalf("registry.swaps = %d after cutover, want >= 1", swaps)
+	}
+
+	// New requests are served entirely by the new version.
+	got, err := analyzeOnce(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want2[0] {
+		t.Fatalf("post-cutover decision %+v, want new version's %+v", got, want2[0])
+	}
+}

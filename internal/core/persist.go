@@ -75,15 +75,32 @@ func (p *Pipeline) Save(w io.Writer) error {
 // cache keys: any retraining, weight change or option change yields a
 // different fingerprint and thereby invalidates every prior cache
 // entry without touching the cache itself.
+//
+// The hash is memoized: Train and Load stamp it once, so steady-state
+// calls (registry lookups, cache attachment, swap-time rekeying) are a
+// copy of 32 bytes instead of a full model serialization. Callers that
+// mutate a component through the exported fields (replacing the
+// Ensemble, Detector.SetAlpha, ...) must call InvalidateFingerprint to
+// force a recompute — the pipeline cannot observe those writes.
 func (p *Pipeline) Fingerprint() ([32]byte, error) {
+	if p.fpSet {
+		return p.fp, nil
+	}
 	h := sha256.New()
 	if err := p.Save(h); err != nil {
 		return [32]byte{}, fmt.Errorf("core: fingerprint: %w", err)
 	}
-	var fp [32]byte
-	h.Sum(fp[:0])
-	return fp, nil
+	h.Sum(p.fp[:0])
+	p.fpSet = true
+	return p.fp, nil
 }
+
+// InvalidateFingerprint drops the memoized fingerprint so the next
+// Fingerprint call re-serializes the model. Call after mutating any
+// persisted component through the exported fields. Not safe to call
+// concurrently with Fingerprint — mutate, invalidate, then resume
+// serving.
+func (p *Pipeline) InvalidateFingerprint() { p.fpSet = false }
 
 // Load rebuilds a trained pipeline from Save output.
 func Load(r io.Reader) (*Pipeline, error) {
@@ -111,10 +128,17 @@ func Load(r io.Reader) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: restore LBL classifier: %w", err)
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		Extractor: ext,
 		Detector:  det,
 		Ensemble:  &cnn.Ensemble{DBL: dbl, LBL: lbl},
 		opts:      in.Options,
-	}, nil
+	}
+	// Stamp the fingerprint memo before the pipeline serves traffic (see
+	// Train); a freshly loaded model round-trips to the same bytes, so
+	// this equals the saved model's fingerprint.
+	if _, err := p.Fingerprint(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }

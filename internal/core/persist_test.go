@@ -43,6 +43,86 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFingerprintMemoized pins the fingerprint memo: steady-state
+// Fingerprint calls return the stamped hash without re-serializing the
+// model (0 allocs/op), the memo equals a from-scratch recompute, and a
+// Save/Load round trip lands on the same fingerprint.
+func TestFingerprintMemoized(t *testing.T) {
+	p, _, _ := cachePipeline(t)
+	fp, err := p.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := p.Fingerprint(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("memoized Fingerprint allocates %v/op, want 0", allocs)
+	}
+
+	// The memo must match a full recompute of the same state.
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfp, err := loaded.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfp != fp {
+		t.Fatalf("loaded fingerprint %x != trained memo %x", lfp, fp)
+	}
+	loaded.InvalidateFingerprint()
+	rfp, err := loaded.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rfp != fp {
+		t.Fatalf("recomputed fingerprint %x != memo %x", rfp, fp)
+	}
+}
+
+// TestFingerprintInvalidation pins the mutation contract: a component
+// mutated through the exported fields keeps serving the stale memo
+// until InvalidateFingerprint, after which the fingerprint reflects
+// the new persisted state.
+func TestFingerprintInvalidation(t *testing.T) {
+	shared, _, _ := cachePipeline(t)
+	var buf bytes.Buffer
+	if err := shared.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(&buf) // private copy; the mutation must not leak
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := p.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Detector.SetAlpha(p.Detector.Alpha() * 2) // persisted DetectorConfig field
+	stale, err := p.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale != fp1 {
+		t.Fatalf("memo changed without invalidation: %x vs %x", stale, fp1)
+	}
+	p.InvalidateFingerprint()
+	fp2, err := p.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 == fp1 {
+		t.Fatal("fingerprint unchanged after mutating Alpha and invalidating")
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load(strings.NewReader("not json")); err == nil {
 		t.Fatal("junk should error")

@@ -130,6 +130,12 @@ type Pipeline struct {
 	cache   *store.Cache
 	modelFP [32]byte
 
+	// fp memoizes Fingerprint (stamped by Train/Load, cleared by
+	// InvalidateFingerprint) so identity lookups never re-serialize the
+	// model. Written only while the pipeline is quiescent.
+	fp    [32]byte
+	fpSet bool
+
 	// reg is the registry Instrument was called with (nil when
 	// uninstrumented); Batchers built on this pipeline pick it up.
 	reg *obs.Registry
@@ -280,6 +286,11 @@ func Train(samples []*malgen.Sample, opts Options) (*Pipeline, error) {
 	}
 
 	p := &Pipeline{Extractor: ext, Detector: det, Ensemble: ens, opts: opts}
+	// Stamp the fingerprint while the pipeline is provably quiescent, so
+	// serving-time Fingerprint calls are pure reads.
+	if _, err := p.Fingerprint(); err != nil {
+		return nil, err
+	}
 	p.Instrument(opts.Obs)
 	if opts.Cache != nil {
 		if err := p.AttachCache(opts.Cache); err != nil {

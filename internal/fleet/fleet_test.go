@@ -26,6 +26,10 @@ type stubReplica struct {
 	delayNs atomic.Int64
 	depth   atomic.Int64
 	served  atomic.Int64
+	// version echoes in every /analyze answer, standing in for the
+	// replica's active model version: a registry hot swap changes what
+	// a replica answers, never whether it answers.
+	version atomic.Int64
 }
 
 func newStub(t *testing.T, name string) *stubReplica {
@@ -52,8 +56,9 @@ func newStub(t *testing.T, name string) *stubReplica {
 		s.served.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(map[string]any{
-			"stub": s.name,
-			"len":  len(body),
+			"stub":    s.name,
+			"len":     len(body),
+			"version": s.version.Load(),
 		}); err != nil {
 			t.Errorf("stub %s: encode response: %v", s.name, err)
 		}
@@ -466,5 +471,69 @@ func waitFor(t *testing.T, d time.Duration, cond func() bool) {
 			t.Fatal("condition not met before deadline")
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestModelSwapInvisibleToFleet pins the fleet/registry contract: a
+// replica hot-swapping its active model version (the response content
+// changes mid-traffic, the replica never stops answering) causes no
+// health ejections, no failed requests, and no change in content
+// affinity — the front door routes on content and health, never on
+// what model answered.
+func TestModelSwapInvisibleToFleet(t *testing.T) {
+	a, b := newStub(t, "a"), newStub(t, "b")
+	reg := obs.NewRegistry()
+	door := newDoor(t, Config{Obs: reg, FailAfter: 2}, a, b)
+
+	body := []byte("affinity-pinned-sample")
+	versions := map[int64]bool{}
+	sendOne := func(i int) string {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		door.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d during model swap", i, rec.Code)
+		}
+		var resp struct {
+			Stub    string `json:"stub"`
+			Version int64  `json:"version"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		versions[resp.Version] = true
+		return resp.Stub
+	}
+
+	owner := sendOne(0)
+	for i := 1; i < 12; i++ {
+		if got := sendOne(i); got != owner {
+			t.Fatalf("request %d moved from %s to %s before swap", i, owner, got)
+		}
+	}
+
+	// Swap both replicas' model versions mid-traffic, give the prober a
+	// few cycles to (wrongly) react, and keep the traffic flowing.
+	a.version.Store(2)
+	b.version.Store(2)
+	time.Sleep(80 * time.Millisecond) // several 20ms probe intervals
+	for i := 12; i < 24; i++ {
+		if got := sendOne(i); got != owner {
+			t.Fatalf("request %d moved from %s to %s across swap: affinity must not track model version", i, owner, got)
+		}
+	}
+
+	if !versions[1] && !versions[0] || !versions[2] {
+		t.Fatalf("traffic did not span the swap: versions seen %v", versions)
+	}
+	if got := door.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d after swap, want 2 (no ejections)", got)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{"fleet.shed", "fleet.errors", "fleet.retries"} {
+		if got := snap[name].(uint64); got != 0 {
+			t.Fatalf("%s = %d across a model swap, want 0", name, got)
+		}
 	}
 }

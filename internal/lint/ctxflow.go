@@ -38,6 +38,7 @@ func ctxFlowInScope(base string) bool {
 	return base == "soteria" ||
 		base == "soteria/internal/core" ||
 		base == "soteria/internal/fleet" ||
+		base == "soteria/internal/registry" ||
 		strings.HasPrefix(base, "soteria/cmd/")
 }
 

@@ -364,3 +364,74 @@ var (
 		}
 	}
 }
+
+// TestRegistryScopeHasTeeth proves ctxflow polices internal/registry:
+// a seeded registry file whose admin handler mints a fresh context and
+// drops it into Submit (with a SubmitCtx sibling in scope), plus a
+// ctx-carrying scorer that re-mints, must produce a diagnostic for
+// each violation.
+func TestRegistryScopeHasTeeth(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "internal", "registry", "bad.go")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package registry
+
+import (
+	"context"
+	"net/http"
+)
+
+func handleActivate(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background()
+	_ = ctx
+	Submit()
+}
+
+func scoreShadow(ctx context.Context) {
+	_ = context.TODO()
+}
+
+func Submit()                           {}
+func SubmitCtx(ctx context.Context)     { _ = ctx }
+
+var (
+	_ = handleActivate
+	_ = scoreShadow
+)
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "soteria", false)
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("%s: seeded module does not type-check: %v", pkg.Path, pkg.Errors)
+		}
+		for _, d := range RunPackage(pkg, []*Analyzer{CtxFlowAnalyzer}) {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	for _, want := range []string{
+		"derive from r.Context()",
+		"derive from the ctx parameter",
+		"Submit drops the caller's context; call SubmitCtx",
+	} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in %q", want, msgs)
+		}
+	}
+}

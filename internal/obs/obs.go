@@ -108,6 +108,30 @@ func addFloat(bits *atomic.Uint64, delta float64) {
 	}
 }
 
+// Info is a last-value-wins string, for identity facts a dashboard
+// reads next to the numbers (the active model version, a build tag).
+// The zero value reports ""; a nil *Info discards all operations.
+type Info struct {
+	v atomic.Value // string
+}
+
+// Set records s.
+func (i *Info) Set(s string) {
+	if i == nil {
+		return
+	}
+	i.v.Store(s)
+}
+
+// Value returns the last recorded string ("" on a nil or unset Info).
+func (i *Info) Value() string {
+	if i == nil {
+		return ""
+	}
+	s, _ := i.v.Load().(string)
+	return s
+}
+
 // ewmaUnseeded marks an EWMA that has seen no observations; the first
 // Observe seeds the mean with its value instead of decaying from zero.
 var ewmaUnseeded = math.Float64bits(math.NaN())
@@ -116,10 +140,20 @@ var ewmaUnseeded = math.Float64bits(math.NaN())
 // moves the mean by alpha times its distance from the current mean, so
 // the statistic tracks the recent distribution without storing a
 // window. A nil *EWMA discards all operations. Construct through
-// Registry.EWMA (the zero value reports 0 but never seeds).
+// Registry.EWMA, or NewEWMA for an unregistered rolling mean (the zero
+// value reports 0 but never seeds).
 type EWMA struct {
 	alpha float64
 	bits  atomic.Uint64
+}
+
+// NewEWMA returns a standalone rolling mean with decay alpha in (0, 1],
+// for statistics a component keeps for itself rather than publishing
+// under a registry name.
+func NewEWMA(alpha float64) *EWMA {
+	e := &EWMA{alpha: alpha}
+	e.bits.Store(ewmaUnseeded)
+	return e
 }
 
 // Observe folds v into the rolling mean.

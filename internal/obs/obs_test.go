@@ -218,14 +218,55 @@ func TestEWMASeedsAndDecays(t *testing.T) {
 	}
 }
 
+// TestNewEWMAStandalone pins the unregistered constructor: it must seed
+// on first observation exactly like a registry-built EWMA (the zero
+// value would decay from 0 instead).
+func TestNewEWMAStandalone(t *testing.T) {
+	e := NewEWMA(0.25)
+	if e.Value() != 0 {
+		t.Fatalf("unseeded value = %v, want 0", e.Value())
+	}
+	e.Observe(8) // seeds: mean jumps to the observation, no decay from 0
+	if e.Value() != 8 {
+		t.Fatalf("after seed = %v, want 8", e.Value())
+	}
+	e.Observe(16)
+	if e.Value() != 10 {
+		t.Fatalf("after decay = %v, want 10", e.Value())
+	}
+}
+
+// TestInfoMetric covers the string metric: last-value-wins semantics,
+// idempotent registration, and snapshot inclusion as a plain string.
+func TestInfoMetric(t *testing.T) {
+	r := NewRegistry()
+	in := r.Info("active_version")
+	if in.Value() != "" {
+		t.Fatalf("unset Info = %q, want empty", in.Value())
+	}
+	in.Set("a1b2")
+	in.Set("c3d4")
+	if in.Value() != "c3d4" {
+		t.Fatalf("Info = %q, want last write", in.Value())
+	}
+	if again := r.Info("active_version"); again != in {
+		t.Fatal("re-registration returned a different Info")
+	}
+	snap := r.Snapshot()
+	if got, _ := snap["active_version"].(string); got != "c3d4" {
+		t.Fatalf("snapshot info = %v, want \"c3d4\"", snap["active_version"])
+	}
+}
+
 func TestNilRegistryAndNilMetricsAreNoOps(t *testing.T) {
 	var r *Registry
 	c := r.Counter("c")
 	g := r.Gauge("g")
 	h := r.Histogram("h", DurationBuckets())
 	e := r.EWMA("e", 0.1)
+	in := r.Info("i")
 	th := r.TrainHooks("t")
-	if c != nil || g != nil || h != nil || e != nil || th != nil {
+	if c != nil || g != nil || h != nil || e != nil || in != nil || th != nil {
 		t.Fatal("nil registry must hand out nil metrics")
 	}
 	c.Inc()
@@ -234,8 +275,9 @@ func TestNilRegistryAndNilMetricsAreNoOps(t *testing.T) {
 	h.Observe(1)
 	h.Stop(h.Start())
 	e.Observe(1)
+	in.Set("x")
 	th.EndEpoch(th.StartEpoch(), 1)
-	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || e.Value() != 0 {
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || e.Value() != 0 || in.Value() != "" {
 		t.Fatal("nil metric reported a value")
 	}
 	if r.Snapshot() != nil {

@@ -85,11 +85,16 @@ func (r *Registry) EWMA(name string, alpha float64) *EWMA {
 	if r == nil {
 		return nil
 	}
-	return lookup(r, name, func() *EWMA {
-		e := &EWMA{alpha: alpha}
-		e.bits.Store(ewmaUnseeded)
-		return e
-	})
+	return lookup(r, name, func() *EWMA { return NewEWMA(alpha) })
+}
+
+// Info registers (or fetches) the string metric called name. Returns
+// nil on a nil registry.
+func (r *Registry) Info(name string) *Info {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, name, func() *Info { return new(Info) })
 }
 
 // TrainHooks registers the per-epoch training metrics under
@@ -122,9 +127,9 @@ type histSnapshot struct {
 }
 
 // Snapshot returns a point-in-time copy of every metric, keyed by name:
-// counters as integers, gauges and EWMAs as floats, histograms as
-// {count, sum, mean, buckets}. JSON-encoding the result is
-// deterministic (Go orders map keys). Returns nil on a nil registry.
+// counters as integers, gauges and EWMAs as floats, infos as strings,
+// histograms as {count, sum, mean, buckets}. JSON-encoding the result
+// is deterministic (Go orders map keys). Returns nil on a nil registry.
 func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
@@ -139,6 +144,8 @@ func (r *Registry) Snapshot() map[string]any {
 		case *Gauge:
 			out[name] = m.Value()
 		case *EWMA:
+			out[name] = m.Value()
+		case *Info:
 			out[name] = m.Value()
 		case *Histogram:
 			out[name] = histSnapshot{

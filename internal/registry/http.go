@@ -1,0 +1,105 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// maxModelBody bounds a POST /models upload. Saved models are a few MB
+// at paper scale; 256 MB leaves room without letting one request pin
+// the process.
+const maxModelBody = 256 << 20
+
+// listResponse is GET /models' JSON body.
+type listResponse struct {
+	Models []ModelInfo `json:"models"`
+	// Shadow is present while a shadow session is running.
+	Shadow *ShadowStats `json:"shadow,omitempty"`
+}
+
+// AdminHandler returns the registry's admin API, rooted at /models:
+//
+//	GET  /models                  list versions and shadow stats
+//	POST /models                  body = saved model JSON; loads it
+//	POST /models/{id}/activate    make id the serving version
+//	POST /models/{id}/shadow      shadow id (?every=N, default 1;
+//	                              every=0 stops shadowing)
+//
+// Mount it on the serving mux; it is deliberately separate from
+// /analyze so a deployment can keep the admin surface off the public
+// listener.
+func (r *Registry) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /models", r.handleList)
+	mux.HandleFunc("POST /models", r.handleLoad)
+	mux.HandleFunc("POST /models/{id}/activate", r.handleActivate)
+	mux.HandleFunc("POST /models/{id}/shadow", r.handleShadow)
+	return mux
+}
+
+func (r *Registry) handleList(w http.ResponseWriter, _ *http.Request) {
+	resp := listResponse{Models: r.List()}
+	if stats, ok := r.ShadowStats(); ok {
+		resp.Shadow = &stats
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (r *Registry) handleLoad(w http.ResponseWriter, req *http.Request) {
+	id, err := r.LoadSaved(http.MaxBytesReader(w, req.Body, maxModelBody))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("load model: %v", err), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (r *Registry) handleActivate(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if err := r.Activate(id); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"active": id})
+}
+
+func (r *Registry) handleShadow(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	every := 1
+	if q := req.URL.Query().Get("every"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "every must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		every = n
+	}
+	if err := r.Shadow(id, every); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	if every == 0 {
+		writeJSON(w, http.StatusOK, map[string]string{"shadow": ""})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shadow": id, "every": every})
+}
+
+// statusFor maps registry errors onto admin API statuses: unknown
+// versions are the caller's 404, everything else (closed registry,
+// self-shadow) a 409 state conflict.
+func statusFor(err error) int {
+	if errors.Is(err, ErrUnknownVersion) {
+		return http.StatusNotFound
+	}
+	return http.StatusConflict
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

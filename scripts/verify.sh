@@ -28,6 +28,6 @@ go run ./cmd/soterialint ./...
 echo "== race suite"
 go test -race ./internal/features ./internal/nn ./internal/core \
     ./internal/par ./internal/walk ./internal/autoenc ./internal/cnn \
-    ./internal/obs ./internal/lint ./internal/store ./internal/fleet
+    ./internal/obs ./internal/lint ./internal/store ./internal/fleet ./internal/registry
 
 echo "verify: OK"

@@ -37,6 +37,7 @@ import (
 	"soteria/internal/isa"
 	"soteria/internal/malgen"
 	"soteria/internal/obs"
+	"soteria/internal/registry"
 	"soteria/internal/store"
 )
 
@@ -203,6 +204,40 @@ func OpenCache(cfg CacheConfig) (*Cache, error) { return store.Open(cfg) }
 // traffic, not concurrently with Analyze calls. Also reachable at
 // training time via Options.Cache.
 func (s *System) AttachCache(c *Cache) error { return s.pipeline.AttachCache(c) }
+
+// ModelRegistry is a versioned model registry for zero-downtime model
+// rollout: it holds multiple loaded systems keyed by fingerprint-derived
+// version IDs, serves analyses through an atomically swappable active
+// version (each decision comes entirely from one version, even across a
+// swap), and shadow-scores a candidate on sampled live traffic so
+// cutover can be gated on observed agreement and RE drift. Its
+// AdminHandler exposes the /models API the built-in server mounts.
+type ModelRegistry = registry.Registry
+
+// ModelRegistryConfig configures NewModelRegistry: per-version Batcher
+// tuning, an optional shared result cache (versions never share
+// entries — keys embed each version's fingerprint), an optional metric
+// registry, and the shadow mirror queue bound.
+type ModelRegistryConfig = registry.Config
+
+// ModelInfo describes one registered model version.
+type ModelInfo = registry.ModelInfo
+
+// ShadowStats is a snapshot of the running shadow-scoring session.
+type ShadowStats = registry.ShadowStats
+
+// ErrNoActiveModel is returned by ModelRegistry submissions before any
+// version has been activated.
+var ErrNoActiveModel = registry.ErrNoActive
+
+// NewModelRegistry returns an empty model registry. Close it to stop
+// the shadow scorer and every version's batcher.
+func NewModelRegistry(cfg ModelRegistryConfig) *ModelRegistry { return registry.New(cfg) }
+
+// AddModel registers a trained system in the registry and returns its
+// version ID (idempotent per fingerprint). Activate the ID to serve
+// it, or shadow it against the active version first.
+func AddModel(r *ModelRegistry, s *System) (string, error) { return r.Load(s.pipeline) }
 
 // Registry is a named metric namespace for the serving path's
 // observability layer; its Handler serves an expvar-style JSON snapshot
